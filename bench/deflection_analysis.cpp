@@ -1,0 +1,150 @@
+// Backs the paper's §2/§2.1 prose claims with exact (Markov) and sampled
+// (Monte-Carlo) numbers:
+//   * Fig. 1(a) vs 1(b): without protection, a packet deflected at SW7 has
+//     a 50% chance per visit of reaching SW11 from SW5; adding SW5 to the
+//     route ID drives 100% of deflected packets (R = 44 vs 660);
+//   * the 15-node SW10-SW7 failure splits deflected traffic 2/3 / 1/3
+//     between uncovered and covered branches under partial protection;
+//   * technique ordering: NIP <= AVP <= HP in expected path stretch;
+//   * wrong-edge policy ablation: re-encode vs bounce-back.
+//
+// Usage: deflection_analysis [--walks=20000] [--seed=1]
+#include <iostream>
+
+#include "analysis/markov.hpp"
+#include "analysis/walks.hpp"
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "routing/controller.hpp"
+#include "topology/builders.hpp"
+
+namespace {
+
+using kar::analysis::WalkConfig;
+using kar::common::TextTable;
+using kar::common::fmt_double;
+using kar::dataplane::DeflectionTechnique;
+using kar::topo::ProtectionLevel;
+
+const char* name_of(DeflectionTechnique technique) {
+  return kar::dataplane::to_string(technique).data();
+}
+
+void fig1_walkthrough(std::size_t walks, std::uint64_t seed) {
+  std::cout << "--- Fig. 1 walkthrough: driven deflection on the 6-node "
+               "network (failed SW7-SW11) ---\n";
+  TextTable table({"route id", "technique", "delivery prob (exact)",
+                   "E[hops] (exact)", "E[hops] (sampled)"});
+  for (const auto level : {ProtectionLevel::kUnprotected, ProtectionLevel::kPartial}) {
+    kar::topo::Scenario s = kar::topo::make_fig1_network();
+    const kar::routing::Controller controller(s.topology);
+    const auto route = controller.encode_scenario(s.route, level);
+    s.topology.fail_link("SW7", "SW11");
+    for (const auto technique :
+         {DeflectionTechnique::kAnyValidPort, DeflectionTechnique::kNotInputPort}) {
+      const auto exact =
+          kar::analysis::analyze_deflection(s.topology, route, technique);
+      WalkConfig config;
+      config.technique = technique;
+      const auto sampled = kar::analysis::sample_walks(s.topology, controller,
+                                                       route, config, walks, seed);
+      table.add_row({route.route_id.to_string(), name_of(technique),
+                     fmt_double(exact.delivery_probability, 4),
+                     fmt_double(exact.expected_hops_given_delivery, 3),
+                     fmt_double(sampled.hops.mean, 3)});
+    }
+  }
+  std::cout << table.render()
+            << "(R=44: deflected packets gamble at SW5; R=660 drives them "
+               "SW5->SW11 — NIP needs exactly 4 hops)\n\n";
+}
+
+void sw10_split(std::size_t walks, std::uint64_t seed) {
+  std::cout << "--- §3.1 claim: SW10-SW7 failure sends 2/3 of packets to "
+               "SW17/SW37, 1/3 to SW11 (partial protection, NIP) ---\n";
+  kar::topo::Scenario s = kar::topo::make_experimental15();
+  const kar::routing::Controller controller(s.topology);
+  const auto route = controller.encode_scenario(s.route, ProtectionLevel::kPartial);
+  s.topology.fail_link("SW10", "SW7");
+  WalkConfig config;
+  config.technique = DeflectionTechnique::kNotInputPort;
+  const auto split = kar::analysis::first_hop_split(
+      s.topology, controller, route, s.topology.at("SW10"), config, walks, seed);
+  TextTable table({"first hop from SW10", "share of deflected packets"});
+  for (const auto& [node, share] : split.shares) {
+    table.add_row({s.topology.name(node), fmt_double(share, 4)});
+  }
+  std::cout << table.render() << "\n";
+}
+
+void technique_ordering(std::size_t walks, std::uint64_t seed) {
+  std::cout << "--- Technique ordering on the 15-node network (SW7-SW13 "
+               "failed, partial protection) ---\n";
+  TextTable table({"technique", "delivery rate", "mean hops", "max hops",
+                   "mean deflections", "reencoded walks"});
+  for (const auto technique :
+       {DeflectionTechnique::kHotPotato, DeflectionTechnique::kAnyValidPort,
+        DeflectionTechnique::kNotInputPort}) {
+    kar::topo::Scenario s = kar::topo::make_experimental15();
+    const kar::routing::Controller controller(s.topology);
+    const auto route =
+        controller.encode_scenario(s.route, ProtectionLevel::kPartial);
+    s.topology.fail_link("SW7", "SW13");
+    WalkConfig config;
+    config.technique = technique;
+    config.max_hops = 1 << 16;
+    const auto stats = kar::analysis::sample_walks(s.topology, controller,
+                                                   route, config, walks, seed);
+    table.add_row({name_of(technique), fmt_double(stats.delivery_rate, 4),
+                   fmt_double(stats.hops.mean, 2), fmt_double(stats.hops.max, 0),
+                   fmt_double(stats.deflections.mean, 2),
+                   std::to_string(stats.reencoded_walks)});
+  }
+  std::cout << table.render()
+            << "(paper: HP is the lower bound; NIP avoids two-node loops and "
+               "resumes the encoded path fastest)\n\n";
+}
+
+void edge_policy_ablation(std::size_t walks, std::uint64_t seed) {
+  std::cout << "--- §2.1 final remark: wrong-edge policy ablation (HP, "
+               "unprotected, SW7-SW13 failed) ---\n";
+  TextTable table({"wrong-edge policy", "delivery rate", "mean hops",
+                   "reencoded walks"});
+  for (const auto policy : {kar::dataplane::WrongEdgePolicy::kReencode,
+                            kar::dataplane::WrongEdgePolicy::kBounceBack}) {
+    kar::topo::Scenario s = kar::topo::make_experimental15();
+    const kar::routing::Controller controller(s.topology);
+    const auto route =
+        controller.encode_scenario(s.route, ProtectionLevel::kUnprotected);
+    s.topology.fail_link("SW7", "SW13");
+    WalkConfig config;
+    config.technique = DeflectionTechnique::kHotPotato;
+    config.wrong_edge_policy = policy;
+    config.max_hops = 1 << 16;
+    const auto stats = kar::analysis::sample_walks(s.topology, controller,
+                                                   route, config, walks, seed);
+    table.add_row(
+        {policy == kar::dataplane::WrongEdgePolicy::kReencode ? "re-encode"
+                                                              : "bounce-back",
+         fmt_double(stats.delivery_rate, 4), fmt_double(stats.hops.mean, 2),
+         std::to_string(stats.reencoded_walks)});
+  }
+  std::cout << table.render()
+            << "(the paper uses re-encode in all tests; bounce-back keeps "
+               "walking until the walk happens to hit the destination)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = kar::common::Flags::parse(argc, argv);
+  const auto walks = static_cast<std::size_t>(flags.get_int("walks", 20000));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  std::cout << "=== Deflection analysis: exact Markov + Monte-Carlo backing "
+               "for the paper's §2/§3 prose claims ===\n\n";
+  fig1_walkthrough(walks, seed);
+  sw10_split(walks, seed);
+  technique_ordering(walks, seed);
+  edge_policy_ablation(walks, seed);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Latency / jitter / disordering under deflection (paper §3: "evaluate the
+// impact of the packet disordering and jitter due to a link failure and
+// the deflection routing"). Constant-rate probes cross the 15-node network
+// while SW7-SW13 is down; per-technique and per-protection-level one-way
+// delay, jitter, reordering and loss are reported.
+//
+// Usage: latency_jitter [--rate-pps=2000] [--seconds=10] [--seed=1]
+#include <iostream>
+#include <vector>
+
+#include "analysis/latency.hpp"
+#include "analysis/reorder.hpp"
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "routing/controller.hpp"
+#include "sim/network.hpp"
+#include "topology/builders.hpp"
+#include "transport/udp.hpp"
+
+namespace {
+
+using kar::common::TextTable;
+using kar::common::fmt_double;
+using kar::dataplane::DeflectionTechnique;
+using kar::topo::ProtectionLevel;
+
+struct CaseResult {
+  double delivery = 0;
+  kar::analysis::LatencyStats latency;
+  kar::analysis::ReorderMetrics reorder;
+};
+
+CaseResult run_case(DeflectionTechnique technique, ProtectionLevel level,
+                    double rate_pps, double seconds, std::uint64_t seed) {
+  kar::topo::Scenario s = kar::topo::make_experimental15();
+  const kar::routing::Controller controller(s.topology);
+  kar::sim::NetworkConfig config;
+  config.technique = technique;
+  config.seed = seed;
+  kar::sim::Network net(s.topology, controller, config);
+  kar::transport::FlowDispatcher dispatcher(net);
+  const auto route = controller.encode_scenario(s.route, level);
+  kar::transport::CbrProbe probe(net, dispatcher, route, /*flow_id=*/1,
+                                 1.0 / rate_pps, /*payload_bytes=*/200);
+  kar::analysis::LatencyRecorder recorder;
+  std::vector<std::uint64_t> arrivals;
+  probe.set_receive_handler(
+      [&](std::uint64_t sequence, const kar::dataplane::Packet& packet) {
+        recorder.record(packet.created_at, net.now());
+        arrivals.push_back(sequence);
+      });
+  net.fail_link_at(0.0, "SW7", "SW13");
+  probe.start_at(0.001);
+  probe.stop_at(seconds);
+  net.events().run_until(seconds + 2.0);
+
+  CaseResult result;
+  result.delivery = probe.sent() > 0 ? static_cast<double>(probe.received()) /
+                                           static_cast<double>(probe.sent())
+                                     : 0.0;
+  result.latency = recorder.compute();
+  result.reorder = kar::analysis::compute_reorder(arrivals);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = kar::common::Flags::parse(argc, argv);
+  const double rate_pps = flags.get_double("rate-pps", 2000.0);
+  const double seconds = flags.get_double("seconds", 10.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  std::cout << "=== Latency / jitter / disordering under deflection "
+               "(15-node network, SW7-SW13 down) ===\n"
+            << rate_pps << " probes/s for " << seconds << " s per case\n\n";
+
+  TextTable table({"technique", "protection", "delivery", "mean delay (ms)",
+                   "p95 (ms)", "p99 (ms)", "jitter (ms)", "reordered",
+                   "max displacement"});
+  for (const auto technique :
+       {DeflectionTechnique::kNone, DeflectionTechnique::kHotPotato,
+        DeflectionTechnique::kAnyValidPort, DeflectionTechnique::kNotInputPort}) {
+    for (const auto level :
+         {ProtectionLevel::kUnprotected, ProtectionLevel::kPartial,
+          ProtectionLevel::kFull}) {
+      const CaseResult r = run_case(technique, level, rate_pps, seconds, seed);
+      table.add_row({std::string(kar::dataplane::to_string(technique)),
+                     std::string(kar::topo::to_string(level)),
+                     fmt_double(r.delivery * 100.0, 1) + "%",
+                     fmt_double(r.latency.delay.mean * 1e3, 2),
+                     fmt_double(r.latency.p95 * 1e3, 2),
+                     fmt_double(r.latency.p99 * 1e3, 2),
+                     fmt_double(r.latency.jitter_mean * 1e3, 3),
+                     fmt_double(r.reorder.reorder_fraction * 100.0, 1) + "%",
+                     std::to_string(r.reorder.max_displacement)});
+    }
+  }
+  std::cout << table.render()
+            << "\n(no-deflection loses everything; driven deflection (NIP + "
+               "protection) bounds both delay and disordering; HP random "
+               "walks show heavy tails)\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Microbenchmarks for the data plane and simulator (google-benchmark):
+// per-decision forwarding cost for each deflection technique, and
+// end-to-end simulator event throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "dataplane/switch.hpp"
+#include "routing/controller.hpp"
+#include "sim/network.hpp"
+#include "topology/builders.hpp"
+#include "transport/flows.hpp"
+
+namespace {
+
+using kar::dataplane::DeflectionTechnique;
+using kar::dataplane::KarSwitch;
+using kar::dataplane::Packet;
+
+void BM_SwitchDecision(benchmark::State& state) {
+  const auto technique = static_cast<DeflectionTechnique>(state.range(0));
+  kar::topo::Scenario s = kar::topo::make_experimental15();
+  const kar::routing::Controller controller(s.topology);
+  const auto route = controller.encode_scenario(
+      s.route, kar::topo::ProtectionLevel::kPartial);
+  const KarSwitch sw(s.topology, s.topology.at("SW7"), technique);
+  Packet packet;
+  packet.kar.route_id = route.route_id;
+  packet.dst_edge = s.topology.at("AS3");
+  kar::common::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw.forward(packet, 0, rng));
+  }
+}
+BENCHMARK(BM_SwitchDecision)
+    ->Arg(static_cast<int>(DeflectionTechnique::kNone))
+    ->Arg(static_cast<int>(DeflectionTechnique::kAnyValidPort))
+    ->Arg(static_cast<int>(DeflectionTechnique::kNotInputPort));
+
+void BM_SwitchDecision_Deflecting(benchmark::State& state) {
+  // Decision cost when the residue port is down and a random pick runs.
+  const auto technique = static_cast<DeflectionTechnique>(state.range(0));
+  kar::topo::Scenario s = kar::topo::make_experimental15();
+  const kar::routing::Controller controller(s.topology);
+  const auto route = controller.encode_scenario(
+      s.route, kar::topo::ProtectionLevel::kPartial);
+  s.topology.fail_link("SW7", "SW13");
+  const KarSwitch sw(s.topology, s.topology.at("SW7"), technique);
+  Packet packet;
+  packet.kar.route_id = route.route_id;
+  packet.dst_edge = s.topology.at("AS3");
+  kar::common::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw.forward(packet, 0, rng));
+  }
+}
+BENCHMARK(BM_SwitchDecision_Deflecting)
+    ->Arg(static_cast<int>(DeflectionTechnique::kHotPotato))
+    ->Arg(static_cast<int>(DeflectionTechnique::kAnyValidPort))
+    ->Arg(static_cast<int>(DeflectionTechnique::kNotInputPort));
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    kar::sim::EventQueue queue;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      queue.schedule_at(static_cast<double>(i % 37), [&counter] { ++counter; });
+    }
+    queue.run_all();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_PacketDelivery_EndToEnd(benchmark::State& state) {
+  // Full simulator path: inject a probe at AS1, forward over 4 switches,
+  // deliver at AS3. Measures events/packet cost of the DES substrate.
+  kar::topo::Scenario s = kar::topo::make_experimental15();
+  const kar::routing::Controller controller(s.topology);
+  kar::sim::Network net(s.topology, controller, {});
+  const auto route = controller.encode_scenario(
+      s.route, kar::topo::ProtectionLevel::kUnprotected);
+  std::uint64_t delivered = 0;
+  net.set_delivery_handler(route.dst_edge,
+                           [&delivered](const Packet&) { ++delivered; });
+  for (auto _ : state) {
+    Packet p;
+    p.transport = kar::dataplane::Datagram{0};
+    net.edge_at(route.src_edge).stamp(p, route, 100);
+    net.inject(route.src_edge, std::move(p));
+    net.events().run_all();
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketDelivery_EndToEnd);
+
+void BM_TcpSecondOfSimulation(benchmark::State& state) {
+  // Cost of simulating one second of a saturated 200 Mb/s TCP flow on the
+  // 15-node network (the unit of work behind Figs. 4/5/7/8).
+  for (auto _ : state) {
+    kar::topo::Scenario s = kar::topo::make_experimental15();
+    const kar::routing::Controller controller(s.topology);
+    kar::sim::Network net(s.topology, controller, {});
+    kar::transport::FlowDispatcher dispatcher(net);
+    const auto forward = controller.encode_scenario(
+        s.route, kar::topo::ProtectionLevel::kPartial);
+    kar::topo::ScenarioRoute reverse_route;
+    reverse_route.src_edge = s.route.dst_edge;
+    reverse_route.dst_edge = s.route.src_edge;
+    reverse_route.core_path.assign(s.route.core_path.rbegin(),
+                                   s.route.core_path.rend());
+    const auto reverse = controller.encode_scenario(
+        reverse_route, kar::topo::ProtectionLevel::kUnprotected);
+    kar::transport::BulkTransferFlow flow(net, dispatcher, forward, reverse, 1);
+    flow.start_at(0.0);
+    net.events().run_until(1.0);
+    benchmark::DoNotOptimize(flow.receiver().stats().delivered_bytes);
+  }
+}
+BENCHMARK(BM_TcpSecondOfSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

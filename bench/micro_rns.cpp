@@ -1,0 +1,107 @@
+// Microbenchmarks for the RNS encoding core (google-benchmark): the cost
+// of CRT route-ID construction at the controller and of the per-hop modulo
+// at a switch — the numbers behind the paper's "stateless, simple, fast
+// core" argument.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rns/biguint.hpp"
+#include "rns/crt.hpp"
+#include "rns/modular.hpp"
+
+namespace {
+
+using kar::rns::BigUint;
+using kar::rns::RnsBasis;
+
+/// Pairwise-coprime moduli for a basis of the requested size.
+std::vector<std::uint64_t> moduli_for(std::size_t size) {
+  return kar::rns::next_coprime_ids(size, 5, {});
+}
+
+void BM_CrtEncode_ColdBasis(benchmark::State& state) {
+  const auto moduli = moduli_for(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint64_t> residues(moduli.size());
+  for (std::size_t i = 0; i < moduli.size(); ++i) residues[i] = i % moduli[i];
+  for (auto _ : state) {
+    RnsBasis basis(moduli);
+    benchmark::DoNotOptimize(basis.encode(residues));
+  }
+}
+BENCHMARK(BM_CrtEncode_ColdBasis)->Arg(4)->Arg(7)->Arg(10)->Arg(16)->Arg(28);
+
+void BM_CrtEncode_PrecomputedBasis(benchmark::State& state) {
+  const auto moduli = moduli_for(static_cast<std::size_t>(state.range(0)));
+  const RnsBasis basis(moduli);
+  std::vector<std::uint64_t> residues(moduli.size());
+  for (std::size_t i = 0; i < moduli.size(); ++i) residues[i] = i % moduli[i];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(basis.encode(residues));
+  }
+}
+BENCHMARK(BM_CrtEncode_PrecomputedBasis)->Arg(4)->Arg(7)->Arg(10)->Arg(16)->Arg(28);
+
+void BM_ForwardingModulo(benchmark::State& state) {
+  // The entire per-hop forwarding decision input: R mod switch_id.
+  const auto moduli = moduli_for(static_cast<std::size_t>(state.range(0)));
+  const RnsBasis basis(moduli);
+  std::vector<std::uint64_t> residues(moduli.size());
+  for (std::size_t i = 0; i < moduli.size(); ++i) residues[i] = i % moduli[i];
+  const BigUint route_id = basis.encode(residues);
+  std::size_t which = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route_id.mod_u64(moduli[which]));
+    which = (which + 1) % moduli.size();
+  }
+}
+BENCHMARK(BM_ForwardingModulo)->Arg(4)->Arg(10)->Arg(28);
+
+void BM_ModInverse(benchmark::State& state) {
+  kar::common::Rng rng(7);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> inputs;
+  for (int i = 0; i < 256; ++i) {
+    const std::uint64_t m = 3 + 2 * rng.below(1 << 20);
+    inputs.emplace_back(1 + rng.below(m - 1), m);
+  }
+  std::size_t which = 0;
+  for (auto _ : state) {
+    const auto& [a, m] = inputs[which];
+    benchmark::DoNotOptimize(kar::rns::mod_inverse(a, m));
+    which = (which + 1) % inputs.size();
+  }
+}
+BENCHMARK(BM_ModInverse);
+
+void BM_BigUintMultiply(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const BigUint a = (BigUint(0xDEADBEEFULL) << (bits - 32)) + BigUint(12345);
+  const BigUint b = (BigUint(0xCAFEBABEULL) << (bits - 32)) + BigUint(54321);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigUintMultiply)->Arg(64)->Arg(128)->Arg(256)->Arg(1024);
+
+void BM_BigUintDivMod(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const BigUint n = (BigUint(0xFEEDFACEULL) << bits) + BigUint(999983);
+  const BigUint d = (BigUint(0xBADF00DULL) << (bits / 2)) + BigUint(101);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(n.divmod(d));
+  }
+}
+BENCHMARK(BM_BigUintDivMod)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_PairwiseCoprimeCheck(benchmark::State& state) {
+  const auto moduli = moduli_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kar::rns::pairwise_coprime(moduli));
+  }
+}
+BENCHMARK(BM_PairwiseCoprimeCheck)->Arg(10)->Arg(28);
+
+}  // namespace
+
+BENCHMARK_MAIN();

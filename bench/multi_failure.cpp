@@ -1,0 +1,136 @@
+// Multiple simultaneous link failures (paper Table 2 claims KAR "supports
+// multiple link failures" — unlike Slick Packets/KeyFlow/SlickFlow, whose
+// headers pre-encode one alternative). KAR survives because deflection +
+// driven segments work per-hop, not per-precomputed-alternative.
+//
+// Method: on the RNP backbone, fail k random core links simultaneously
+// (never the edge uplinks), for k = 0..5, across many random failure sets;
+// measure packet delivery rate and path stretch with the Monte-Carlo
+// walker for NIP x {unprotected, partial, planner-full}, plus the
+// no-deflection baseline.
+//
+// Usage: multi_failure [--sets=30] [--walks=300] [--max-failures=5] [--seed=1]
+#include <iostream>
+
+#include "analysis/walks.hpp"
+#include "common/flags.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "routing/controller.hpp"
+#include "routing/protection.hpp"
+#include "topology/builders.hpp"
+
+namespace {
+
+using kar::analysis::WalkConfig;
+using kar::common::TextTable;
+using kar::common::fmt_double;
+using kar::dataplane::DeflectionTechnique;
+using kar::topo::NodeId;
+using kar::topo::Scenario;
+
+struct Config {
+  const char* name;
+  DeflectionTechnique technique;
+  enum class Protection { kNone, kPartial, kPlannerFull } protection;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = kar::common::Flags::parse(argc, argv);
+  const auto sets = static_cast<std::size_t>(flags.get_int("sets", 30));
+  const auto walks = static_cast<std::size_t>(flags.get_int("walks", 300));
+  const auto max_failures =
+      static_cast<std::size_t>(flags.get_int("max-failures", 5));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  std::cout << "=== Multiple simultaneous link failures (RNP backbone, "
+               "route SW7->SW73) ===\n"
+            << sets << " random failure sets x " << walks
+            << " packet walks per configuration\n\n";
+
+  const Config kConfigs[] = {
+      {"no-deflection / unprotected", DeflectionTechnique::kNone,
+       Config::Protection::kNone},
+      {"nip / unprotected", DeflectionTechnique::kNotInputPort,
+       Config::Protection::kNone},
+      {"nip / partial (paper's)", DeflectionTechnique::kNotInputPort,
+       Config::Protection::kPartial},
+      {"nip / full (planner)", DeflectionTechnique::kNotInputPort,
+       Config::Protection::kPlannerFull},
+  };
+
+  TextTable table({"k failed links", "configuration", "delivery rate",
+                   "mean hops (delivered)", "p(loss) vs k=0"});
+  for (std::size_t k = 0; k <= max_failures; ++k) {
+    for (const Config& config : kConfigs) {
+      double delivered_total = 0;
+      double walks_total = 0;
+      double hops_weighted = 0;
+      kar::common::Rng set_rng(seed * 1000 + k);
+      for (std::size_t set = 0; set < sets; ++set) {
+        Scenario s = kar::topo::make_rnp28();
+        const kar::routing::Controller controller(s.topology);
+        // Build the route under this configuration.
+        kar::routing::EncodedRoute route;
+        switch (config.protection) {
+          case Config::Protection::kNone:
+            route = controller.encode_scenario(
+                s.route, kar::topo::ProtectionLevel::kUnprotected);
+            break;
+          case Config::Protection::kPartial:
+            route = controller.encode_scenario(
+                s.route, kar::topo::ProtectionLevel::kPartial);
+            break;
+          case Config::Protection::kPlannerFull: {
+            std::vector<NodeId> core;
+            for (const auto& name : s.route.core_path) {
+              core.push_back(s.topology.at(name));
+            }
+            const auto plan = kar::routing::plan_driven_deflections(
+                s.topology, core, s.topology.at(s.route.dst_edge));
+            route = controller.encode_path(s.topology.at(s.route.src_edge),
+                                           core, s.topology.at(s.route.dst_edge),
+                                           plan);
+            break;
+          }
+        }
+        // Fail k distinct random core-to-core links.
+        std::vector<kar::topo::LinkId> core_links;
+        for (kar::topo::LinkId l = 0; l < s.topology.link_count(); ++l) {
+          const auto& link = s.topology.link(l);
+          if (s.topology.kind(link.a.node) == kar::topo::NodeKind::kCoreSwitch &&
+              s.topology.kind(link.b.node) == kar::topo::NodeKind::kCoreSwitch) {
+            core_links.push_back(l);
+          }
+        }
+        set_rng.shuffle(core_links);
+        for (std::size_t i = 0; i < k && i < core_links.size(); ++i) {
+          s.topology.set_link_up(core_links[i], false);
+        }
+        WalkConfig walk_config;
+        walk_config.technique = config.technique;
+        walk_config.max_hops = 2048;
+        const auto stats = kar::analysis::sample_walks(
+            s.topology, controller, route, walk_config, walks,
+            seed + set * 97 + k);
+        delivered_total += static_cast<double>(stats.delivered);
+        walks_total += static_cast<double>(stats.walks);
+        hops_weighted += stats.hops.mean * static_cast<double>(stats.delivered);
+      }
+      const double rate = walks_total > 0 ? delivered_total / walks_total : 0;
+      const double mean_hops =
+          delivered_total > 0 ? hops_weighted / delivered_total : 0;
+      table.add_row({std::to_string(k), config.name, fmt_double(rate, 4),
+                     fmt_double(mean_hops, 2), fmt_double(1.0 - rate, 4)});
+    }
+  }
+  std::cout << table.render()
+            << "\n(KAR with deflection keeps delivering across multiple "
+               "simultaneous failures — losses appear only when the failure "
+               "set isolates the route or creates NIP dead ends; the "
+               "no-deflection baseline loses everything once any primary "
+               "link is in the failed set)\n";
+  return 0;
+}

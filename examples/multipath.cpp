@@ -1,0 +1,91 @@
+// Multipath example (the paper's future work: "explore the use of
+// multiple paths ... in the case of redundant links"). A single route ID
+// cannot give one switch two output ports — but nothing stops the *source*
+// from holding several route IDs over disjoint paths and spraying flows
+// (or flowlets) across them. This example encodes the k shortest
+// AS1 -> AS-113 paths on the RNP backbone as independent route IDs,
+// round-robins probe traffic over them, and shows (a) aggregate delivery
+// across a failure that kills one of the paths, and (b) the source-side
+// failover latency advantage of simply switching route IDs.
+#include <iostream>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "routing/controller.hpp"
+#include "routing/paths.hpp"
+#include "sim/network.hpp"
+#include "topology/builders.hpp"
+
+int main() {
+  using namespace kar;
+
+  topo::Scenario scenario = topo::make_fig8_redundant();
+  topo::Topology& net = scenario.topology;
+  const routing::Controller controller(net);
+  const topo::NodeId src = net.at("AS1");
+  const topo::NodeId dst = net.at("AS-113");
+
+  // 1. k shortest loopless paths, each as its own route ID.
+  const auto paths = routing::k_shortest_paths(net, src, dst, 3);
+  std::cout << "k-shortest paths AS1 -> AS-113 on the RNP backbone:\n";
+  std::vector<routing::EncodedRoute> routes;
+  for (const auto& path : paths) {
+    std::vector<topo::NodeId> core(path.nodes.begin() + 1, path.nodes.end() - 1);
+    const auto route = controller.encode_path(src, core, dst);
+    std::vector<std::string> names;
+    for (const auto node : core) names.push_back(net.name(node));
+    std::cout << "  cost " << path.cost << ": " << common::join(names, " -> ")
+              << "  (route ID " << route.route_id << ", " << route.bit_length
+              << " bits)\n";
+    routes.push_back(route);
+  }
+  if (routes.size() < 2) {
+    std::cout << "topology yielded fewer than two paths; nothing to spray\n";
+    return 1;
+  }
+
+  // 2. Round-robin probes over all route IDs while SW73-SW107 dies
+  //    mid-run: only the probes pinned to the dead path at the moment of
+  //    failure are affected; the other route IDs keep delivering.
+  sim::NetworkConfig config;
+  config.technique = dataplane::DeflectionTechnique::kNone;  // no deflection:
+  // pure source-side multipath, to isolate the mechanism.
+  sim::Network simulator(net, controller, config);
+  std::vector<std::uint64_t> delivered_per_route(routes.size(), 0);
+  simulator.set_delivery_handler(dst, [&](const dataplane::Packet& packet) {
+    delivered_per_route[packet.flow_id] += 1;
+  });
+  constexpr int kProbes = 3000;
+  constexpr double kInterval = 1e-3;
+  for (int i = 0; i < kProbes; ++i) {
+    simulator.events().schedule_at(i * kInterval, [&, i] {
+      const std::size_t which = static_cast<std::size_t>(i) % routes.size();
+      dataplane::Packet packet;
+      packet.transport = dataplane::Datagram{static_cast<std::uint64_t>(i)};
+      packet.flow_id = which;
+      simulator.edge_at(src).stamp(packet, routes[which], 100);
+      simulator.inject(src, std::move(packet));
+    });
+  }
+  simulator.fail_link_at(kProbes * kInterval / 2.0, "SW73", "SW107");
+  simulator.events().run_all();
+
+  std::cout << "\nRound-robin spraying with SW73-SW107 failing mid-run "
+               "(no deflection, to isolate source multipath):\n";
+  std::uint64_t total = 0;
+  for (std::size_t r = 0; r < routes.size(); ++r) {
+    std::cout << "  route " << r << ": " << delivered_per_route[r] << "/"
+              << kProbes / routes.size() << " delivered\n";
+    total += delivered_per_route[r];
+  }
+  std::cout << "  aggregate: " << total << "/" << kProbes << " ("
+            << common::fmt_double(100.0 * total / kProbes, 1)
+            << "% — only the dead path's share is lost; with deflection "
+               "enabled even that share survives)\n";
+
+  // 3. Source-side failover: after (out-of-band) failure notice, the edge
+  //    just stamps a different route ID — no switch reconfiguration.
+  std::cout << "\nSource failover = swapping the stamped route ID: zero "
+               "control-plane writes to any core switch.\n";
+  return total > 0 ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// Service-chaining example (the paper's stated future work: "investigate
+// the application of KAR in the service chaining of virtualized network
+// functions"). Because Eq. 4 is commutative, a route ID can encode *any*
+// set of (switch, output-port) assignments — including a path deliberately
+// stretched through middlebox-hosting switches. This example steers a flow
+// through a firewall PoP and a DPI PoP on the 15-node network using
+// nothing but the route ID, and shows the header-bit price of the chain.
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "routing/controller.hpp"
+#include "sim/network.hpp"
+#include "topology/builders.hpp"
+
+int main() {
+  using namespace kar;
+
+  topo::Scenario scenario = topo::make_experimental15();
+  topo::Topology& net = scenario.topology;
+  const routing::Controller controller(net);
+
+  // Pretend SW17 hosts a firewall VNF and SW27/SW41/SW53 a monitoring
+  // chain. The "chained" route visits them in order before the egress:
+  //   AS1 -> SW10 -> SW17 -> SW27 -> SW41 -> SW53 -> SW29 -> AS3
+  const std::vector<topo::NodeId> chained_path = {
+      net.at("SW10"), net.at("SW17"), net.at("SW27"), net.at("SW41"),
+      net.at("SW53"), net.at("SW29")};
+  const auto chained = controller.encode_path(net.at("AS1"), chained_path,
+                                              net.at("AS3"));
+  const auto direct = controller.encode_scenario(
+      scenario.route, topo::ProtectionLevel::kUnprotected);
+
+  common::TextTable table({"route", "switches", "header bits", "route ID"});
+  table.add_row({"direct (shortest)", std::to_string(direct.assignments.size()),
+                 std::to_string(direct.bit_length), direct.route_id.to_string()});
+  table.add_row({"service chain via SW17,SW27,SW41,SW53",
+                 std::to_string(chained.assignments.size()),
+                 std::to_string(chained.bit_length), chained.route_id.to_string()});
+  std::cout << "Service chaining on the 15-node network:\n" << table.render();
+
+  // Run a packet through the simulator and print the actual chain order.
+  sim::Network simulator(net, controller, {});
+  std::vector<std::string> visited;
+  simulator.set_trace_hook([&](const sim::TraceEvent& event) {
+    if (event.kind == sim::TraceEvent::Kind::kHop) {
+      visited.push_back(net.name(event.node));
+    }
+  });
+  bool delivered = false;
+  simulator.set_delivery_handler(chained.dst_edge,
+                                 [&](const dataplane::Packet&) { delivered = true; });
+  dataplane::Packet packet;
+  packet.transport = dataplane::Datagram{1};
+  simulator.edge_at(chained.src_edge).stamp(packet, chained, 100);
+  simulator.inject(chained.src_edge, std::move(packet));
+  simulator.events().run_all();
+
+  std::cout << "\nPacket path: AS1";
+  for (const auto& name : visited) std::cout << " -> " << name;
+  std::cout << " -> AS3 (" << (delivered ? "delivered" : "LOST") << ")\n";
+  std::cout << "\nEvery VNF hop is selected purely by `route_id mod "
+               "switch_id`; the core holds no per-chain state.\n";
+  return delivered ? 0 : 1;
+}

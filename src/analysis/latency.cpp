@@ -1,0 +1,35 @@
+#include "analysis/latency.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kar::analysis {
+
+void LatencyRecorder::record(double sent_at, double received_at) {
+  if (received_at < sent_at) {
+    throw std::invalid_argument("LatencyRecorder: negative delay");
+  }
+  delays_.push_back(received_at - sent_at);
+}
+
+LatencyStats LatencyRecorder::compute() const {
+  LatencyStats out;
+  if (delays_.empty()) return out;
+  out.delay = stats::summarize(delays_);
+  double jitter_sum = 0.0;
+  for (std::size_t i = 1; i < delays_.size(); ++i) {
+    const double step = std::abs(delays_[i] - delays_[i - 1]);
+    jitter_sum += step;
+    out.jitter_max = std::max(out.jitter_max, step);
+  }
+  if (delays_.size() > 1) {
+    jitter_sum /= static_cast<double>(delays_.size() - 1);
+  }
+  out.jitter_mean = jitter_sum;
+  out.p50 = stats::percentile(delays_, 50);
+  out.p95 = stats::percentile(delays_, 95);
+  out.p99 = stats::percentile(delays_, 99);
+  return out;
+}
+
+}  // namespace kar::analysis

@@ -1,0 +1,36 @@
+// One-way delay and jitter accounting for probe traffic (the paper's §3
+// goal: "evaluate the impact of the packet disordering and jitter due to a
+// link failure and the deflection routing").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace kar::analysis {
+
+/// Aggregated latency metrics over a probe stream.
+struct LatencyStats {
+  stats::Summary delay;      ///< One-way delay summary (seconds).
+  double jitter_mean = 0.0;  ///< Mean |delay_i - delay_{i-1}| (RFC 3550 spirit).
+  double jitter_max = 0.0;
+  double p50 = 0.0;          ///< Delay percentiles (seconds).
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Collects (send, receive) timestamp pairs in arrival order and reduces
+/// them to LatencyStats.
+class LatencyRecorder {
+ public:
+  void record(double sent_at, double received_at);
+
+  [[nodiscard]] std::size_t samples() const noexcept { return delays_.size(); }
+  [[nodiscard]] LatencyStats compute() const;
+
+ private:
+  std::vector<double> delays_;  // arrival order
+};
+
+}  // namespace kar::analysis

@@ -1,0 +1,236 @@
+#include "analysis/markov.hpp"
+
+#include <cmath>
+#include <map>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace kar::analysis {
+
+namespace {
+
+using dataplane::DeflectionTechnique;
+
+/// Chain state: packet about to be forwarded by `node`, having arrived on
+/// `in_port`, with the HP random-walk flag `marked`.
+struct State {
+  topo::NodeId node;
+  topo::PortIndex in_port;
+  bool marked;
+  friend auto operator<=>(const State&, const State&) = default;
+};
+
+/// One outgoing probability mass from a state.
+struct Outcome {
+  enum class Kind : std::uint8_t { kState, kDeliver, kWrongEdge, kDrop };
+  Kind kind;
+  State next{};  // valid when kind == kState
+  double probability;
+};
+
+/// The per-state forwarding distribution, mirroring KarSwitch::forward.
+std::vector<Outcome> transitions(const topo::Topology& topo,
+                                 const routing::EncodedRoute& route,
+                                 DeflectionTechnique technique,
+                                 const State& state) {
+  const topo::NodeId node = state.node;
+  const std::uint64_t residue = route.route_id.mod_u64(topo.switch_id(node));
+  const bool residue_is_port =
+      residue < topo.port_count(node) &&
+      topo.port_available(node, static_cast<topo::PortIndex>(residue));
+  const auto residue_port = static_cast<topo::PortIndex>(residue);
+
+  // Builds the outcome of sending out of `port` with probability `p`.
+  const auto out_via = [&](topo::PortIndex port, double p, bool marks) -> Outcome {
+    const auto next_node = topo.neighbor(node, port);
+    // Candidate ports are always available here, so the link exists.
+    const topo::Link& link = topo.link(topo.link_at(node, port));
+    const bool from_a = (link.a.node == node);
+    const topo::NodeId far = from_a ? link.b.node : link.a.node;
+    const topo::PortIndex far_port = from_a ? link.b.port : link.a.port;
+    (void)next_node;
+    if (far == route.dst_edge) {
+      return Outcome{Outcome::Kind::kDeliver, {}, p};
+    }
+    if (topo.kind(far) == topo::NodeKind::kEdgeNode) {
+      return Outcome{Outcome::Kind::kWrongEdge, {}, p};
+    }
+    return Outcome{Outcome::Kind::kState,
+                   State{far, far_port, state.marked || marks}, p};
+  };
+
+  const auto uniform_over = [&](bool exclude_in, bool marks) {
+    std::vector<topo::PortIndex> candidates = topo.available_ports(node);
+    if (exclude_in) std::erase(candidates, state.in_port);
+    std::vector<Outcome> out;
+    if (candidates.empty()) {
+      out.push_back(Outcome{Outcome::Kind::kDrop, {}, 1.0});
+      return out;
+    }
+    const double p = 1.0 / static_cast<double>(candidates.size());
+    out.reserve(candidates.size());
+    for (const topo::PortIndex c : candidates) out.push_back(out_via(c, p, marks));
+    return out;
+  };
+
+  switch (technique) {
+    case DeflectionTechnique::kNone:
+      if (residue_is_port) return {out_via(residue_port, 1.0, false)};
+      return {Outcome{Outcome::Kind::kDrop, {}, 1.0}};
+    case DeflectionTechnique::kHotPotato:
+      if (state.marked) return uniform_over(/*exclude_in=*/false, /*marks=*/false);
+      if (residue_is_port) return {out_via(residue_port, 1.0, false)};
+      return uniform_over(/*exclude_in=*/false, /*marks=*/true);
+    case DeflectionTechnique::kAnyValidPort:
+      if (residue_is_port) return {out_via(residue_port, 1.0, false)};
+      return uniform_over(/*exclude_in=*/false, /*marks=*/false);
+    case DeflectionTechnique::kNotInputPort:
+      if (residue_is_port && residue_port != state.in_port) {
+        return {out_via(residue_port, 1.0, false)};
+      }
+      return uniform_over(/*exclude_in=*/true, /*marks=*/false);
+  }
+  throw std::logic_error("transitions: bad technique");
+}
+
+/// Dense Gaussian elimination with partial pivoting: solves A x = b for
+/// several right-hand sides in place. Throws std::domain_error on a
+/// (numerically) singular system.
+void solve_linear(std::vector<std::vector<double>>& a,
+                  std::vector<std::vector<double>>& rhs) {
+  const std::size_t n = a.size();
+  const std::size_t m = rhs.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) {
+      throw std::domain_error(
+          "analyze_deflection: chain has a non-absorbing recurrent class "
+          "(walk can cycle forever)");
+    }
+    std::swap(a[col], a[pivot]);
+    for (std::size_t k = 0; k < m; ++k) std::swap(rhs[k][col], rhs[k][pivot]);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double factor = a[r][col] / a[col][col];
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      for (std::size_t k = 0; k < m; ++k) rhs[k][r] -= factor * rhs[k][col];
+    }
+  }
+  for (std::size_t k = 0; k < m; ++k) {
+    for (std::size_t r = 0; r < n; ++r) rhs[k][r] /= a[r][r];
+  }
+}
+
+}  // namespace
+
+MarkovResult analyze_deflection(const topo::Topology& topology,
+                                const routing::EncodedRoute& route,
+                                DeflectionTechnique technique) {
+  // Initial state: the packet leaves the source edge's uplink and lands on
+  // the first switch.
+  const topo::LinkId uplink = topology.link_at(route.src_edge, 0);
+  if (uplink == topo::kInvalidLink || !topology.link_up(uplink)) {
+    MarkovResult dead;
+    dead.drop_probability = 1.0;
+    return dead;
+  }
+  const topo::Link& link = topology.link(uplink);
+  const bool from_a = (link.a.node == route.src_edge);
+  const State initial{from_a ? link.b.node : link.a.node,
+                      from_a ? link.b.port : link.a.port, false};
+  if (topology.kind(initial.node) != topo::NodeKind::kCoreSwitch) {
+    throw std::invalid_argument("analyze_deflection: source uplink must reach a switch");
+  }
+
+  // Enumerate reachable states (BFS) and record their transitions.
+  std::map<State, std::size_t> index;
+  std::vector<State> states;
+  std::vector<std::vector<Outcome>> outs;
+  std::queue<State> frontier;
+  index.emplace(initial, 0);
+  states.push_back(initial);
+  frontier.push(initial);
+  while (!frontier.empty()) {
+    const State s = frontier.front();
+    frontier.pop();
+    auto t = transitions(topology, route, technique, s);
+    for (const Outcome& o : t) {
+      if (o.kind == Outcome::Kind::kState && !index.contains(o.next)) {
+        index.emplace(o.next, states.size());
+        states.push_back(o.next);
+        frontier.push(o.next);
+      }
+    }
+    outs.push_back(std::move(t));
+    // outs is indexed in BFS discovery order == states order.
+  }
+
+  const std::size_t n = states.size();
+  // A = I - Q; right-hand sides for the three absorption systems + hops.
+  std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
+  std::vector<double> r_deliver(n, 0.0);
+  std::vector<double> r_wrong(n, 0.0);
+  std::vector<double> r_drop(n, 0.0);
+  std::vector<std::vector<double>> q(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i][i] = 1.0;
+    for (const Outcome& o : outs[i]) {
+      switch (o.kind) {
+        case Outcome::Kind::kState: {
+          const std::size_t j = index.at(o.next);
+          a[i][j] -= o.probability;
+          q[i][j] += o.probability;
+          break;
+        }
+        case Outcome::Kind::kDeliver: r_deliver[i] += o.probability; break;
+        case Outcome::Kind::kWrongEdge: r_wrong[i] += o.probability; break;
+        case Outcome::Kind::kDrop: r_drop[i] += o.probability; break;
+      }
+    }
+  }
+
+  // Solve for: delivery prob d, wrong-edge prob w, drop prob p,
+  // expected steps h (1 per transient visit), and g = E[steps * delivered].
+  std::vector<std::vector<double>> rhs;
+  rhs.push_back(r_deliver);
+  rhs.push_back(r_wrong);
+  rhs.push_back(r_drop);
+  rhs.emplace_back(n, 1.0);  // h
+  {
+    auto a_copy = a;
+    solve_linear(a_copy, rhs);
+  }
+  const std::vector<double>& d = rhs[0];
+  // g rhs: r_deliver + Q d.
+  std::vector<double> g_rhs(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    g_rhs[i] = r_deliver[i];
+    for (std::size_t j = 0; j < n; ++j) g_rhs[i] += q[i][j] * d[j];
+  }
+  std::vector<std::vector<double>> rhs2;
+  rhs2.push_back(std::move(g_rhs));
+  {
+    auto a_copy = a;
+    solve_linear(a_copy, rhs2);
+  }
+
+  MarkovResult result;
+  const std::size_t i0 = 0;  // initial state index
+  result.delivery_probability = rhs[0][i0];
+  result.wrong_edge_probability = rhs[1][i0];
+  result.drop_probability = rhs[2][i0];
+  result.expected_hops = rhs[3][i0];
+  result.expected_hops_given_delivery =
+      result.delivery_probability > 1e-12
+          ? rhs2[0][i0] / result.delivery_probability
+          : 0.0;
+  result.transient_states = n;
+  return result;
+}
+
+}  // namespace kar::analysis

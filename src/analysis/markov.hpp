@@ -1,0 +1,52 @@
+// Exact Markov-absorption analysis of deflection routing.
+//
+// A packet's forwarding future is fully determined by (current switch,
+// input port, HP random-walk flag): the switch consults only its residue,
+// the input port (NIP) and which local ports are up, and randomness is
+// uniform over candidate sets. That makes the walk a finite Markov chain
+// whose absorbing states are: delivery at the destination edge, arrival at
+// a wrong edge, and drops. Solving the linear absorption systems yields
+// the *exact* delivery probability and expected hop count that the
+// Monte-Carlo walker only estimates — e.g. the Fig. 8 protection loop
+// (p = 1/2 retry via SW109) comes out in closed form.
+//
+// Scope: the wrong-edge re-encode policy restarts the walk with a fresh
+// route ID, which leaves this chain's state space; wrong-edge arrival is
+// therefore modelled as its own absorbing outcome here (the simulator and
+// walker handle re-encoding exactly).
+#pragma once
+
+#include <cstdint>
+
+#include "dataplane/switch.hpp"
+#include "routing/encoded_route.hpp"
+#include "topology/graph.hpp"
+
+namespace kar::analysis {
+
+/// Exact absorption results for a route under a deflection technique.
+struct MarkovResult {
+  /// Probability the packet is delivered at the destination edge.
+  double delivery_probability = 0.0;
+  /// Probability it surfaces at some other edge (would be re-encoded).
+  double wrong_edge_probability = 0.0;
+  /// Probability it is dropped (dead end / no-deflection loss).
+  double drop_probability = 0.0;
+  /// Expected switch hops until absorption (conditional on any absorption;
+  /// infinite walks cannot occur because every recurrent class here is
+  /// absorbing — validated numerically).
+  double expected_hops = 0.0;
+  /// Expected hops conditional on delivery at the destination.
+  double expected_hops_given_delivery = 0.0;
+  std::size_t transient_states = 0;
+};
+
+/// Analyzes `route` on the *current* topology state (failed links count as
+/// unavailable ports). Throws std::invalid_argument for HP with bounce-back
+/// only if the chain has a non-absorbing recurrent class (walk can cycle
+/// forever without absorption — detected via a vanishing absorption mass).
+[[nodiscard]] MarkovResult analyze_deflection(
+    const topo::Topology& topology, const routing::EncodedRoute& route,
+    dataplane::DeflectionTechnique technique);
+
+}  // namespace kar::analysis

@@ -1,0 +1,33 @@
+#include "analysis/reorder.hpp"
+
+namespace kar::analysis {
+
+ReorderMetrics compute_reorder(const std::vector<std::uint64_t>& arrival_sequence) {
+  ReorderMetrics m;
+  m.arrivals = arrival_sequence.size();
+  if (arrival_sequence.empty()) return m;
+  std::uint64_t max_seen = 0;
+  bool any_seen = false;
+  std::uint64_t displacement_sum = 0;
+  for (const std::uint64_t seq : arrival_sequence) {
+    if (any_seen && seq < max_seen) {
+      ++m.reordered;
+      const std::uint64_t displacement = max_seen - seq;
+      displacement_sum += displacement;
+      if (displacement > m.max_displacement) m.max_displacement = displacement;
+    }
+    if (!any_seen || seq > max_seen) {
+      max_seen = seq;
+      any_seen = true;
+    }
+  }
+  m.reorder_fraction =
+      static_cast<double>(m.reordered) / static_cast<double>(m.arrivals);
+  if (m.reordered > 0) {
+    m.mean_displacement =
+        static_cast<double>(displacement_sum) / static_cast<double>(m.reordered);
+  }
+  return m;
+}
+
+}  // namespace kar::analysis

@@ -1,0 +1,28 @@
+// Packet reordering metrics over an arrival sequence (in the spirit of
+// RFC 4737). Deflection's impact on TCP (the paper's measured effect) is
+// driven by reordering; these metrics quantify it directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kar::analysis {
+
+/// Reordering summary of a sequence of arrivals (sequence numbers in
+/// arrival order; monotone-increasing send order assumed).
+struct ReorderMetrics {
+  std::uint64_t arrivals = 0;
+  /// Arrivals with a sequence number below an earlier arrival (RFC 4737
+  /// Type-P reordered).
+  std::uint64_t reordered = 0;
+  double reorder_fraction = 0.0;
+  /// Largest (max_seen - seq) among reordered arrivals: how late a packet
+  /// can be, in packets.
+  std::uint64_t max_displacement = 0;
+  double mean_displacement = 0.0;  ///< Over reordered arrivals.
+};
+
+[[nodiscard]] ReorderMetrics compute_reorder(
+    const std::vector<std::uint64_t>& arrival_sequence);
+
+}  // namespace kar::analysis

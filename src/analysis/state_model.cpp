@@ -1,0 +1,59 @@
+#include "analysis/state_model.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "routing/paths.hpp"
+#include "rns/crt.hpp"
+
+namespace kar::analysis {
+
+StateReport compare_forwarding_state(
+    const topo::Topology& topo,
+    const std::vector<std::pair<topo::NodeId, topo::NodeId>>& flows) {
+  StateReport report;
+  report.flows = flows.size();
+  report.switches = topo.nodes_of_kind(topo::NodeKind::kCoreSwitch).size();
+
+  std::unordered_map<topo::NodeId, std::size_t> per_flow_entries;
+  std::unordered_map<topo::NodeId, std::set<topo::NodeId>> per_dest_entries;
+  double header_bits_sum = 0.0;
+
+  const routing::PathOptions options;  // hop count, failures ignored
+  for (const auto& [src, dst] : flows) {
+    const auto path = routing::shortest_path(topo, src, dst, options);
+    if (!path || path->nodes.size() < 3) {
+      ++report.unroutable_flows;
+      continue;
+    }
+    std::vector<std::uint64_t> ids;
+    for (std::size_t i = 1; i + 1 < path->nodes.size(); ++i) {
+      const topo::NodeId node = path->nodes[i];
+      per_flow_entries[node] += 1;       // one entry per flow per hop
+      per_dest_entries[node].insert(dst);  // one entry per destination
+      ids.push_back(topo.switch_id(node));
+    }
+    const auto bits = static_cast<double>(rns::route_id_bit_length(ids));
+    header_bits_sum += bits;
+    report.kar_max_header_bits = std::max(report.kar_max_header_bits, bits);
+  }
+
+  for (const auto& [node, count] : per_flow_entries) {
+    (void)node;
+    report.per_flow_total_entries += count;
+    report.per_flow_max_entries = std::max(report.per_flow_max_entries, count);
+  }
+  for (const auto& [node, dests] : per_dest_entries) {
+    (void)node;
+    report.per_dest_total_entries += dests.size();
+    report.per_dest_max_entries =
+        std::max(report.per_dest_max_entries, dests.size());
+  }
+  const std::size_t routed = report.flows - report.unroutable_flows;
+  report.kar_mean_header_bits =
+      routed > 0 ? header_bits_sum / static_cast<double>(routed) : 0.0;
+  return report;
+}
+
+}  // namespace kar::analysis

@@ -1,0 +1,47 @@
+// Forwarding-state accounting: quantifies the paper's core motivation
+// (§1): conventional SDN cores hold per-flow (or per-destination) entries
+// in every switch on a path, while KAR cores hold *zero* forwarding state —
+// the route ID in the packet plus the switch's own ID replace the table.
+//
+// This model counts, for a given set of flows routed on their shortest
+// paths:
+//   * per-flow state  — one TCAM/flow-table entry per flow per on-path
+//     switch (reactive OpenFlow style);
+//   * per-destination state — one entry per distinct destination edge per
+//     switch that forwards toward it (IP FIB style);
+//   * KAR state — zero entries; the cost moves into the packet header,
+//     reported as route-ID bits instead.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace kar::analysis {
+
+/// Aggregate forwarding-state comparison for one flow set.
+struct StateReport {
+  std::size_t flows = 0;
+  std::size_t switches = 0;
+  // Per-flow (reactive) model.
+  std::size_t per_flow_total_entries = 0;  ///< Sum over all switches.
+  std::size_t per_flow_max_entries = 0;    ///< Busiest switch.
+  // Per-destination (FIB) model.
+  std::size_t per_dest_total_entries = 0;
+  std::size_t per_dest_max_entries = 0;
+  // KAR model: no table entries; header bits instead.
+  std::size_t kar_total_entries = 0;       ///< Always 0 (kept for symmetry).
+  double kar_mean_header_bits = 0.0;       ///< Mean Eq. 9 bits per flow.
+  double kar_max_header_bits = 0.0;
+  std::size_t unroutable_flows = 0;        ///< Disconnected pairs (skipped).
+};
+
+/// Routes every (src_edge, dst_edge) flow on its shortest path and counts
+/// the forwarding state each model needs.
+[[nodiscard]] StateReport compare_forwarding_state(
+    const topo::Topology& topo,
+    const std::vector<std::pair<topo::NodeId, topo::NodeId>>& flows);
+
+}  // namespace kar::analysis

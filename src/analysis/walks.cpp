@@ -1,0 +1,126 @@
+#include "analysis/walks.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "dataplane/packet.hpp"
+
+namespace kar::analysis {
+
+using dataplane::ForwardDecision;
+using dataplane::Packet;
+
+WalkResult walk_packet(const topo::Topology& topology,
+                       const routing::Controller& controller,
+                       const routing::EncodedRoute& route,
+                       const WalkConfig& config, common::Rng& rng) {
+  WalkResult result;
+  Packet packet;
+  const dataplane::EdgeNode src_edge(topology, route.src_edge, controller,
+                                     config.wrong_edge_policy);
+  src_edge.stamp(packet, route, /*payload_bytes=*/0);
+
+  // Start on the source edge's uplink.
+  topo::NodeId current = route.src_edge;
+  topo::PortIndex out_port = 0;
+  if (config.record_trace) result.trace.push_back(current);
+
+  while (true) {
+    // Traverse the link out of `current` via `out_port`.
+    const topo::LinkId link_id = topology.link_at(current, out_port);
+    if (link_id == topo::kInvalidLink || !topology.link_up(link_id)) {
+      return result;  // dead transmit: dropped
+    }
+    const topo::Link& link = topology.link(link_id);
+    const bool from_a = (link.a.node == current);
+    const topo::NodeId next = from_a ? link.b.node : link.a.node;
+    const topo::PortIndex in_port = from_a ? link.b.port : link.a.port;
+    current = next;
+    if (config.record_trace) result.trace.push_back(current);
+
+    if (topology.kind(current) == topo::NodeKind::kEdgeNode) {
+      const dataplane::EdgeNode edge(topology, current, controller,
+                                     config.wrong_edge_policy);
+      switch (edge.receive(packet)) {
+        case dataplane::EdgeNode::Verdict::kDeliver:
+          result.delivered = true;
+          return result;
+        case dataplane::EdgeNode::Verdict::kReinject:
+          result.reencodes = packet.reencode_count;
+          out_port = 0;  // back out of the uplink
+          continue;
+        case dataplane::EdgeNode::Verdict::kDrop:
+          return result;
+      }
+    }
+
+    // Core switch: one forwarding decision.
+    const dataplane::KarSwitch sw(topology, current, config.technique);
+    const ForwardDecision decision = sw.forward(packet, in_port, rng);
+    if (decision.action == ForwardDecision::Action::kDrop) return result;
+    result.hops += 1;
+    if (result.hops > config.max_hops) return result;
+    if (decision.deflected) result.deflections += 1;
+    if (decision.marked_hot_potato) packet.kar.deflected = true;
+    out_port = decision.out_port;
+  }
+}
+
+WalkStats sample_walks(const topo::Topology& topology,
+                       const routing::Controller& controller,
+                       const routing::EncodedRoute& route,
+                       const WalkConfig& config, std::size_t n,
+                       std::uint64_t seed) {
+  common::Rng rng(seed);
+  WalkStats stats;
+  stats.walks = n;
+  std::vector<double> hop_samples;
+  std::vector<double> deflection_samples;
+  for (std::size_t i = 0; i < n; ++i) {
+    const WalkResult r = walk_packet(topology, controller, route, config, rng);
+    if (r.delivered) {
+      ++stats.delivered;
+      hop_samples.push_back(static_cast<double>(r.hops));
+      deflection_samples.push_back(static_cast<double>(r.deflections));
+    }
+    if (r.reencodes > 0) ++stats.reencoded_walks;
+  }
+  stats.delivery_rate =
+      n == 0 ? 0.0 : static_cast<double>(stats.delivered) / static_cast<double>(n);
+  stats.hops = stats::summarize(hop_samples);
+  stats.deflections = stats::summarize(deflection_samples);
+  return stats;
+}
+
+FirstHopSplit first_hop_split(const topo::Topology& topology,
+                              const routing::Controller& controller,
+                              const routing::EncodedRoute& route,
+                              topo::NodeId node, const WalkConfig& config,
+                              std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  WalkConfig traced = config;
+  traced.record_trace = true;
+  std::map<topo::NodeId, std::size_t> counts;
+  std::size_t through = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const WalkResult r = walk_packet(topology, controller, route, traced, rng);
+    for (std::size_t j = 0; j + 1 < r.trace.size(); ++j) {
+      if (r.trace[j] == node) {
+        ++through;
+        ++counts[r.trace[j + 1]];
+        break;  // first visit only
+      }
+    }
+  }
+  FirstHopSplit split;
+  split.walks_through_node = through;
+  for (const auto& [neighbor, count] : counts) {
+    split.shares.emplace_back(
+        neighbor, through == 0 ? 0.0
+                               : static_cast<double>(count) /
+                                     static_cast<double>(through));
+  }
+  return split;
+}
+
+}  // namespace kar::analysis

@@ -1,0 +1,77 @@
+// Monte-Carlo packet-walk sampling: steps probe packets hop by hop through
+// the topology with the real forwarding/deflection logic but without
+// queueing or timing. Used to quantify the protection properties the paper
+// argues in prose (delivery probability, path stretch, deflection splits
+// such as "2/3 of packets will be sent to SW17 or SW37").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dataplane/edge.hpp"
+#include "dataplane/switch.hpp"
+#include "routing/controller.hpp"
+#include "stats/summary.hpp"
+#include "topology/graph.hpp"
+
+namespace kar::analysis {
+
+/// Walk configuration.
+struct WalkConfig {
+  dataplane::DeflectionTechnique technique =
+      dataplane::DeflectionTechnique::kNotInputPort;
+  dataplane::WrongEdgePolicy wrong_edge_policy =
+      dataplane::WrongEdgePolicy::kReencode;
+  std::uint32_t max_hops = 4096;
+  bool record_trace = false;
+};
+
+/// Outcome of a single packet walk.
+struct WalkResult {
+  bool delivered = false;
+  std::uint32_t hops = 0;         ///< Core-switch hops taken.
+  std::uint32_t deflections = 0;  ///< Hops that deviated from the residue.
+  std::uint32_t reencodes = 0;    ///< Wrong-edge re-encodes performed.
+  std::vector<topo::NodeId> trace;  ///< Visited nodes (if record_trace).
+};
+
+/// Walks one packet along `route` (from its source edge) to absorption:
+/// delivery, drop, or hop-budget exhaustion.
+[[nodiscard]] WalkResult walk_packet(const topo::Topology& topology,
+                                     const routing::Controller& controller,
+                                     const routing::EncodedRoute& route,
+                                     const WalkConfig& config, common::Rng& rng);
+
+/// Aggregate over `n` independent walks.
+struct WalkStats {
+  std::size_t walks = 0;
+  std::size_t delivered = 0;
+  double delivery_rate = 0.0;
+  stats::Summary hops;         ///< Over delivered walks only.
+  stats::Summary deflections;  ///< Over delivered walks only.
+  std::size_t reencoded_walks = 0;
+};
+
+[[nodiscard]] WalkStats sample_walks(const topo::Topology& topology,
+                                     const routing::Controller& controller,
+                                     const routing::EncodedRoute& route,
+                                     const WalkConfig& config, std::size_t n,
+                                     std::uint64_t seed);
+
+/// Distribution of the first hop taken out of `node` across `n` walks
+/// (used to verify the paper's deflection-split claims). Keys are the
+/// neighbor reached from the first hop out of that node; values are
+/// fractions of walks that passed through `node` at all.
+struct FirstHopSplit {
+  std::vector<std::pair<topo::NodeId, double>> shares;  ///< neighbor -> share
+  std::size_t walks_through_node = 0;
+};
+[[nodiscard]] FirstHopSplit first_hop_split(const topo::Topology& topology,
+                                            const routing::Controller& controller,
+                                            const routing::EncodedRoute& route,
+                                            topo::NodeId node,
+                                            const WalkConfig& config, std::size_t n,
+                                            std::uint64_t seed);
+
+}  // namespace kar::analysis

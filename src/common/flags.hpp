@@ -1,0 +1,99 @@
+// Minimal command-line flag parsing for bench/example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` /
+// `--no-name`. Unrecognised flags raise; positional arguments are collected.
+// This keeps experiment harnesses self-describing without an external
+// dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace kar::common {
+
+/// Parsed command line: `--key=value` pairs plus positional arguments.
+class Flags {
+ public:
+  Flags() = default;
+
+  /// Parses argv. Throws std::invalid_argument on malformed input.
+  static Flags parse(int argc, const char* const* argv) {
+    Flags flags;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        flags.positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg.erase(0, 2);
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flags.values_[arg] = argv[++i];
+      } else if (arg.rfind("no-", 0) == 0) {
+        flags.values_[arg.substr(3)] = "false";
+      } else {
+        flags.values_[arg] = "true";
+      }
+    }
+    return flags;
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return values_.contains(name);
+  }
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       std::string fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? std::move(fallback) : it->second;
+  }
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return parse_number<std::int64_t>(name, it->second);
+  }
+
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return parse_number<double>(name, it->second);
+  }
+
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    const std::string& v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+    throw std::invalid_argument("flag --" + name + ": not a boolean: " + v);
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  template <typename T>
+  static T parse_number(const std::string& name, const std::string& text) {
+    std::istringstream in(text);
+    T value{};
+    in >> value;
+    if (in.fail() || !in.eof()) {
+      throw std::invalid_argument("flag --" + name + ": not a number: " + text);
+    }
+    return value;
+  }
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace kar::common

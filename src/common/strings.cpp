@@ -1,0 +1,94 @@
+#include "common/strings.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kar::common {
+
+std::vector<std::string> split(std::string_view text, char sep, bool keep_empty) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    std::string_view piece = (end == std::string_view::npos)
+                                 ? text.substr(start)
+                                 : text.substr(start, end - start);
+    if (keep_empty || !piece.empty()) out.emplace_back(piece);
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  };
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+std::string fmt_double(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string pad_left(std::string_view text, std::size_t width) {
+  std::string out(text);
+  if (out.size() < width) out.insert(0, width - out.size(), ' ');
+  return out;
+}
+
+std::string pad_right(std::string_view text, std::size_t width) {
+  std::string out(text);
+  if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
+}
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += pad_right(row[c], widths[c]);
+      out += (c + 1 == row.size()) ? "\n" : "  ";
+    }
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  out += std::string(total > 2 ? total - 2 : total, '-');
+  out += "\n";
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+}  // namespace kar::common

@@ -1,0 +1,57 @@
+// Small string utilities shared across modules (splitting, trimming,
+// joining, fixed-width table formatting for bench output).
+#pragma once
+
+#include <cstddef>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kar::common {
+
+/// Splits `text` on `sep`, optionally keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep,
+                                             bool keep_empty = false);
+
+/// Removes leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// Joins items with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               std::string_view sep);
+
+/// True if `text` begins with `prefix`.
+[[nodiscard]] constexpr bool starts_with(std::string_view text,
+                                         std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+/// Formats a double with fixed precision.
+[[nodiscard]] std::string fmt_double(double value, int precision = 2);
+
+/// Fixed-width left/right padding for plain-text tables.
+[[nodiscard]] std::string pad_left(std::string_view text, std::size_t width);
+[[nodiscard]] std::string pad_right(std::string_view text, std::size_t width);
+
+/// Renders a simple ASCII table: header row plus data rows, columns padded
+/// to the widest cell. Used by the experiment harnesses to print
+/// paper-style tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with a separator line under the header.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kar::common

@@ -1,0 +1,84 @@
+#include "core/fabric.hpp"
+
+#include <stdexcept>
+
+namespace kar::core {
+
+Fabric::Fabric(topo::Topology topology, Options options)
+    : topology_(std::move(topology)), options_(options) {
+  controller_ = std::make_unique<routing::Controller>(topology_, options_.paths);
+  network_ = std::make_unique<sim::Network>(topology_, *controller_,
+                                            options_.network);
+  dispatcher_ = std::make_unique<transport::FlowDispatcher>(*network_);
+}
+
+Fabric::Fabric(topo::Scenario scenario, Options options)
+    : Fabric(std::move(scenario.topology), options) {
+  scenario_route_ = std::move(scenario.route);
+}
+
+routing::EncodedRoute Fabric::route(const std::string& src_edge,
+                                    const std::string& dst_edge) const {
+  const auto encoded = controller_->route_between(topology_.at(src_edge),
+                                                  topology_.at(dst_edge));
+  if (!encoded) {
+    throw std::invalid_argument("Fabric::route: " + src_edge + " and " +
+                                dst_edge + " are not connected");
+  }
+  return *encoded;
+}
+
+routing::EncodedRoute Fabric::route_with_budget(
+    const std::string& src_edge, const std::string& dst_edge,
+    std::size_t max_route_id_bits) const {
+  const topo::NodeId src = topology_.at(src_edge);
+  const topo::NodeId dst = topology_.at(dst_edge);
+  const auto path = routing::shortest_path(topology_, src, dst, options_.paths);
+  if (!path || path->nodes.size() < 3) {
+    throw std::invalid_argument("Fabric::route_with_budget: " + src_edge +
+                                " and " + dst_edge + " are not connected");
+  }
+  std::vector<topo::NodeId> core(path->nodes.begin() + 1, path->nodes.end() - 1);
+  routing::PlannerOptions planner;
+  planner.max_route_id_bits = max_route_id_bits;
+  const auto plan =
+      routing::plan_driven_deflections(topology_, core, dst, planner);
+  return controller_->encode_path(src, core, dst, plan);
+}
+
+routing::EncodedRoute Fabric::scenario_route_at(
+    topo::ProtectionLevel level) const {
+  if (!scenario_route_) {
+    throw std::logic_error(
+        "Fabric::scenario_route_at: fabric was not built from a scenario");
+  }
+  return controller_->encode_scenario(*scenario_route_, level);
+}
+
+std::unique_ptr<transport::BulkTransferFlow> Fabric::bulk_flow(
+    routing::EncodedRoute forward, std::uint64_t flow_id,
+    transport::TcpParams params, std::optional<routing::EncodedRoute> reverse,
+    double goodput_bin_s) {
+  if (!reverse) {
+    const auto back =
+        controller_->route_between(forward.dst_edge, forward.src_edge);
+    if (!back) {
+      throw std::invalid_argument(
+          "Fabric::bulk_flow: no reverse path for ACK traffic");
+    }
+    reverse = *back;
+  }
+  return std::make_unique<transport::BulkTransferFlow>(
+      *network_, *dispatcher_, std::move(forward), std::move(*reverse), flow_id,
+      params, goodput_bin_s);
+}
+
+std::unique_ptr<transport::CbrProbe> Fabric::probe_stream(
+    routing::EncodedRoute route, std::uint64_t flow_id, double interval_s,
+    std::size_t payload_bytes) {
+  return std::make_unique<transport::CbrProbe>(*network_, *dispatcher_,
+                                               std::move(route), flow_id,
+                                               interval_s, payload_bytes);
+}
+
+}  // namespace kar::core

@@ -1,0 +1,111 @@
+// High-level facade over the whole KAR stack: owns a topology, a
+// controller, a simulated network and the flow plumbing, and exposes the
+// handful of operations an experiment (or an adopter's control plane)
+// actually performs — encode a route, optionally under a header-bit
+// budget, start traffic, break things, observe.
+//
+// Everything the facade does can also be done with the individual modules
+// (routing::Controller, sim::Network, transport::*); Fabric just removes
+// the wiring boilerplate and enforces correct object lifetimes.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "routing/controller.hpp"
+#include "routing/protection.hpp"
+#include "sim/network.hpp"
+#include "topology/scenario.hpp"
+#include "transport/flows.hpp"
+#include "transport/udp.hpp"
+
+namespace kar::core {
+
+/// One self-contained KAR deployment (topology + controller + simulator).
+class Fabric {
+ public:
+  struct Options {
+    sim::NetworkConfig network;
+    routing::PathOptions paths;
+  };
+
+  /// Takes ownership of the topology.
+  explicit Fabric(topo::Topology topology, Options options = {});
+
+  /// Builds a fabric from a named scenario, keeping its route metadata
+  /// available through `scenario()`.
+  explicit Fabric(topo::Scenario scenario, Options options = {});
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // -- component access --------------------------------------------------
+  [[nodiscard]] topo::Topology& topology() noexcept { return topology_; }
+  [[nodiscard]] const topo::Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const routing::Controller& controller() const noexcept {
+    return *controller_;
+  }
+  [[nodiscard]] sim::Network& network() noexcept { return *network_; }
+  [[nodiscard]] transport::FlowDispatcher& dispatcher() noexcept {
+    return *dispatcher_;
+  }
+  [[nodiscard]] const std::optional<topo::ScenarioRoute>& scenario_route()
+      const noexcept {
+    return scenario_route_;
+  }
+
+  // -- routing -----------------------------------------------------------
+  /// Shortest-path route between two edge nodes (by name), unprotected.
+  /// Throws std::invalid_argument when disconnected or unknown names.
+  [[nodiscard]] routing::EncodedRoute route(const std::string& src_edge,
+                                            const std::string& dst_edge) const;
+
+  /// Same, with automatically planned driven-deflection protection under a
+  /// route-ID bit budget (§2.3 loose protection).
+  [[nodiscard]] routing::EncodedRoute route_with_budget(
+      const std::string& src_edge, const std::string& dst_edge,
+      std::size_t max_route_id_bits) const;
+
+  /// The scenario's configured route at a protection level (requires
+  /// construction from a Scenario).
+  [[nodiscard]] routing::EncodedRoute scenario_route_at(
+      topo::ProtectionLevel level) const;
+
+  // -- traffic -----------------------------------------------------------
+  /// Creates a bulk TCP flow between two edges; data takes `forward`,
+  /// ACKs take the reverse shortest path (or `reverse` when given).
+  [[nodiscard]] std::unique_ptr<transport::BulkTransferFlow> bulk_flow(
+      routing::EncodedRoute forward, std::uint64_t flow_id,
+      transport::TcpParams params = {},
+      std::optional<routing::EncodedRoute> reverse = std::nullopt,
+      double goodput_bin_s = 1.0);
+
+  /// Creates a constant-rate probe stream along `route`.
+  [[nodiscard]] std::unique_ptr<transport::CbrProbe> probe_stream(
+      routing::EncodedRoute route, std::uint64_t flow_id, double interval_s,
+      std::size_t payload_bytes = 200);
+
+  // -- operations ----------------------------------------------------------
+  void fail_link_at(double time, const std::string& a, const std::string& b) {
+    network_->fail_link_at(time, a, b);
+  }
+  void repair_link_at(double time, const std::string& a, const std::string& b) {
+    network_->repair_link_at(time, a, b);
+  }
+  /// Advances the simulation to absolute time `t` (seconds).
+  void run_until(double t) { network_->events().run_until(t); }
+  /// Drains every scheduled event.
+  void run_all() { network_->events().run_all(); }
+  [[nodiscard]] double now() const noexcept { return network_->now(); }
+
+ private:
+  topo::Topology topology_;
+  std::optional<topo::ScenarioRoute> scenario_route_;
+  Options options_;
+  std::unique_ptr<routing::Controller> controller_;
+  std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<transport::FlowDispatcher> dispatcher_;
+};
+
+}  // namespace kar::core

@@ -1,0 +1,60 @@
+#include "dataplane/edge.hpp"
+
+#include <stdexcept>
+
+namespace kar::dataplane {
+
+EdgeNode::EdgeNode(const topo::Topology& topology, topo::NodeId node,
+                   const routing::Controller& controller, WrongEdgePolicy policy)
+    : topo_(&topology), node_(node), controller_(&controller), policy_(policy) {
+  if (topology.kind(node) != topo::NodeKind::kEdgeNode) {
+    throw std::invalid_argument("EdgeNode: " + topology.name(node) +
+                                " is not an edge node");
+  }
+}
+
+void EdgeNode::stamp(Packet& packet, const routing::EncodedRoute& route,
+                     std::size_t payload_bytes) const {
+  if (route.src_edge != node_) {
+    throw std::invalid_argument("EdgeNode::stamp: route does not start at " +
+                                topo_->name(node_));
+  }
+  packet.kar.route_id = route.route_id;
+  packet.kar.deflected = false;
+  packet.src_edge = node_;
+  packet.dst_edge = route.dst_edge;
+  packet.size_bytes = kBaseHeaderBytes + route.route_id_bytes() + payload_bytes;
+}
+
+EdgeNode::Verdict EdgeNode::receive(Packet& packet) const {
+  if (packet.dst_edge == node_) {
+    // Egress (Fig. 1 Step VI): strip the KAR header and deliver.
+    packet.kar.route_id = rns::BigUint{};
+    packet.kar.deflected = false;
+    return Verdict::kDeliver;
+  }
+  switch (policy_) {
+    case WrongEdgePolicy::kBounceBack:
+      // Unchanged re-entry; an HP packet keeps its random-walk marking.
+      return Verdict::kReinject;
+    case WrongEdgePolicy::kReencode: {
+      // The controller computes a fresh route ID from this edge to the
+      // destination, reusing compatible protection assignments.
+      routing::EncodedRoute original;
+      original.route_id = packet.kar.route_id;
+      original.dst_edge = packet.dst_edge;
+      // Only the destination and route ID matter for reencode_from's
+      // protection-reuse; reconstructing assignments from the ID alone is
+      // not possible, so re-encode without them (a fresh unprotected path).
+      const auto fresh = controller_->reencode_from(node_, original);
+      if (!fresh) return Verdict::kDrop;
+      packet.kar.route_id = fresh->route_id;
+      packet.kar.deflected = false;  // fresh route: HP marking cleared
+      packet.reencode_count += 1;
+      return Verdict::kReinject;
+    }
+  }
+  throw std::logic_error("EdgeNode::receive: bad policy");
+}
+
+}  // namespace kar::dataplane

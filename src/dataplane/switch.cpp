@@ -1,0 +1,113 @@
+#include "dataplane/switch.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace kar::dataplane {
+
+std::string_view to_string(DeflectionTechnique technique) {
+  switch (technique) {
+    case DeflectionTechnique::kNone: return "none";
+    case DeflectionTechnique::kHotPotato: return "hp";
+    case DeflectionTechnique::kAnyValidPort: return "avp";
+    case DeflectionTechnique::kNotInputPort: return "nip";
+  }
+  throw std::logic_error("to_string: bad DeflectionTechnique");
+}
+
+DeflectionTechnique technique_from_string(std::string_view name) {
+  if (name == "none") return DeflectionTechnique::kNone;
+  if (name == "hp") return DeflectionTechnique::kHotPotato;
+  if (name == "avp") return DeflectionTechnique::kAnyValidPort;
+  if (name == "nip") return DeflectionTechnique::kNotInputPort;
+  throw std::invalid_argument("unknown deflection technique: " + std::string(name));
+}
+
+KarSwitch::KarSwitch(const topo::Topology& topology, topo::NodeId node,
+                     DeflectionTechnique technique)
+    : topo_(&topology),
+      node_(node),
+      switch_id_(topology.switch_id(node)),  // throws for non-switches
+      technique_(technique) {}
+
+ForwardDecision KarSwitch::random_among_available(
+    std::optional<topo::PortIndex> excluded_port, bool marked,
+    common::Rng& rng) const {
+  std::vector<topo::PortIndex> candidates = topo_->available_ports(node_);
+  if (excluded_port) {
+    std::erase(candidates, *excluded_port);
+  }
+  if (candidates.empty()) {
+    ForwardDecision decision;
+    decision.action = ForwardDecision::Action::kDrop;
+    decision.drop_reason = DropReason::kNoViablePort;
+    return decision;
+  }
+  ForwardDecision decision;
+  decision.action = ForwardDecision::Action::kForward;
+  decision.out_port = candidates[rng.below(candidates.size())];
+  decision.deflected = true;
+  decision.marked_hot_potato = marked;
+  return decision;
+}
+
+ForwardDecision KarSwitch::forward(const Packet& packet,
+                                   std::optional<topo::PortIndex> in_port,
+                                   common::Rng& rng) const {
+  // A Hot-Potato packet already in random-walk mode never consults the
+  // residue again.
+  if (technique_ == DeflectionTechnique::kHotPotato && packet.kar.deflected) {
+    return random_among_available(std::nullopt, /*marked=*/false, rng);
+  }
+
+  const std::uint64_t residue_port = residue(packet.kar.route_id);
+  const bool residue_is_port =
+      residue_port < topo_->port_count(node_) &&
+      topo_->port_available(node_, static_cast<topo::PortIndex>(residue_port));
+  const auto out = static_cast<topo::PortIndex>(residue_port);
+
+  switch (technique_) {
+    case DeflectionTechnique::kNone: {
+      ForwardDecision decision;
+      if (residue_is_port) {
+        decision.action = ForwardDecision::Action::kForward;
+        decision.out_port = out;
+      } else {
+        decision.action = ForwardDecision::Action::kDrop;
+        decision.drop_reason = DropReason::kNoViablePort;
+      }
+      return decision;
+    }
+    case DeflectionTechnique::kHotPotato: {
+      if (residue_is_port) {
+        ForwardDecision decision;
+        decision.action = ForwardDecision::Action::kForward;
+        decision.out_port = out;
+        return decision;
+      }
+      // First deflection: mark the packet; it random-walks from here on.
+      return random_among_available(std::nullopt, /*marked=*/true, rng);
+    }
+    case DeflectionTechnique::kAnyValidPort: {
+      if (residue_is_port) {
+        ForwardDecision decision;
+        decision.action = ForwardDecision::Action::kForward;
+        decision.out_port = out;
+        return decision;
+      }
+      return random_among_available(std::nullopt, /*marked=*/false, rng);
+    }
+    case DeflectionTechnique::kNotInputPort: {
+      if (residue_is_port && (!in_port || out != *in_port)) {
+        ForwardDecision decision;
+        decision.action = ForwardDecision::Action::kForward;
+        decision.out_port = out;
+        return decision;
+      }
+      return random_among_available(in_port, /*marked=*/false, rng);
+    }
+  }
+  throw std::logic_error("KarSwitch::forward: bad technique");
+}
+
+}  // namespace kar::dataplane

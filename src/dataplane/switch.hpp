@@ -1,0 +1,88 @@
+// The KAR core switch: stateless modulo forwarding plus the paper's three
+// deflection techniques (§2.1).
+//
+//   * Hot-Potato (HP): reference lower bound. On the first deflection the
+//     packet is marked and thereafter follows a completely random walk.
+//   * Any Valid Port (AVP): always applies the modulo; when the residue is
+//     not a usable port, picks a random active port (the input port is a
+//     legal choice).
+//   * Not the Input Port (NIP): Algorithm 1 — like AVP but the input port
+//     is never chosen, even when the modulo selects it; avoids two-node
+//     ping-pong loops.
+//
+// A switch holds no per-flow state: its entire forwarding input is its own
+// ID, the packet's route ID, the input port, and which local ports are up.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "dataplane/packet.hpp"
+#include "topology/graph.hpp"
+
+namespace kar::dataplane {
+
+/// Deflection technique selector (paper §2.1). kNone is the paper's
+/// "no deflection" baseline: packets facing an unusable port are dropped.
+enum class DeflectionTechnique : std::uint8_t {
+  kNone,
+  kHotPotato,
+  kAnyValidPort,
+  kNotInputPort,
+};
+
+[[nodiscard]] std::string_view to_string(DeflectionTechnique technique);
+/// Parses "none" / "hp" / "avp" / "nip" (case-sensitive).
+[[nodiscard]] DeflectionTechnique technique_from_string(std::string_view name);
+
+/// Outcome of one forwarding decision.
+struct ForwardDecision {
+  enum class Action : std::uint8_t { kForward, kDrop };
+  Action action = Action::kDrop;
+  topo::PortIndex out_port = 0;
+  /// True when the packet did not follow its encoded residue this hop
+  /// (either the residue port was unusable or HP random-walk mode).
+  bool deflected = false;
+  /// True when this hop *started* the packet's random walk (HP marking).
+  bool marked_hot_potato = false;
+  DropReason drop_reason = DropReason::kNoViablePort;
+};
+
+/// Stateless forwarding engine for one core switch.
+class KarSwitch {
+ public:
+  /// Binds to a core switch of `topology`. The topology must outlive the
+  /// switch. Throws std::invalid_argument if `node` is not a core switch.
+  KarSwitch(const topo::Topology& topology, topo::NodeId node,
+            DeflectionTechnique technique);
+
+  [[nodiscard]] topo::NodeId node() const noexcept { return node_; }
+  [[nodiscard]] topo::SwitchId switch_id() const noexcept { return switch_id_; }
+  [[nodiscard]] DeflectionTechnique technique() const noexcept { return technique_; }
+
+  /// The pure modulo decision (paper Eq. 3): `route_id mod switch_id`.
+  [[nodiscard]] std::uint64_t residue(const rns::BigUint& route_id) const {
+    return route_id.mod_u64(switch_id_);
+  }
+
+  /// One forwarding decision. `in_port` is the port the packet arrived on;
+  /// pass std::nullopt for locally originated probes. Randomness is drawn
+  /// from `rng` (uniform across candidate ports, matching the paper's
+  /// assumption).
+  [[nodiscard]] ForwardDecision forward(const Packet& packet,
+                                        std::optional<topo::PortIndex> in_port,
+                                        common::Rng& rng) const;
+
+ private:
+  [[nodiscard]] ForwardDecision random_among_available(
+      std::optional<topo::PortIndex> excluded_port, bool marked, common::Rng& rng) const;
+
+  const topo::Topology* topo_;
+  topo::NodeId node_;
+  topo::SwitchId switch_id_;
+  DeflectionTechnique technique_;
+};
+
+}  // namespace kar::dataplane

@@ -1,0 +1,261 @@
+#include "rns/biguint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <stdexcept>
+
+namespace kar::rns {
+
+namespace {
+constexpr std::uint64_t kBase = 1ULL << 32;
+}  // namespace
+
+BigUint::BigUint(std::uint64_t value) {
+  if (value != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(value));
+    if (value >> 32) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+  }
+}
+
+BigUint BigUint::from_limbs(std::vector<std::uint32_t> limbs) {
+  BigUint out;
+  out.limbs_ = std::move(limbs);
+  out.normalize();
+  return out;
+}
+
+void BigUint::normalize() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::from_string(std::string_view text) {
+  if (text.empty()) throw std::invalid_argument("BigUint: empty string");
+  BigUint out;
+  if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    for (const char c : text.substr(2)) {
+      int digit = 0;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+      else throw std::invalid_argument("BigUint: bad hex digit");
+      out <<= 4;
+      out += BigUint(static_cast<std::uint64_t>(digit));
+    }
+    return out;
+  }
+  for (const char c : text) {
+    if (c < '0' || c > '9') throw std::invalid_argument("BigUint: bad decimal digit");
+    out *= BigUint(10);
+    out += BigUint(static_cast<std::uint64_t>(c - '0'));
+  }
+  return out;
+}
+
+std::size_t BigUint::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  const std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  return bits + (32 - static_cast<std::size_t>(__builtin_clz(top)));
+}
+
+std::uint64_t BigUint::to_u64() const {
+  if (!fits_u64()) throw std::overflow_error("BigUint::to_u64: value exceeds 64 bits");
+  std::uint64_t out = 0;
+  if (limbs_.size() > 1) out = static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (!limbs_.empty()) out |= limbs_[0];
+  return out;
+}
+
+BigUint& BigUint::operator+=(const BigUint& rhs) {
+  const std::size_t n = std::max(limbs_.size(), rhs.limbs_.size());
+  limbs_.resize(n, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry + limbs_[i];
+    if (i < rhs.limbs_.size()) sum += rhs.limbs_[i];
+    limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  if (carry) limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return *this;
+}
+
+BigUint& BigUint::operator-=(const BigUint& rhs) {
+  if (*this < rhs) throw std::underflow_error("BigUint: negative subtraction result");
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow -
+                        (i < rhs.limbs_.size() ? rhs.limbs_[i] : 0);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  normalize();
+  return *this;
+}
+
+BigUint operator*(const BigUint& lhs, const BigUint& rhs) {
+  if (lhs.is_zero() || rhs.is_zero()) return {};
+  std::vector<std::uint32_t> out(lhs.limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < lhs.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t a = lhs.limbs_[i];
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      const std::uint64_t cur = out[i + j] + a * rhs.limbs_[j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + rhs.limbs_.size();
+    while (carry) {
+      const std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  return BigUint::from_limbs(std::move(out));
+}
+
+BigUint& BigUint::operator*=(const BigUint& rhs) {
+  *this = *this * rhs;
+  return *this;
+}
+
+BigUint& BigUint::operator<<=(std::size_t bits) {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  limbs_.insert(limbs_.begin(), limb_shift, 0);
+  if (bit_shift != 0) {
+    std::uint32_t carry = 0;
+    for (std::size_t i = limb_shift; i < limbs_.size(); ++i) {
+      const std::uint64_t cur = (static_cast<std::uint64_t>(limbs_[i]) << bit_shift) | carry;
+      limbs_[i] = static_cast<std::uint32_t>(cur);
+      carry = static_cast<std::uint32_t>(cur >> 32);
+    }
+    if (carry) limbs_.push_back(carry);
+  }
+  return *this;
+}
+
+BigUint& BigUint::operator>>=(std::size_t bits) {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) {
+    limbs_.clear();
+    return *this;
+  }
+  limbs_.erase(limbs_.begin(),
+               limbs_.begin() + static_cast<std::ptrdiff_t>(limb_shift));
+  if (bit_shift != 0) {
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+      std::uint64_t cur = limbs_[i] >> bit_shift;
+      if (i + 1 < limbs_.size()) {
+        cur |= static_cast<std::uint64_t>(limbs_[i + 1]) << (32 - bit_shift);
+      }
+      limbs_[i] = static_cast<std::uint32_t>(cur);
+    }
+  }
+  normalize();
+  return *this;
+}
+
+std::strong_ordering operator<=>(const BigUint& lhs, const BigUint& rhs) noexcept {
+  if (lhs.limbs_.size() != rhs.limbs_.size()) {
+    return lhs.limbs_.size() <=> rhs.limbs_.size();
+  }
+  for (std::size_t i = lhs.limbs_.size(); i-- > 0;) {
+    if (lhs.limbs_[i] != rhs.limbs_[i]) return lhs.limbs_[i] <=> rhs.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+BigUint::DivMod BigUint::divmod(const BigUint& divisor) const {
+  if (divisor.is_zero()) throw std::domain_error("BigUint: division by zero");
+  if (*this < divisor) return {BigUint{}, *this};
+  if (divisor.limbs_.size() == 1) {
+    // Fast single-limb path.
+    const std::uint64_t d = divisor.limbs_[0];
+    std::vector<std::uint32_t> quo(limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | limbs_[i];
+      quo[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    return {from_limbs(std::move(quo)), BigUint(rem)};
+  }
+  // General case: binary long division (simple and adequate for route IDs,
+  // which are at most a few hundred bits).
+  BigUint quotient;
+  BigUint remainder;
+  quotient.limbs_.assign(limbs_.size(), 0);
+  const std::size_t total_bits = bit_length();
+  for (std::size_t bit = total_bits; bit-- > 0;) {
+    remainder <<= 1;
+    const std::uint32_t limb = limbs_[bit / 32];
+    if ((limb >> (bit % 32)) & 1U) {
+      remainder += BigUint(1);
+    }
+    if (remainder >= divisor) {
+      remainder -= divisor;
+      quotient.limbs_[bit / 32] |= (1U << (bit % 32));
+    }
+  }
+  quotient.normalize();
+  return {std::move(quotient), std::move(remainder)};
+}
+
+std::uint64_t BigUint::mod_u64(std::uint64_t divisor) const {
+  if (divisor == 0) throw std::domain_error("BigUint: division by zero");
+  std::uint64_t rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    const auto cur = static_cast<__uint128_t>(rem) << 32 | limbs_[i];
+    rem = static_cast<std::uint64_t>(cur % divisor);
+  }
+  return rem;
+}
+
+std::string BigUint::to_string() const {
+  if (is_zero()) return "0";
+  std::string digits;
+  BigUint value = *this;
+  const BigUint billion(1000000000ULL);
+  while (!value.is_zero()) {
+    auto [quo, rem] = value.divmod(billion);
+    std::uint64_t chunk = rem.is_zero() ? 0 : rem.to_u64();
+    for (int i = 0; i < 9; ++i) {
+      digits.push_back(static_cast<char>('0' + chunk % 10));
+      chunk /= 10;
+    }
+    value = std::move(quo);
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::string BigUint::to_hex() const {
+  if (is_zero()) return "0";
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out.push_back(kHex[(limbs_[i] >> shift) & 0xF]);
+    }
+  }
+  const std::size_t first = out.find_first_not_of('0');
+  return out.substr(first);
+}
+
+std::ostream& operator<<(std::ostream& os, const BigUint& value) {
+  return os << value.to_string();
+}
+
+}  // namespace kar::rns

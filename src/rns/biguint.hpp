@@ -1,0 +1,110 @@
+// Arbitrary-precision unsigned integers for KAR route identifiers.
+//
+// A KAR route ID lies in [0, M) where M is the product of the switch IDs in
+// the route (paper Eq. 1 and Eq. 9). For long routes with full protection M
+// easily exceeds 64 bits (e.g. ten 7-bit switch IDs ≈ 2^66), so the encoder
+// works over this small arbitrary-precision type rather than a fixed-width
+// integer. Only what the CRT encoder and header packing need is implemented:
+// +, -, *, divmod, mod-by-small, comparisons, shifts, bit length, and
+// decimal/hex conversion. Representation: little-endian 32-bit limbs,
+// normalized (no high zero limbs; zero is an empty limb vector).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kar::rns {
+
+/// Unsigned arbitrary-precision integer.
+class BigUint {
+ public:
+  /// Zero.
+  BigUint() = default;
+
+  /// From a native unsigned value.
+  BigUint(std::uint64_t value);  // NOLINT(google-explicit-constructor): numeric literal ergonomics
+
+  /// Parses a decimal string (optionally prefixed "0x" for hex).
+  /// Throws std::invalid_argument on malformed input.
+  static BigUint from_string(std::string_view text);
+
+  /// True iff the value is zero.
+  [[nodiscard]] bool is_zero() const noexcept { return limbs_.empty(); }
+
+  /// Number of significant bits (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const noexcept;
+
+  /// True iff the value fits in 64 bits.
+  [[nodiscard]] bool fits_u64() const noexcept { return limbs_.size() <= 2; }
+
+  /// Converts to uint64_t; throws std::overflow_error if it does not fit.
+  [[nodiscard]] std::uint64_t to_u64() const;
+
+  /// Decimal representation.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Lower-case hexadecimal representation without prefix.
+  [[nodiscard]] std::string to_hex() const;
+
+  // -- arithmetic ------------------------------------------------------------
+  BigUint& operator+=(const BigUint& rhs);
+  BigUint& operator-=(const BigUint& rhs);  ///< Throws std::underflow_error if rhs > *this.
+  BigUint& operator*=(const BigUint& rhs);
+  BigUint& operator<<=(std::size_t bits);
+  BigUint& operator>>=(std::size_t bits);
+
+  friend BigUint operator+(BigUint lhs, const BigUint& rhs) { return lhs += rhs; }
+  friend BigUint operator-(BigUint lhs, const BigUint& rhs) { return lhs -= rhs; }
+  friend BigUint operator*(const BigUint& lhs, const BigUint& rhs);
+  friend BigUint operator<<(BigUint lhs, std::size_t bits) { return lhs <<= bits; }
+  friend BigUint operator>>(BigUint lhs, std::size_t bits) { return lhs >>= bits; }
+
+  /// Quotient and remainder in one pass. Throws std::domain_error on /0.
+  struct DivMod;  // { BigUint quotient; BigUint remainder; } — defined below.
+  [[nodiscard]] DivMod divmod(const BigUint& divisor) const;
+
+  friend BigUint operator/(const BigUint& lhs, const BigUint& rhs);
+  friend BigUint operator%(const BigUint& lhs, const BigUint& rhs);
+
+  /// Fast remainder by a native divisor (the forwarding operation
+  /// `R mod switch_id`, paper Eq. 3). Throws std::domain_error on /0.
+  [[nodiscard]] std::uint64_t mod_u64(std::uint64_t divisor) const;
+
+  // -- comparisons -----------------------------------------------------------
+  friend bool operator==(const BigUint& lhs, const BigUint& rhs) noexcept {
+    return lhs.limbs_ == rhs.limbs_;
+  }
+  friend std::strong_ordering operator<=>(const BigUint& lhs,
+                                          const BigUint& rhs) noexcept;
+
+  friend std::ostream& operator<<(std::ostream& os, const BigUint& value);
+
+  /// Read-only access to the limb vector (for tests and header packing).
+  [[nodiscard]] const std::vector<std::uint32_t>& limbs() const noexcept {
+    return limbs_;
+  }
+
+ private:
+  void normalize() noexcept;
+  static BigUint from_limbs(std::vector<std::uint32_t> limbs);
+
+  std::vector<std::uint32_t> limbs_;  // little-endian base 2^32
+};
+
+struct BigUint::DivMod {
+  BigUint quotient;
+  BigUint remainder;
+};
+
+inline BigUint operator/(const BigUint& lhs, const BigUint& rhs) {
+  return lhs.divmod(rhs).quotient;
+}
+inline BigUint operator%(const BigUint& lhs, const BigUint& rhs) {
+  return lhs.divmod(rhs).remainder;
+}
+
+}  // namespace kar::rns

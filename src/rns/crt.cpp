@@ -1,0 +1,103 @@
+#include "rns/crt.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "rns/modular.hpp"
+
+namespace kar::rns {
+
+RnsBasis::RnsBasis(std::vector<std::uint64_t> moduli) : moduli_(std::move(moduli)) {
+  if (moduli_.empty()) {
+    throw std::invalid_argument("RnsBasis: empty modulus set");
+  }
+  for (const std::uint64_t m : moduli_) {
+    if (m < 2) {
+      throw std::invalid_argument("RnsBasis: every modulus must be >= 2, got " +
+                                  std::to_string(m));
+    }
+  }
+  if (const auto violation = find_coprime_violation(moduli_)) {
+    throw std::invalid_argument(
+        "RnsBasis: moduli " + std::to_string(moduli_[violation->first_index]) +
+        " and " + std::to_string(moduli_[violation->second_index]) +
+        " share factor " + std::to_string(violation->common_factor));
+  }
+
+  range_ = BigUint(1);
+  for (const std::uint64_t m : moduli_) range_ *= BigUint(m);
+  bit_length_ = ceil_log2(range_ - BigUint(1));
+
+  crt_coefficients_.reserve(moduli_.size());
+  for (const std::uint64_t m : moduli_) {
+    // M_i = M / s_i (Eq. 6); L_i = (M_i)^-1 mod s_i (Eq. 7).
+    const BigUint big_mi = range_ / BigUint(m);
+    const std::uint64_t mi_mod = big_mi.mod_u64(m);
+    const auto li = mod_inverse(mi_mod, m);
+    // Pairwise coprimality guarantees the inverse exists.
+    if (!li) throw std::logic_error("RnsBasis: inverse must exist for coprime basis");
+    crt_coefficients_.push_back((big_mi * BigUint(*li)) % range_);
+  }
+}
+
+BigUint RnsBasis::encode(std::span<const std::uint64_t> residues) const {
+  if (residues.size() != moduli_.size()) {
+    throw std::invalid_argument("RnsBasis::encode: expected " +
+                                std::to_string(moduli_.size()) + " residues, got " +
+                                std::to_string(residues.size()));
+  }
+  BigUint sum;
+  for (std::size_t i = 0; i < residues.size(); ++i) {
+    if (residues[i] >= moduli_[i]) {
+      throw std::invalid_argument(
+          "RnsBasis::encode: residue " + std::to_string(residues[i]) +
+          " out of range for modulus " + std::to_string(moduli_[i]));
+    }
+    if (residues[i] != 0) {
+      sum += crt_coefficients_[i] * BigUint(residues[i]);
+    }
+  }
+  return sum % range_;
+}
+
+std::vector<std::uint64_t> RnsBasis::decode(const BigUint& value) const {
+  std::vector<std::uint64_t> out;
+  out.reserve(moduli_.size());
+  for (const std::uint64_t m : moduli_) out.push_back(value.mod_u64(m));
+  return out;
+}
+
+BigUint crt_encode(std::span<const Residue> residues) {
+  std::vector<std::uint64_t> moduli;
+  std::vector<std::uint64_t> values;
+  moduli.reserve(residues.size());
+  values.reserve(residues.size());
+  for (const auto& [modulus, residue] : residues) {
+    moduli.push_back(modulus);
+    values.push_back(residue);
+  }
+  return RnsBasis(std::move(moduli)).encode(values);
+}
+
+std::size_t ceil_log2(const BigUint& x) {
+  const std::size_t bits = x.bit_length();
+  if (bits <= 1) return 0;  // x is 0 or 1
+  // x is a power of two iff exactly one bit is set.
+  int set_bits = 0;
+  for (const std::uint32_t limb : x.limbs()) {
+    set_bits += __builtin_popcount(limb);
+    if (set_bits > 1) break;
+  }
+  return (set_bits == 1) ? bits - 1 : bits;
+}
+
+std::size_t route_id_bit_length(std::span<const std::uint64_t> switch_ids) {
+  BigUint product(1);
+  for (const std::uint64_t id : switch_ids) {
+    if (id < 2) throw std::invalid_argument("route_id_bit_length: switch id < 2");
+    product *= BigUint(id);
+  }
+  return ceil_log2(product - BigUint(1));
+}
+
+}  // namespace kar::rns

@@ -1,0 +1,143 @@
+#include "rns/modular.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace kar::rns {
+
+std::uint64_t gcd_u64(std::uint64_t a, std::uint64_t b) noexcept {
+  return std::gcd(a, b);
+}
+
+ExtendedGcd extended_gcd(std::uint64_t a, std::uint64_t b) noexcept {
+  // Iterative extended Euclid keeping signed Bezout coefficients.
+  std::int64_t old_x = 1, x = 0;
+  std::int64_t old_y = 0, y = 1;
+  auto old_r = static_cast<std::int64_t>(a);
+  auto r = static_cast<std::int64_t>(b);
+  while (r != 0) {
+    const std::int64_t q = old_r / r;
+    std::int64_t tmp = old_r - q * r;
+    old_r = r;
+    r = tmp;
+    tmp = old_x - q * x;
+    old_x = x;
+    x = tmp;
+    tmp = old_y - q * y;
+    old_y = y;
+    y = tmp;
+  }
+  return {static_cast<std::uint64_t>(old_r), old_x, old_y};
+}
+
+std::optional<std::uint64_t> mod_inverse(std::uint64_t a, std::uint64_t m) {
+  if (m == 0) throw std::domain_error("mod_inverse: modulus must be >= 1");
+  if (m == 1) return 0;
+  const auto [g, x, y] = extended_gcd(a % m, m);
+  (void)y;
+  if (g != 1) return std::nullopt;
+  auto inv = x % static_cast<std::int64_t>(m);
+  if (inv < 0) inv += static_cast<std::int64_t>(m);
+  return static_cast<std::uint64_t>(inv);
+}
+
+std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b, std::uint64_t m) noexcept {
+  return static_cast<std::uint64_t>(static_cast<__uint128_t>(a) * b % m);
+}
+
+bool coprime(std::uint64_t a, std::uint64_t b) noexcept {
+  return std::gcd(a, b) == 1;
+}
+
+bool pairwise_coprime(std::span<const std::uint64_t> values) noexcept {
+  return !find_coprime_violation(values).has_value();
+}
+
+std::optional<CoprimeViolation> find_coprime_violation(
+    std::span<const std::uint64_t> values) noexcept {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    for (std::size_t j = i + 1; j < values.size(); ++j) {
+      const std::uint64_t g = std::gcd(values[i], values[j]);
+      if (g != 1) return CoprimeViolation{i, j, g};
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exp, std::uint64_t mod) noexcept {
+  std::uint64_t result = 1;
+  base %= mod;
+  while (exp != 0) {
+    if (exp & 1) result = mul_mod(result, base, mod);
+    base = mul_mod(base, base, mod);
+    exp >>= 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+bool is_prime_u64(std::uint64_t n) noexcept {
+  if (n < 2) return false;
+  for (const std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                                19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  // Deterministic Miller-Rabin bases covering all 64-bit integers.
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (const std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                                19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    std::uint64_t x = pow_mod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = mul_mod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> next_coprime_ids(
+    std::size_t count, std::uint64_t minimum,
+    std::span<const std::uint64_t> existing) {
+  std::vector<std::uint64_t> chosen;
+  chosen.reserve(count);
+  std::uint64_t candidate = minimum < 2 ? 2 : minimum;
+  while (chosen.size() < count) {
+    bool ok = true;
+    for (const std::uint64_t e : existing) {
+      if (std::gcd(candidate, e) != 1) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (const std::uint64_t c : chosen) {
+        if (std::gcd(candidate, c) != 1) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) chosen.push_back(candidate);
+    ++candidate;
+    if (candidate == 0) {
+      throw std::overflow_error("next_coprime_ids: candidate space exhausted");
+    }
+  }
+  return chosen;
+}
+
+}  // namespace kar::rns

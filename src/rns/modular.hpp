@@ -1,0 +1,67 @@
+// Modular arithmetic building blocks for the KAR encoder: gcd, extended
+// Euclid, modular multiplicative inverse (paper Eq. 7-8), and pairwise
+// coprimality checks for switch-ID sets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace kar::rns {
+
+/// Greatest common divisor (binary-safe via std implementation semantics).
+[[nodiscard]] std::uint64_t gcd_u64(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Result of the extended Euclidean algorithm: g = gcd(a, b) = a*x + b*y.
+struct ExtendedGcd {
+  std::uint64_t g;
+  std::int64_t x;
+  std::int64_t y;
+};
+
+/// Extended Euclid over signed 64-bit Bezout coefficients. Inputs must be
+/// small enough that the intermediate coefficients fit (always true for
+/// switch IDs, which are < 2^32 in practice).
+[[nodiscard]] ExtendedGcd extended_gcd(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Modular multiplicative inverse of `a` modulo `m` (paper Eq. 7):
+/// the x with (a*x) mod m == 1. Returns nullopt when gcd(a, m) != 1.
+/// Precondition: m >= 1. For m == 1 the inverse is 0 by convention.
+[[nodiscard]] std::optional<std::uint64_t> mod_inverse(std::uint64_t a,
+                                                       std::uint64_t m);
+
+/// (a * b) mod m without overflow.
+[[nodiscard]] std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b,
+                                    std::uint64_t m) noexcept;
+
+/// True iff two values share no common factor (the KAR switch-ID rule:
+/// "the set of Switch IDs in the network must be coprime integers").
+[[nodiscard]] bool coprime(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// True iff every pair in `values` is coprime. Values of 0 are never
+/// pairwise coprime with anything (gcd(0, x) == x); a lone {1} is accepted.
+[[nodiscard]] bool pairwise_coprime(std::span<const std::uint64_t> values) noexcept;
+
+/// Returns the first offending pair (indices) if the set is not pairwise
+/// coprime; nullopt if it is. Used for diagnostics in ID assignment.
+struct CoprimeViolation {
+  std::size_t first_index;
+  std::size_t second_index;
+  std::uint64_t common_factor;
+};
+[[nodiscard]] std::optional<CoprimeViolation> find_coprime_violation(
+    std::span<const std::uint64_t> values) noexcept;
+
+/// Deterministic Miller-Rabin primality test, exact for all 64-bit inputs.
+/// Used by the switch-ID assigner to generate candidate IDs.
+[[nodiscard]] bool is_prime_u64(std::uint64_t n) noexcept;
+
+/// The first `count` integers >= `minimum` that are pairwise coprime with
+/// each other and with everything in `existing`. Greedy smallest-first;
+/// used to label topologies with valid KAR switch IDs.
+[[nodiscard]] std::vector<std::uint64_t> next_coprime_ids(
+    std::size_t count, std::uint64_t minimum,
+    std::span<const std::uint64_t> existing);
+
+}  // namespace kar::rns

@@ -1,0 +1,92 @@
+#include "routing/encodings.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rns/crt.hpp"
+
+namespace kar::routing {
+
+namespace {
+
+/// ceil(log2(n)) for small native values; 1 bit minimum so that even a
+/// 1-port or 2-value field is addressable.
+std::size_t bits_for(std::size_t n) {
+  if (n <= 2) return 1;
+  std::size_t bits = 0;
+  std::size_t capacity = 1;
+  while (capacity < n) {
+    capacity <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+std::string_view to_string(HeaderScheme scheme) {
+  switch (scheme) {
+    case HeaderScheme::kPortList: return "port-list";
+    case HeaderScheme::kNodeList: return "node-list";
+    case HeaderScheme::kKarRns: return "kar-rns";
+  }
+  throw std::logic_error("to_string: bad HeaderScheme");
+}
+
+HeaderCost primary_header_cost(const topo::Topology& topo,
+                               const std::vector<topo::NodeId>& core_path,
+                               HeaderScheme scheme) {
+  HeaderCost cost;
+  cost.scheme = scheme;
+  switch (scheme) {
+    case HeaderScheme::kPortList: {
+      // One output-port field per hop, sized to that switch's port count,
+      // plus a hop counter to find the active field.
+      for (const topo::NodeId node : core_path) {
+        cost.bits += bits_for(topo.port_count(node));
+      }
+      cost.bits += bits_for(core_path.size() + 1);  // cursor
+      cost.supports_protection = false;
+      break;
+    }
+    case HeaderScheme::kNodeList: {
+      const std::size_t switches =
+          topo.nodes_of_kind(topo::NodeKind::kCoreSwitch).size();
+      cost.bits = core_path.size() * bits_for(switches) +
+                  bits_for(core_path.size() + 1);
+      cost.supports_protection = false;
+      break;
+    }
+    case HeaderScheme::kKarRns: {
+      std::vector<std::uint64_t> ids;
+      ids.reserve(core_path.size());
+      for (const topo::NodeId node : core_path) {
+        ids.push_back(topo.switch_id(node));
+      }
+      cost.bits = rns::route_id_bit_length(ids);
+      cost.supports_protection = true;
+      break;
+    }
+  }
+  return cost;
+}
+
+std::vector<HeaderCost> compare_header_costs(const topo::Topology& topo,
+                                             const EncodedRoute& route) {
+  std::vector<topo::NodeId> primary;
+  primary.reserve(route.primary_count);
+  for (std::size_t i = 0; i < route.primary_count; ++i) {
+    primary.push_back(route.assignments[i].node);
+  }
+  std::vector<HeaderCost> out;
+  out.push_back(primary_header_cost(topo, primary, HeaderScheme::kPortList));
+  out.push_back(primary_header_cost(topo, primary, HeaderScheme::kNodeList));
+  HeaderCost kar;
+  kar.scheme = HeaderScheme::kKarRns;
+  kar.bits = route.bit_length;  // includes the protection assignments
+  kar.supports_protection = true;
+  out.push_back(kar);
+  return out;
+}
+
+}  // namespace kar::routing

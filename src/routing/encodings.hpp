@@ -1,0 +1,53 @@
+// Alternative source-routing header encodings, for comparison against the
+// KAR/RNS route ID (paper §4, Table 2 and the KeyFlow/SlickFlow lineage).
+//
+// Implemented schemes:
+//   * kPortList  — the classic strict source route as a sequence of output
+//     ports, each sized to its hop's port count (SlickFlow-style primary
+//     path). Needs a pointer/shift mechanism in hardware; hop order fixed.
+//   * kNodeList  — a sequence of global node identifiers (IP-style loose
+//     source routing); each entry costs ceil(log2(#switches)).
+//   * kKarRns    — the paper's CRT route ID (Eq. 9).
+//
+// The interesting structural difference: the two list encodings grow
+// strictly with *path order* and cannot express unordered extra
+// assignments, while the RNS route ID is order-free and accepts disjoint
+// protection segments (§2.2) at the price of multiplicative growth.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "routing/encoded_route.hpp"
+#include "topology/graph.hpp"
+
+namespace kar::routing {
+
+enum class HeaderScheme : std::uint8_t { kPortList, kNodeList, kKarRns };
+
+[[nodiscard]] std::string_view to_string(HeaderScheme scheme);
+
+/// Header-size accounting for one route under one scheme.
+struct HeaderCost {
+  HeaderScheme scheme;
+  std::size_t bits = 0;
+  /// True when the scheme can carry the route's protection assignments
+  /// (driven deflections). List encodings cannot: they fix hop order.
+  bool supports_protection = false;
+};
+
+/// Bits for the primary path only (ingress-to-egress core switches), under
+/// `scheme`, on `topo`. For kKarRns this is Eq. 9 over the path's switch
+/// IDs.
+[[nodiscard]] HeaderCost primary_header_cost(const topo::Topology& topo,
+                                             const std::vector<topo::NodeId>& core_path,
+                                             HeaderScheme scheme);
+
+/// Bits for a full encoded KAR route (primary + protection) under kKarRns,
+/// and the hypothetical cost of the same *primary* path under the list
+/// schemes (which cannot express the protection at all).
+[[nodiscard]] std::vector<HeaderCost> compare_header_costs(
+    const topo::Topology& topo, const EncodedRoute& route);
+
+}  // namespace kar::routing

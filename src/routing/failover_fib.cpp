@@ -1,0 +1,49 @@
+#include "routing/failover_fib.hpp"
+
+#include <stdexcept>
+
+namespace kar::routing {
+
+void FailoverFib::install(topo::NodeId switch_node, topo::NodeId dst_edge,
+                          std::vector<topo::PortIndex> ports_by_priority) {
+  if (ports_by_priority.empty()) {
+    throw std::invalid_argument("FailoverFib::install: empty port list");
+  }
+  const Key key{switch_node, dst_edge};
+  auto& slot = fib_[key];
+  entries_ -= slot.size();
+  per_switch_[switch_node] -= slot.size();
+  slot = std::move(ports_by_priority);
+  entries_ += slot.size();
+  per_switch_[switch_node] += slot.size();
+}
+
+std::optional<FailoverFib::Selection> FailoverFib::select_with_status(
+    const topo::Topology& topo, topo::NodeId switch_node,
+    topo::NodeId dst_edge) const {
+  const auto it = fib_.find(Key{switch_node, dst_edge});
+  if (it == fib_.end()) return std::nullopt;
+  bool first = true;
+  for (const topo::PortIndex port : it->second) {
+    if (topo.port_available(switch_node, port)) {
+      return Selection{port, !first};
+    }
+    first = false;
+  }
+  return std::nullopt;
+}
+
+std::optional<topo::PortIndex> FailoverFib::select(const topo::Topology& topo,
+                                                   topo::NodeId switch_node,
+                                                   topo::NodeId dst_edge) const {
+  const auto selection = select_with_status(topo, switch_node, dst_edge);
+  if (!selection) return std::nullopt;
+  return selection->port;
+}
+
+std::size_t FailoverFib::entries_at(topo::NodeId switch_node) const {
+  const auto it = per_switch_.find(switch_node);
+  return it == per_switch_.end() ? 0 : it->second;
+}
+
+}  // namespace kar::routing

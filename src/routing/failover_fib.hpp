@@ -1,0 +1,66 @@
+// OpenFlow Fast-Failover baseline (paper Table 2, [14]): the conventional
+// stateful alternative to KAR. Every switch holds, per destination edge, a
+// priority list of output ports (an OpenFlow group of type fast-failover):
+// traffic uses the first port whose link is up. Recovery is local and fast
+// — but the core is stateful (entries scale with destinations), and unlike
+// KAR's driven deflections the backup chains are not loop-free by
+// construction (backup ports can point "uphill", producing forwarding
+// loops that only a TTL bounds; this is measurable in the benches).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace kar::routing {
+
+/// Per-switch, per-destination port priority lists.
+class FailoverFib {
+ public:
+  /// Installs the priority list for (switch, destination edge).
+  void install(topo::NodeId switch_node, topo::NodeId dst_edge,
+               std::vector<topo::PortIndex> ports_by_priority);
+
+  /// The first available port for `dst_edge` at `switch_node`, or nullopt
+  /// when every listed port is down or no entry exists.
+  [[nodiscard]] std::optional<topo::PortIndex> select(
+      const topo::Topology& topo, topo::NodeId switch_node,
+      topo::NodeId dst_edge) const;
+
+  /// Whether the selected port is not the top-priority one (i.e. the
+  /// fast-failover group is currently failed over).
+  struct Selection {
+    topo::PortIndex port = 0;
+    bool failed_over = false;
+  };
+  [[nodiscard]] std::optional<Selection> select_with_status(
+      const topo::Topology& topo, topo::NodeId switch_node,
+      topo::NodeId dst_edge) const;
+
+  /// Total installed entries (sum of list lengths): the "core state" the
+  /// paper's Table 2 charges this design with.
+  [[nodiscard]] std::size_t total_entries() const noexcept { return entries_; }
+  /// Entries at one switch.
+  [[nodiscard]] std::size_t entries_at(topo::NodeId switch_node) const;
+
+ private:
+  struct Key {
+    topo::NodeId node;
+    topo::NodeId dst;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(k.node) << 32) ^ k.dst);
+    }
+  };
+
+  std::unordered_map<Key, std::vector<topo::PortIndex>, KeyHash> fib_;
+  std::unordered_map<topo::NodeId, std::size_t> per_switch_;
+  std::size_t entries_ = 0;
+};
+
+}  // namespace kar::routing

@@ -1,0 +1,34 @@
+// Controller-side installation of OpenFlow Fast-Failover groups (the
+// Table 2 baseline): per destination edge, each switch gets a priority
+// list of ports — the shortest-path next hop first, then backup neighbors
+// ordered by their distance to the destination.
+#pragma once
+
+#include <vector>
+
+#include "routing/failover_fib.hpp"
+#include "topology/graph.hpp"
+
+namespace kar::routing {
+
+struct FailoverInstallOptions {
+  /// Ports per (switch, destination) group: 1 = plain shortest-path FIB
+  /// (no protection), 2 = primary + one backup (typical fast-failover),
+  /// larger values add deeper backup chains.
+  std::size_t max_ports_per_entry = 2;
+  /// When true, backup ports may point to neighbors farther from the
+  /// destination than the switch itself (local repair that risks loops —
+  /// the price the paper's Table 2 row pays for statefulness without
+  /// global recomputation). When false, only downhill backups install,
+  /// which is loop-free but covers fewer failures.
+  bool allow_uphill_backups = true;
+};
+
+/// Builds fast-failover groups on every core switch for each destination
+/// edge in `destinations` (all edge nodes when empty).
+[[nodiscard]] FailoverFib install_failover_fibs(
+    const topo::Topology& topo,
+    const std::vector<topo::NodeId>& destinations = {},
+    const FailoverInstallOptions& options = {});
+
+}  // namespace kar::routing

@@ -1,0 +1,90 @@
+#include "routing/id_assign.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "rns/modular.hpp"
+
+namespace kar::routing {
+
+namespace {
+
+/// The smallest integer >= `minimum` coprime with everything in `taken`.
+topo::SwitchId next_free_id(topo::SwitchId minimum,
+                            const std::vector<topo::SwitchId>& taken,
+                            bool primes_only) {
+  topo::SwitchId candidate = std::max<topo::SwitchId>(minimum, 2);
+  while (true) {
+    bool ok = !primes_only || rns::is_prime_u64(candidate);
+    if (ok) {
+      for (const topo::SwitchId t : taken) {
+        if (std::gcd(candidate, t) != 1) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) return candidate;
+    ++candidate;
+    if (candidate == 0) {
+      throw std::overflow_error("assign_switch_ids: candidate space exhausted");
+    }
+  }
+}
+
+}  // namespace
+
+std::unordered_map<topo::NodeId, topo::SwitchId> assign_switch_ids(
+    const topo::Topology& topo, IdStrategy strategy) {
+  std::vector<topo::NodeId> switches =
+      topo.nodes_of_kind(topo::NodeKind::kCoreSwitch);
+  if (strategy == IdStrategy::kDegreeDescending) {
+    std::stable_sort(switches.begin(), switches.end(),
+                     [&](topo::NodeId a, topo::NodeId b) {
+                       return topo.port_count(a) > topo.port_count(b);
+                     });
+  }
+  std::unordered_map<topo::NodeId, topo::SwitchId> out;
+  std::vector<topo::SwitchId> taken;
+  taken.reserve(switches.size());
+  for (const topo::NodeId node : switches) {
+    // The ID must exceed every port index: ports are 0..count-1, so any
+    // id >= port_count works; also >= 2 for a valid modulus.
+    const auto minimum = static_cast<topo::SwitchId>(
+        std::max<std::size_t>(topo.port_count(node), 2));
+    const topo::SwitchId id = next_free_id(
+        minimum, taken, strategy == IdStrategy::kPrimesAscending);
+    out.emplace(node, id);
+    taken.push_back(id);
+  }
+  return out;
+}
+
+topo::Topology relabel_topology(
+    const topo::Topology& topo,
+    const std::unordered_map<topo::NodeId, topo::SwitchId>& ids) {
+  topo::Topology out;
+  for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
+    if (topo.kind(n) == topo::NodeKind::kCoreSwitch) {
+      const auto it = ids.find(n);
+      if (it == ids.end()) {
+        throw std::invalid_argument("relabel_topology: missing id for " +
+                                    topo.name(n));
+      }
+      out.add_switch("SW" + std::to_string(it->second), it->second);
+    } else {
+      out.add_edge_node(topo.name(n));
+    }
+  }
+  // Node handles are insertion-ordered in both topologies, so they carry
+  // over directly; links are re-added in order, preserving port indices.
+  for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+    const topo::Link& link = topo.link(l);
+    const topo::LinkId nl = out.add_link(link.a.node, link.b.node, link.params);
+    out.set_link_up(nl, link.up);
+  }
+  return out;
+}
+
+}  // namespace kar::routing

@@ -1,0 +1,42 @@
+// Switch-ID assignment strategies (paper §2: "The ID assignment can be
+// done by local setup or by a network controller entity").
+//
+// The only hard requirements are that IDs are pairwise coprime and that
+// each ID exceeds every port index the switch uses. Beyond that, the
+// assignment determines route-ID bit length (Eq. 9): routes through
+// switches with small IDs need fewer bits. The strategies here are used by
+// the Table-1 ablation bench to quantify that effect.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace kar::routing {
+
+enum class IdStrategy : std::uint8_t {
+  /// Smallest valid coprime IDs in node-insertion order.
+  kAscending,
+  /// Smallest valid coprime IDs to the highest-degree switches first —
+  /// high-degree switches appear on more routes, so giving them cheap IDs
+  /// minimizes typical route-ID bit lengths.
+  kDegreeDescending,
+  /// Primes in ascending order (skips composite candidates).
+  kPrimesAscending,
+};
+
+/// Computes a fresh pairwise-coprime ID for every core switch of `topo`.
+/// Every assigned ID is > the switch's port count (so any port index fits
+/// as a residue) and the set is pairwise coprime.
+[[nodiscard]] std::unordered_map<topo::NodeId, topo::SwitchId> assign_switch_ids(
+    const topo::Topology& topo, IdStrategy strategy);
+
+/// Rebuilds `topo` with the given switch IDs (same structure, same link
+/// parameters and order, names rewritten to "SW<id>"; edge-node names kept).
+[[nodiscard]] topo::Topology relabel_topology(
+    const topo::Topology& topo,
+    const std::unordered_map<topo::NodeId, topo::SwitchId>& ids);
+
+}  // namespace kar::routing

@@ -1,0 +1,41 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace kar::sim {
+
+void EventQueue::schedule_at(double time, Handler fn) {
+  if (!fn) throw std::invalid_argument("EventQueue: null handler");
+  if (time < now_) time = now_;  // no scheduling into the past
+  heap_.push(Entry{time, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; the handler is moved out via const_cast,
+  // which is safe because the entry is popped immediately after.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = entry.time;
+  entry.fn();
+  return true;
+}
+
+std::size_t EventQueue::run_until(double t) {
+  std::size_t processed = 0;
+  while (!heap_.empty() && heap_.top().time <= t) {
+    step();
+    ++processed;
+  }
+  if (now_ < t) now_ = t;
+  return processed;
+}
+
+std::size_t EventQueue::run_all(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (processed < max_events && step()) ++processed;
+  return processed;
+}
+
+}  // namespace kar::sim

@@ -1,0 +1,58 @@
+// Discrete-event scheduler. Events fire in timestamp order; ties fire in
+// scheduling order (FIFO), which keeps simulations deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace kar::sim {
+
+/// A minimal deterministic event queue.
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current simulation time in seconds (starts at 0).
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Schedules `fn` at absolute time `time` (>= now, else clamped to now).
+  void schedule_at(double time, Handler fn);
+
+  /// Schedules `fn` after `delay` seconds (>= 0).
+  void schedule_in(double delay, Handler fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Runs the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs every event with timestamp <= `t`, then advances now to `t`
+  /// (even if idle). Returns the number of events processed.
+  std::size_t run_until(double t);
+
+  /// Runs until the queue drains or `max_events` were processed.
+  /// Returns the number of events processed.
+  std::size_t run_all(std::size_t max_events = static_cast<std::size_t>(-1));
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;  // tiebreak: FIFO among same-time events
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+}  // namespace kar::sim

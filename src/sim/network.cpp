@@ -1,0 +1,265 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace kar::sim {
+
+using dataplane::DropReason;
+using dataplane::ForwardDecision;
+using dataplane::Packet;
+
+Network::Network(topo::Topology& topology, const routing::Controller& controller,
+                 NetworkConfig config)
+    : topo_(&topology),
+      controller_(&controller),
+      config_(config),
+      rng_(config.seed) {
+  const std::size_t n = topology.node_count();
+  switches_.resize(n);
+  edges_.resize(n);
+  for (topo::NodeId node = 0; node < n; ++node) {
+    if (topology.kind(node) == topo::NodeKind::kCoreSwitch) {
+      switches_[node].emplace(topology, node, config_.technique);
+    } else {
+      edges_[node].emplace(topology, node, controller, config_.wrong_edge_policy);
+    }
+  }
+  link_state_.resize(topology.link_count());
+  physically_up_.assign(topology.link_count(), true);
+}
+
+const dataplane::EdgeNode& Network::edge_at(topo::NodeId node) const {
+  if (node >= edges_.size() || !edges_[node]) {
+    throw std::invalid_argument("Network::edge_at: not an edge node");
+  }
+  return *edges_[node];
+}
+
+void Network::set_delivery_handler(topo::NodeId edge, DeliveryHandler handler) {
+  if (edge >= edges_.size() || !edges_[edge]) {
+    throw std::invalid_argument("Network: not an edge node");
+  }
+  delivery_[edge] = std::move(handler);
+}
+
+void Network::trace(TraceEvent event) {
+  if (trace_) trace_(event);
+}
+
+void Network::drop(const Packet& packet, topo::NodeId at, DropReason reason) {
+  switch (reason) {
+    case DropReason::kNoViablePort: ++counters_.drop_no_viable_port; break;
+    case DropReason::kLinkFailed: ++counters_.drop_link_failed; break;
+    case DropReason::kQueueOverflow: ++counters_.drop_queue_overflow; break;
+    case DropReason::kTtlExceeded: ++counters_.drop_ttl; break;
+  }
+  trace(TraceEvent{TraceEvent::Kind::kDrop, now(), packet.packet_id, at, 0,
+                   false, reason});
+}
+
+void Network::inject(topo::NodeId edge, Packet packet) {
+  if (edge >= edges_.size() || !edges_[edge]) {
+    throw std::invalid_argument("Network::inject: not an edge node");
+  }
+  if (topo_->port_count(edge) == 0) {
+    throw std::logic_error("Network::inject: edge node has no uplink");
+  }
+  packet.packet_id = next_packet_id_++;
+  packet.created_at = now();
+  ++counters_.injected;
+  trace(TraceEvent{TraceEvent::Kind::kInject, now(), packet.packet_id, edge, 0,
+                   false, DropReason::kNoViablePort});
+  // Edge nodes use their (single) uplink, port 0.
+  transmit(edge, 0, std::move(packet));
+}
+
+void Network::transmit(topo::NodeId from, topo::PortIndex out_port,
+                       Packet&& packet) {
+  const topo::LinkId link_id = topo_->link_at(from, out_port);
+  if (link_id == topo::kInvalidLink) {
+    drop(packet, from, DropReason::kNoViablePort);
+    return;
+  }
+  const topo::Link& link = topo_->link(link_id);
+  if (!link.up) {
+    drop(packet, from, DropReason::kLinkFailed);
+    return;
+  }
+  const int dir = (link.a.node == from) ? 0 : 1;
+  DirectionState& state = link_state_[link_id][static_cast<std::size_t>(dir)];
+  if (state.queued >= link.params.queue_packets) {
+    drop(packet, from, DropReason::kQueueOverflow);
+    return;
+  }
+  const double start = std::max(now(), state.busy_until);
+  const double tx_time =
+      static_cast<double>(packet.size_bytes) * 8.0 / link.params.rate_bps;
+  state.busy_until = start + tx_time;
+  const double arrival = state.busy_until + link.params.delay_s;
+  ++state.queued;
+
+  const topo::LinkEnd& far = (dir == 0) ? link.b : link.a;
+  const std::uint64_t epoch = state.epoch;
+  const topo::NodeId far_node = far.node;
+  const topo::PortIndex far_port = far.port;
+  events_.schedule_at(
+      arrival, [this, link_id, dir, epoch, far_node, far_port,
+                pkt = std::move(packet)]() mutable {
+        DirectionState& st = link_state_[link_id][static_cast<std::size_t>(dir)];
+        if (st.queued > 0) --st.queued;
+        // The link failed while the packet was queued or on the wire — or
+        // it was dead all along and the sender had not detected it yet.
+        if (st.epoch != epoch || !physically_up_[link_id] ||
+            !topo_->link(link_id).up) {
+          drop(pkt, far_node, DropReason::kLinkFailed);
+          return;
+        }
+        arrive_at(far_node, far_port, std::move(pkt));
+      });
+}
+
+void Network::arrive_at(topo::NodeId node, topo::PortIndex in_port,
+                        Packet&& packet) {
+  if (edges_[node]) {
+    Packet pkt = std::move(packet);
+    const auto verdict = edges_[node]->receive(pkt);
+    switch (verdict) {
+      case dataplane::EdgeNode::Verdict::kDeliver: {
+        ++counters_.delivered;
+        counters_.delivered_bytes += pkt.size_bytes;
+        trace(TraceEvent{TraceEvent::Kind::kDeliver, now(), pkt.packet_id, node,
+                         0, false, DropReason::kNoViablePort});
+        const auto it = delivery_.find(node);
+        if (it != delivery_.end() && it->second) it->second(pkt);
+        return;
+      }
+      case dataplane::EdgeNode::Verdict::kReinject: {
+        const bool reencoded =
+            edges_[node]->policy() == dataplane::WrongEdgePolicy::kReencode;
+        if (reencoded) {
+          ++counters_.reencodes;
+          trace(TraceEvent{TraceEvent::Kind::kReencode, now(), pkt.packet_id,
+                           node, 0, false, DropReason::kNoViablePort});
+        } else {
+          ++counters_.bounces;
+          trace(TraceEvent{TraceEvent::Kind::kBounce, now(), pkt.packet_id,
+                           node, 0, false, DropReason::kNoViablePort});
+        }
+        // Back out of the uplink after the edge's processing latency.
+        events_.schedule_in(config_.switch_latency_s,
+                            [this, node, p = std::move(pkt)]() mutable {
+                              transmit(node, 0, std::move(p));
+                            });
+        return;
+      }
+      case dataplane::EdgeNode::Verdict::kDrop:
+        drop(pkt, node, DropReason::kNoViablePort);
+        return;
+    }
+    return;
+  }
+  forward_from_switch(node, in_port, std::move(packet));
+}
+
+void Network::forward_from_switch(topo::NodeId node, topo::PortIndex in_port,
+                                  Packet&& packet) {
+  ForwardDecision decision;
+  if (config_.mode == DataPlaneMode::kFailoverFib) {
+    // Table-driven fast-failover baseline: the route ID is ignored.
+    const auto selection =
+        config_.failover_fib
+            ? config_.failover_fib->select_with_status(*topo_, node,
+                                                       packet.dst_edge)
+            : std::nullopt;
+    if (!selection) {
+      drop(packet, node, DropReason::kNoViablePort);
+      return;
+    }
+    decision.action = ForwardDecision::Action::kForward;
+    decision.out_port = selection->port;
+    decision.deflected = selection->failed_over;
+  } else {
+    decision = switches_[node]->forward(packet, in_port, rng_);
+  }
+  if (decision.action == ForwardDecision::Action::kDrop) {
+    drop(packet, node, decision.drop_reason);
+    return;
+  }
+  packet.hop_count += 1;
+  ++counters_.hops;
+  if (packet.hop_count > config_.max_hops) {
+    drop(packet, node, DropReason::kTtlExceeded);
+    return;
+  }
+  if (decision.deflected) {
+    packet.deflection_count += 1;
+    ++counters_.deflections;
+  }
+  if (decision.marked_hot_potato) packet.kar.deflected = true;
+  trace(TraceEvent{TraceEvent::Kind::kHop, now(), packet.packet_id, node,
+                   decision.out_port, decision.deflected,
+                   DropReason::kNoViablePort});
+  const topo::PortIndex out = decision.out_port;
+  events_.schedule_in(config_.switch_latency_s,
+                      [this, node, out, p = std::move(packet)]() mutable {
+                        transmit(node, out, std::move(p));
+                      });
+}
+
+void Network::fail_link_now(topo::LinkId link) {
+  // Physical failure: everything queued or in flight dies immediately.
+  physically_up_[link] = false;
+  for (auto& dir : link_state_[link]) {
+    ++dir.epoch;
+    dir.busy_until = now();
+  }
+  if (config_.failure_detection_delay_s > 0.0) {
+    // Until detection, the port still looks usable: switches keep sending
+    // into the dead link (the epoch check blackholes those packets). Only
+    // after the detection window does the link state flip and deflection
+    // kick in. A repair that races the detection bumps the epoch and
+    // cancels it.
+    const std::uint64_t epoch = link_state_[link][0].epoch;
+    events_.schedule_in(config_.failure_detection_delay_s, [this, link, epoch] {
+      if (link_state_[link][0].epoch != epoch) return;  // repaired meanwhile
+      topo_->set_link_up(link, false);
+      if (link_state_hook_) link_state_hook_(link, /*up=*/false);
+    });
+    return;
+  }
+  topo_->set_link_up(link, false);
+  if (link_state_hook_) link_state_hook_(link, /*up=*/false);
+}
+
+void Network::repair_link_now(topo::LinkId link) {
+  physically_up_[link] = true;
+  topo_->set_link_up(link, true);
+  for (auto& dir : link_state_[link]) {
+    ++dir.epoch;  // anything stale from before the repair is gone
+    dir.busy_until = now();
+  }
+  if (link_state_hook_) link_state_hook_(link, /*up=*/true);
+}
+
+void Network::fail_link_at(double time, const std::string& node_a,
+                           const std::string& node_b) {
+  const auto link = topo_->link_between(topo_->at(node_a), topo_->at(node_b));
+  if (!link) {
+    throw std::invalid_argument("Network::fail_link_at: " + node_a + " and " +
+                                node_b + " are not adjacent");
+  }
+  events_.schedule_at(time, [this, id = *link] { fail_link_now(id); });
+}
+
+void Network::repair_link_at(double time, const std::string& node_a,
+                             const std::string& node_b) {
+  const auto link = topo_->link_between(topo_->at(node_a), topo_->at(node_b));
+  if (!link) {
+    throw std::invalid_argument("Network::repair_link_at: " + node_a + " and " +
+                                node_b + " are not adjacent");
+  }
+  events_.schedule_at(time, [this, id = *link] { repair_link_now(id); });
+}
+
+}  // namespace kar::sim

@@ -1,0 +1,174 @@
+// Packet-level network simulator: the emulation substrate of the paper's
+// evaluation (Mininet + modified OpenFlow software switch), rebuilt as a
+// deterministic discrete-event simulation.
+//
+// Model:
+//   * each link direction is a serializing server (rate = link rate) with a
+//     drop-tail queue and fixed propagation delay;
+//   * each core switch applies the KAR forwarding pipeline (modulo +
+//     deflection) with a constant processing latency;
+//   * link failures take effect immediately: queued and in-flight packets
+//     on the failed link are lost, and switches see the port as
+//     unavailable from that instant (local failure detection);
+//   * edge nodes stamp/strip route IDs and run the wrong-edge policy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dataplane/edge.hpp"
+#include "routing/failover_fib.hpp"
+#include "dataplane/packet.hpp"
+#include "dataplane/switch.hpp"
+#include "routing/controller.hpp"
+#include "sim/event_queue.hpp"
+#include "topology/graph.hpp"
+
+namespace kar::sim {
+
+/// Which forwarding engine the core switches run.
+enum class DataPlaneMode : std::uint8_t {
+  kKar,          ///< Modulo forwarding + deflection (this paper).
+  kFailoverFib,  ///< OpenFlow fast-failover baseline (Table 2 comparator).
+};
+
+/// Simulation knobs.
+struct NetworkConfig {
+  DataPlaneMode mode = DataPlaneMode::kKar;
+  /// Required when mode == kFailoverFib; must outlive the network.
+  const routing::FailoverFib* failover_fib = nullptr;
+  dataplane::DeflectionTechnique technique =
+      dataplane::DeflectionTechnique::kNotInputPort;
+  dataplane::WrongEdgePolicy wrong_edge_policy =
+      dataplane::WrongEdgePolicy::kReencode;
+  /// Per-hop switch processing latency (software switch forwarding cost).
+  double switch_latency_s = 20e-6;
+  /// How long after a physical failure the adjacent switches *detect* it
+  /// (loss-of-signal / BFD). During the window the port still looks up, so
+  /// traffic is blackholed into the dead link — deflection can only start
+  /// once detection fires. 0 = instantaneous detection (the paper's
+  /// implicit assumption).
+  double failure_detection_delay_s = 0.0;
+  /// Hop budget per packet; guards unbounded random walks (HP) and the
+  /// Fig. 8 protection loop against infinite circulation.
+  std::uint32_t max_hops = 4096;
+  std::uint64_t seed = 1;
+};
+
+/// Aggregate data-plane counters.
+struct NetworkCounters {
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t hops = 0;
+  std::uint64_t deflections = 0;
+  std::uint64_t reencodes = 0;
+  std::uint64_t bounces = 0;
+  std::uint64_t drop_no_viable_port = 0;
+  std::uint64_t drop_link_failed = 0;
+  std::uint64_t drop_queue_overflow = 0;
+  std::uint64_t drop_ttl = 0;
+
+  [[nodiscard]] std::uint64_t total_drops() const noexcept {
+    return drop_no_viable_port + drop_link_failed + drop_queue_overflow +
+           drop_ttl;
+  }
+};
+
+/// Optional per-packet trace events (tests, debugging, walk analysis).
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kInject, kHop, kDeliver, kDrop, kReencode, kBounce };
+  Kind kind;
+  double time;
+  std::uint64_t packet_id;
+  topo::NodeId node;                ///< Where the event happened.
+  topo::PortIndex out_port;         ///< For kHop: chosen output port.
+  bool deflected;                   ///< For kHop: deviated from the residue.
+  dataplane::DropReason drop_reason;  ///< For kDrop.
+};
+
+/// The simulated KAR network.
+class Network {
+ public:
+  /// `topology` is mutated by failure injection and must outlive the
+  /// network; `controller` serves wrong-edge re-encodes.
+  Network(topo::Topology& topology, const routing::Controller& controller,
+          NetworkConfig config = {});
+
+  [[nodiscard]] EventQueue& events() noexcept { return events_; }
+  [[nodiscard]] double now() const noexcept { return events_.now(); }
+  [[nodiscard]] const topo::Topology& topology() const noexcept { return *topo_; }
+  [[nodiscard]] const NetworkCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
+
+  /// The edge-node object bound to `node` (for route stamping).
+  /// Throws std::invalid_argument if `node` is not an edge node.
+  [[nodiscard]] const dataplane::EdgeNode& edge_at(topo::NodeId node) const;
+
+  /// Registers the handler invoked when a packet is delivered at `edge`.
+  using DeliveryHandler = std::function<void(const dataplane::Packet&)>;
+  void set_delivery_handler(topo::NodeId edge, DeliveryHandler handler);
+
+  /// Installs a trace hook receiving every packet event (may be empty).
+  void set_trace_hook(std::function<void(const TraceEvent&)> hook) {
+    trace_ = std::move(hook);
+  }
+
+  /// Installs a hook invoked on every link state change (failure/repair),
+  /// with the link and its new state. Models the data plane's failure
+  /// notifications toward a control plane (which may react with delay).
+  using LinkStateHook = std::function<void(topo::LinkId, bool up)>;
+  void set_link_state_hook(LinkStateHook hook) { link_state_hook_ = std::move(hook); }
+
+  /// Injects a packet from `edge` into the core at the current time. The
+  /// packet must already be stamped (see EdgeNode::stamp).
+  void inject(topo::NodeId edge, dataplane::Packet packet);
+
+  /// Schedules a bidirectional link failure / repair.
+  void fail_link_at(double time, const std::string& node_a, const std::string& node_b);
+  void repair_link_at(double time, const std::string& node_a, const std::string& node_b);
+
+  /// Direct (immediate) failure control.
+  void fail_link_now(topo::LinkId link);
+  void repair_link_now(topo::LinkId link);
+
+ private:
+  struct DirectionState {
+    double busy_until = 0.0;
+    std::size_t queued = 0;
+    std::uint64_t epoch = 0;  ///< Bumped on failure: invalidates in-flight packets.
+  };
+
+  void arrive_at(topo::NodeId node, topo::PortIndex in_port, dataplane::Packet&& packet);
+  void forward_from_switch(topo::NodeId node, topo::PortIndex in_port,
+                           dataplane::Packet&& packet);
+  void transmit(topo::NodeId from, topo::PortIndex out_port, dataplane::Packet&& packet);
+  void drop(const dataplane::Packet& packet, topo::NodeId at, dataplane::DropReason reason);
+  void trace(TraceEvent event);
+
+  topo::Topology* topo_;
+  const routing::Controller* controller_;
+  NetworkConfig config_;
+  EventQueue events_;
+  common::Rng rng_;
+  NetworkCounters counters_;
+  // Indexed by NodeId; exactly one of the two is engaged per node.
+  std::vector<std::optional<dataplane::KarSwitch>> switches_;
+  std::vector<std::optional<dataplane::EdgeNode>> edges_;
+  std::unordered_map<topo::NodeId, DeliveryHandler> delivery_;
+  std::vector<std::array<DirectionState, 2>> link_state_;  // per link
+  /// Physical link state; diverges from the topology's (detected) state
+  /// during the failure-detection window.
+  std::vector<bool> physically_up_;
+  std::function<void(const TraceEvent&)> trace_;
+  LinkStateHook link_state_hook_;
+  std::uint64_t next_packet_id_ = 1;
+};
+
+}  // namespace kar::sim

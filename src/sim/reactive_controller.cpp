@@ -1,0 +1,36 @@
+#include "sim/reactive_controller.hpp"
+
+namespace kar::sim {
+
+ReactiveController::ReactiveController(Network& network, double reaction_delay_s)
+    : net_(&network), delay_(reaction_delay_s) {
+  net_->set_link_state_hook([this](topo::LinkId, bool) { on_link_event(); });
+}
+
+void ReactiveController::watch_flow(topo::NodeId src_edge, topo::NodeId dst_edge,
+                                    RouteUpdateHandler on_update) {
+  flows_.push_back(WatchedFlow{src_edge, dst_edge, std::move(on_update)});
+}
+
+void ReactiveController::on_link_event() {
+  // A burst of simultaneous link events produces one reaction after the
+  // delay (the controller batches what it learned).
+  const std::uint64_t epoch = ++pending_epoch_;
+  net_->events().schedule_in(delay_, [this, epoch] {
+    if (epoch == pending_epoch_) react();
+  });
+}
+
+void ReactiveController::react() {
+  ++reactions_;
+  // Recompute on the topology as it is *now*, avoiding failed links.
+  routing::PathOptions options;
+  options.ignore_failures = false;
+  const routing::Controller aware(net_->topology(), options);
+  for (const WatchedFlow& flow : flows_) {
+    const auto route = aware.route_between(flow.src, flow.dst);
+    if (route && flow.on_update) flow.on_update(*route);
+  }
+}
+
+}  // namespace kar::sim

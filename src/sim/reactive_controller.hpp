@@ -1,0 +1,59 @@
+// The "traditional approach" to failure reaction (paper §1): the data
+// plane notifies the controller, the controller — after a notification +
+// recomputation delay — recomputes failure-avoiding routes and pushes the
+// fresh route IDs to the ingress edges. KAR's whole point is making this
+// path unnecessary for liveness; implementing it turns the paper's
+// motivation into a measurable baseline (bench/controller_reaction).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "routing/controller.hpp"
+#include "sim/network.hpp"
+
+namespace kar::sim {
+
+/// Watches link-state changes on a Network and, after a configurable
+/// reaction delay, recomputes registered flows' routes on the surviving
+/// topology and hands them to per-flow update callbacks.
+class ReactiveController {
+ public:
+  /// `reaction_delay_s` models notification transport + controller
+  /// processing + rule installation (the window in which in-flight traffic
+  /// is lost when no data-plane protection exists).
+  ReactiveController(Network& network, double reaction_delay_s);
+
+  ReactiveController(const ReactiveController&) = delete;
+  ReactiveController& operator=(const ReactiveController&) = delete;
+
+  using RouteUpdateHandler = std::function<void(const routing::EncodedRoute&)>;
+
+  /// Registers a flow to keep routed: on every link event, a new shortest
+  /// path from `src_edge` to `dst_edge` avoiding failed links is encoded
+  /// and passed to `on_update` (not called when no route exists).
+  void watch_flow(topo::NodeId src_edge, topo::NodeId dst_edge,
+                  RouteUpdateHandler on_update);
+
+  [[nodiscard]] std::uint64_t reactions() const noexcept { return reactions_; }
+  [[nodiscard]] double reaction_delay_s() const noexcept { return delay_; }
+
+ private:
+  void on_link_event();
+  void react();
+
+  struct WatchedFlow {
+    topo::NodeId src;
+    topo::NodeId dst;
+    RouteUpdateHandler on_update;
+  };
+
+  Network* net_;
+  double delay_;
+  std::vector<WatchedFlow> flows_;
+  std::uint64_t reactions_ = 0;
+  std::uint64_t pending_epoch_ = 0;  ///< Coalesces bursts of link events.
+};
+
+}  // namespace kar::sim

@@ -1,0 +1,92 @@
+#include "sim/trace_csv.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace kar::sim {
+
+std::string_view to_string(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kInject: return "inject";
+    case TraceEvent::Kind::kHop: return "hop";
+    case TraceEvent::Kind::kDeliver: return "deliver";
+    case TraceEvent::Kind::kDrop: return "drop";
+    case TraceEvent::Kind::kReencode: return "reencode";
+    case TraceEvent::Kind::kBounce: return "bounce";
+  }
+  throw std::logic_error("to_string: bad TraceEvent::Kind");
+}
+
+namespace {
+
+TraceEvent::Kind kind_from_string(std::size_t line, const std::string& text) {
+  for (const auto kind :
+       {TraceEvent::Kind::kInject, TraceEvent::Kind::kHop,
+        TraceEvent::Kind::kDeliver, TraceEvent::Kind::kDrop,
+        TraceEvent::Kind::kReencode, TraceEvent::Kind::kBounce}) {
+    if (text == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("trace csv line " + std::to_string(line) +
+                              ": unknown event kind " + text);
+}
+
+}  // namespace
+
+TraceCsvWriter::TraceCsvWriter(std::ostream& out) : out_(&out) {
+  *out_ << kHeader << '\n';
+}
+
+void TraceCsvWriter::write(const TraceEvent& event, const topo::Topology& topo) {
+  *out_ << to_string(event.kind) << ','
+        << std::setprecision(12) << event.time << ',' << event.packet_id << ','
+        << topo.name(event.node) << ',' << event.out_port << ','
+        << (event.deflected ? 1 : 0) << ',';
+  if (event.kind == TraceEvent::Kind::kDrop) {
+    *out_ << dataplane::to_string(event.drop_reason);
+  }
+  *out_ << '\n';
+  ++rows_;
+}
+
+std::function<void(const TraceEvent&)> TraceCsvWriter::hook(const Network& network) {
+  const topo::Topology* topo = &network.topology();
+  return [this, topo](const TraceEvent& event) { write(event, *topo); };
+}
+
+std::vector<TraceRecord> parse_trace_csv(std::istream& in) {
+  std::vector<TraceRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line_no == 1 && line == TraceCsvWriter::kHeader) continue;
+    const auto fields = common::split(line, ',', /*keep_empty=*/true);
+    if (fields.size() != 7) {
+      throw std::invalid_argument("trace csv line " + std::to_string(line_no) +
+                                  ": expected 7 fields, got " +
+                                  std::to_string(fields.size()));
+    }
+    TraceRecord record;
+    record.kind = kind_from_string(line_no, fields[0]);
+    try {
+      record.time = std::stod(fields[1]);
+      record.packet_id = std::stoull(fields[2]);
+      record.node = fields[3];
+      record.out_port = static_cast<topo::PortIndex>(std::stoul(fields[4]));
+      record.deflected = fields[5] == "1";
+    } catch (const std::exception&) {
+      throw std::invalid_argument("trace csv line " + std::to_string(line_no) +
+                                  ": malformed numeric field");
+    }
+    record.drop_reason = fields[6];
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace kar::sim

@@ -1,0 +1,58 @@
+// CSV export / import of packet traces: lets experiments be inspected
+// offline (spreadsheets, pandas) and replayed in tests. One row per
+// TraceEvent; node names resolved against the topology.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace kar::sim {
+
+/// A parsed trace row (names instead of handles, so traces survive
+/// topology rebuilds).
+struct TraceRecord {
+  TraceEvent::Kind kind;
+  double time = 0.0;
+  std::uint64_t packet_id = 0;
+  std::string node;
+  topo::PortIndex out_port = 0;
+  bool deflected = false;
+  std::string drop_reason;  ///< Empty unless kind == kDrop.
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+[[nodiscard]] std::string_view to_string(TraceEvent::Kind kind);
+
+/// Streams trace events as CSV rows. Attach to a network via
+/// `network.set_trace_hook(writer.hook(network))`; the header row is
+/// written on construction.
+class TraceCsvWriter {
+ public:
+  explicit TraceCsvWriter(std::ostream& out);
+
+  /// A hook bound to `network`'s topology (for node names). The writer
+  /// must outlive the network's use of the hook.
+  [[nodiscard]] std::function<void(const TraceEvent&)> hook(const Network& network);
+
+  /// Writes one event directly.
+  void write(const TraceEvent& event, const topo::Topology& topo);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+  static constexpr const char* kHeader =
+      "kind,time_s,packet_id,node,out_port,deflected,drop_reason";
+
+ private:
+  std::ostream* out_;
+  std::size_t rows_ = 0;
+};
+
+/// Parses a CSV trace produced by TraceCsvWriter. Throws
+/// std::invalid_argument with a line number on malformed input.
+[[nodiscard]] std::vector<TraceRecord> parse_trace_csv(std::istream& in);
+
+}  // namespace kar::sim

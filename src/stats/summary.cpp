@@ -1,0 +1,58 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace kar::stats {
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  double sum = 0.0;
+  s.min = samples.front();
+  s.max = samples.front();
+  for (const double v : samples) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n >= 2) {
+    double sq = 0.0;
+    for (const double v : samples) sq += (v - s.mean) * (v - s.mean);
+    s.variance = sq / static_cast<double>(s.n - 1);
+    s.stddev = std::sqrt(s.variance);
+    s.ci95_half_width =
+        t_quantile_975(s.n - 1) * s.stddev / std::sqrt(static_cast<double>(s.n));
+  }
+  return s;
+}
+
+double t_quantile_975(std::size_t dof) {
+  // Two-sided 95% CI => 0.975 quantile.
+  static constexpr std::array<double, 31> kTable = {
+      0,      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+      2.042};
+  if (dof == 0) return 0.0;
+  if (dof < kTable.size()) return kTable[dof];
+  return 1.96;
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: bad p");
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace kar::stats

@@ -1,0 +1,38 @@
+// Summary statistics with Student-t confidence intervals, matching the
+// paper's methodology ("we run the performance test iperf for 30 times ...
+// to obtain a confidence interval of 95%", §3.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace kar::stats {
+
+/// Descriptive statistics over a sample.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< Unbiased (n-1) sample variance.
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Half-width of the 95% confidence interval for the mean (Student t).
+  double ci95_half_width = 0.0;
+
+  [[nodiscard]] double ci_low() const { return mean - ci95_half_width; }
+  [[nodiscard]] double ci_high() const { return mean + ci95_half_width; }
+};
+
+/// Computes the summary of `samples` (empty input yields a zero summary;
+/// a single sample has an undefined CI, reported as 0).
+[[nodiscard]] Summary summarize(const std::vector<double>& samples);
+
+/// Two-sided 97.5% Student-t quantile for `dof` degrees of freedom
+/// (table-backed through dof=30, 1.96 asymptote beyond).
+[[nodiscard]] double t_quantile_975(std::size_t dof);
+
+/// The p-th percentile (0..100) by linear interpolation; input is copied
+/// and sorted. Throws std::invalid_argument for empty input or bad p.
+[[nodiscard]] double percentile(std::vector<double> samples, double p);
+
+}  // namespace kar::stats

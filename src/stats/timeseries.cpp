@@ -1,0 +1,36 @@
+#include "stats/timeseries.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace kar::stats {
+
+BinnedSeries::BinnedSeries(double bin_width) : bin_width_(bin_width) {
+  if (!(bin_width > 0.0)) {
+    throw std::invalid_argument("BinnedSeries: bin width must be positive");
+  }
+}
+
+void BinnedSeries::add(double t, double amount) {
+  if (t < 0.0) throw std::invalid_argument("BinnedSeries: negative timestamp");
+  const auto index = static_cast<std::size_t>(t / bin_width_);
+  if (index >= bins_.size()) bins_.resize(index + 1, 0.0);
+  bins_[index] += amount;
+}
+
+double BinnedSeries::bin_sum(std::size_t index) const {
+  return index < bins_.size() ? bins_[index] : 0.0;
+}
+
+double BinnedSeries::sum_between(double t0, double t1) const {
+  if (t1 <= t0) return 0.0;
+  const auto first = static_cast<std::size_t>(t0 / bin_width_);
+  const auto last = static_cast<std::size_t>(std::ceil(t1 / bin_width_));
+  double total = 0.0;
+  for (std::size_t i = first; i < last && i < bins_.size(); ++i) {
+    total += bins_[i];
+  }
+  return total;
+}
+
+}  // namespace kar::stats

@@ -1,0 +1,56 @@
+// Time-binned counters for throughput-over-time measurements (paper
+// Fig. 4's 1-second throughput timeline).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kar::stats {
+
+/// Accumulates (timestamp, amount) events into fixed-width bins starting
+/// at t=0. Used to turn per-packet deliveries into Mb/s curves.
+class BinnedSeries {
+ public:
+  /// `bin_width` in the same unit as the timestamps (seconds). Must be > 0.
+  explicit BinnedSeries(double bin_width);
+
+  /// Adds `amount` (e.g. bytes) at time `t` (t >= 0).
+  void add(double t, double amount);
+
+  [[nodiscard]] double bin_width() const noexcept { return bin_width_; }
+  [[nodiscard]] std::size_t bin_count() const noexcept { return bins_.size(); }
+
+  /// Sum accumulated in bin `index` (0 if the bin was never touched).
+  [[nodiscard]] double bin_sum(std::size_t index) const;
+
+  /// Start time of bin `index`.
+  [[nodiscard]] double bin_start(std::size_t index) const {
+    return static_cast<double>(index) * bin_width_;
+  }
+
+  /// Per-bin rate: sum / bin_width. With byte amounts this yields bytes/s.
+  [[nodiscard]] double bin_rate(std::size_t index) const {
+    return bin_sum(index) / bin_width_;
+  }
+
+  /// Per-bin rate converted to Mbit/s, assuming byte amounts.
+  [[nodiscard]] double bin_mbps(std::size_t index) const {
+    return bin_rate(index) * 8.0 / 1e6;
+  }
+
+  /// Total accumulated over [t0, t1) (whole bins only; callers align
+  /// boundaries to bin width).
+  [[nodiscard]] double sum_between(double t0, double t1) const;
+
+  /// Mean rate over [t0, t1) in Mbit/s (byte amounts).
+  [[nodiscard]] double mbps_between(double t0, double t1) const {
+    return (t1 > t0) ? sum_between(t0, t1) * 8.0 / 1e6 / (t1 - t0) : 0.0;
+  }
+
+ private:
+  double bin_width_;
+  std::vector<double> bins_;
+};
+
+}  // namespace kar::stats

@@ -1,0 +1,53 @@
+// Builders for every topology the paper evaluates on, reconstructed from
+// the text (the figure images are unavailable; see DESIGN.md §4 for the
+// textual constraints each reconstruction satisfies), plus synthetic
+// generators used by tests and ablation benches.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/graph.hpp"
+#include "topology/scenario.hpp"
+
+namespace kar::topo {
+
+/// Paper Fig. 1: the 6-node walkthrough network. Switch IDs {4, 5, 7, 11};
+/// edge nodes "S" and "D". Port numbering matches the worked example in
+/// §2.2 exactly (R = 44 unprotected, R = 660 with SW5 protection).
+[[nodiscard]] Scenario make_fig1_network(LinkParams params = {});
+
+/// Paper Fig. 2/3: the 15-node experimental network. Primary route
+/// SW10-SW7-SW13-SW29 (AS1 → AS3); partial protection {SW11→SW19→SW31→SW29};
+/// full protection additionally {SW37→SW17→SW43→SW29}. Reproduces Table 1's
+/// bit lengths (15 / 28 / 43) and the SW10-deflection 2/3-vs-1/3 split.
+[[nodiscard]] Scenario make_experimental15(LinkParams params = {});
+
+/// Paper Fig. 6: the 28-node, 40-link RNP (Ipê) national backbone. Route
+/// Boa Vista (SW7) → São Paulo (SW73) with the paper's partial protection
+/// links SW17-SW71, SW61-SW67, SW67-SW71, SW71-SW73.
+[[nodiscard]] Scenario make_rnp28(LinkParams params = {});
+
+/// Paper Fig. 8: the redundant-path worst case on the RNP backbone. Route
+/// SW7→SW13→SW41→SW73→SW107→SW113 with protection SW71→SW17→SW41; the
+/// parallel link SW73-SW109-SW113 cannot be encoded (one residue per
+/// switch), producing the probabilistic protection loop the paper reports.
+[[nodiscard]] Scenario make_fig8_redundant(LinkParams params = {});
+
+/// Synthetic line topology SW_0 - SW_1 - ... - SW_{n-1} with edge nodes at
+/// both ends; coprime switch IDs assigned automatically.
+[[nodiscard]] Scenario make_line(std::size_t num_switches, LinkParams params = {});
+
+/// Synthetic 2-D torus/grid (rows x cols switches, wraparound optional)
+/// with an edge node at opposite corners. Used by property tests.
+[[nodiscard]] Scenario make_grid(std::size_t rows, std::size_t cols,
+                                 bool wrap = false, LinkParams params = {});
+
+/// Random connected graph: `num_switches` switches, approximately
+/// `extra_links` links beyond a random spanning tree, deterministic in
+/// `seed`. Edge nodes attached to two distinct random switches.
+[[nodiscard]] Scenario make_random_connected(std::size_t num_switches,
+                                             std::size_t extra_links,
+                                             std::uint64_t seed,
+                                             LinkParams params = {});
+
+}  // namespace kar::topo

@@ -1,0 +1,131 @@
+// Port-indexed network topology for the KAR routing system.
+//
+// KAR distinguishes *core switches* (which forward purely by
+// `route_id mod switch_id`, paper §2) from *edge nodes* (which push/pop the
+// route ID). This module models both plus bidirectional links with
+// per-link rate/delay/queue parameters and an up/down failure state. Ports
+// are dense indices assigned in the order links are attached — a switch's
+// output-port index is exactly the residue the encoder stores for it, so a
+// switch ID must exceed every port index it uses (validated by the
+// encoder).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace kar::topo {
+
+using NodeId = std::uint32_t;    ///< Dense node handle.
+using LinkId = std::uint32_t;    ///< Dense link handle.
+using PortIndex = std::uint32_t; ///< Per-node port number (0-based).
+using SwitchId = std::uint64_t;  ///< KAR modulus; pairwise coprime across the core.
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr LinkId kInvalidLink = static_cast<LinkId>(-1);
+
+/// Core switches forward by modulo; edge nodes terminate the KAR domain.
+enum class NodeKind : std::uint8_t { kCoreSwitch, kEdgeNode };
+
+/// Physical link properties used by the simulator.
+struct LinkParams {
+  double rate_bps = 200e6;       ///< Serialization rate (default: paper's 200 Mb/s).
+  double delay_s = 0.5e-3;       ///< One-way propagation delay.
+  std::size_t queue_packets = 100;  ///< Drop-tail queue capacity per direction.
+};
+
+/// One endpoint of a link.
+struct LinkEnd {
+  NodeId node = kInvalidNode;
+  PortIndex port = 0;
+};
+
+/// A bidirectional link between two node ports.
+struct Link {
+  LinkEnd a;
+  LinkEnd b;
+  LinkParams params;
+  bool up = true;
+};
+
+/// The KAR network graph.
+class Topology {
+ public:
+  /// Adds a core switch with its (supposedly coprime) KAR ID.
+  /// Name must be unique. Throws std::invalid_argument on duplicates.
+  NodeId add_switch(std::string name, SwitchId id);
+
+  /// Adds an edge node (no KAR ID; terminates the KAR domain).
+  NodeId add_edge_node(std::string name);
+
+  /// Connects two nodes with a new link; allocates the next free port index
+  /// on each side and returns the link handle.
+  LinkId add_link(NodeId a, NodeId b, LinkParams params = {});
+
+  // -- node queries ----------------------------------------------------------
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+  [[nodiscard]] NodeKind kind(NodeId node) const;
+  [[nodiscard]] const std::string& name(NodeId node) const;
+  [[nodiscard]] SwitchId switch_id(NodeId node) const;  ///< Throws for edge nodes.
+  [[nodiscard]] std::size_t port_count(NodeId node) const;
+
+  /// Node lookup by unique name; nullopt when absent.
+  [[nodiscard]] std::optional<NodeId> find(const std::string& name) const;
+  /// Node lookup by name that throws with a useful message when absent.
+  [[nodiscard]] NodeId at(const std::string& name) const;
+  /// Core switch lookup by KAR ID.
+  [[nodiscard]] std::optional<NodeId> find_switch(SwitchId id) const;
+
+  /// All node handles of a given kind, in insertion order.
+  [[nodiscard]] std::vector<NodeId> nodes_of_kind(NodeKind kind) const;
+  /// Switch IDs of every core switch, in insertion order.
+  [[nodiscard]] std::vector<SwitchId> all_switch_ids() const;
+
+  // -- port / link queries ---------------------------------------------------
+  /// The link attached to a port, or kInvalidLink when the port is unused.
+  [[nodiscard]] LinkId link_at(NodeId node, PortIndex port) const;
+  /// The node on the far side of a port; nullopt if no link is attached.
+  [[nodiscard]] std::optional<NodeId> neighbor(NodeId node, PortIndex port) const;
+  /// The local port that reaches `to`, if the nodes are adjacent.
+  [[nodiscard]] std::optional<PortIndex> port_to(NodeId from, NodeId to) const;
+  /// All (port, neighbor) pairs of a node.
+  [[nodiscard]] std::vector<std::pair<PortIndex, NodeId>> neighbors(NodeId node) const;
+
+  [[nodiscard]] const Link& link(LinkId id) const;
+  [[nodiscard]] Link& link(LinkId id);
+  /// The link joining two adjacent nodes, if any.
+  [[nodiscard]] std::optional<LinkId> link_between(NodeId a, NodeId b) const;
+
+  // -- failure state ---------------------------------------------------------
+  void set_link_up(LinkId id, bool up);
+  [[nodiscard]] bool link_up(LinkId id) const;
+  /// True iff the port has a link and that link is up.
+  [[nodiscard]] bool port_available(NodeId node, PortIndex port) const;
+  /// Ports of `node` whose links are currently up.
+  [[nodiscard]] std::vector<PortIndex> available_ports(NodeId node) const;
+  /// Restores every link to the up state.
+  void repair_all();
+
+  /// Fails the link between two named nodes. Throws if they are not adjacent.
+  LinkId fail_link(const std::string& a, const std::string& b);
+
+ private:
+  struct Node {
+    std::string name;
+    NodeKind kind;
+    SwitchId switch_id = 0;                 // valid only for core switches
+    std::vector<LinkId> ports;              // port index -> link
+  };
+
+  [[nodiscard]] const Node& node_ref(NodeId node) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::unordered_map<SwitchId, NodeId> by_switch_id_;
+};
+
+}  // namespace kar::topo

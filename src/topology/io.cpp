@@ -1,0 +1,145 @@
+#include "topology/io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace kar::topo {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::invalid_argument("topology parse error at line " +
+                              std::to_string(line) + ": " + message);
+}
+
+double parse_double_field(std::size_t line, const std::string& text) {
+  std::istringstream in(text);
+  double value = 0;
+  in >> value;
+  if (in.fail() || !in.eof()) fail(line, "bad numeric value: " + text);
+  return value;
+}
+
+}  // namespace
+
+Topology parse_topology(std::istream& in) {
+  Topology topo;
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line{common::trim(raw)};
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line = std::string(common::trim(line.substr(0, hash)));
+    }
+    if (line.empty()) continue;
+    const auto tokens = common::split(line, ' ');
+    const std::string& verb = tokens[0];
+    if (verb == "switch") {
+      if (tokens.size() != 3) fail(line_no, "usage: switch <name> <id>");
+      std::uint64_t id = 0;
+      try {
+        id = std::stoull(tokens[2]);
+      } catch (const std::exception&) {
+        fail(line_no, "bad switch id: " + tokens[2]);
+      }
+      topo.add_switch(tokens[1], id);
+    } else if (verb == "edge") {
+      if (tokens.size() != 2) fail(line_no, "usage: edge <name>");
+      topo.add_edge_node(tokens[1]);
+    } else if (verb == "link") {
+      if (tokens.size() < 3) {
+        fail(line_no, "usage: link <a> <b> [rate=..] [delay=..] [queue=..]");
+      }
+      const auto a = topo.find(tokens[1]);
+      const auto b = topo.find(tokens[2]);
+      if (!a) fail(line_no, "unknown node " + tokens[1]);
+      if (!b) fail(line_no, "unknown node " + tokens[2]);
+      LinkParams params;
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        const auto eq = tokens[i].find('=');
+        if (eq == std::string::npos) fail(line_no, "bad option " + tokens[i]);
+        const std::string key = tokens[i].substr(0, eq);
+        const std::string value = tokens[i].substr(eq + 1);
+        if (key == "rate") {
+          params.rate_bps = parse_double_field(line_no, value);
+        } else if (key == "delay") {
+          params.delay_s = parse_double_field(line_no, value);
+        } else if (key == "queue") {
+          params.queue_packets =
+              static_cast<std::size_t>(parse_double_field(line_no, value));
+        } else {
+          fail(line_no, "unknown link option " + key);
+        }
+      }
+      topo.add_link(*a, *b, params);
+    } else if (verb == "down") {
+      if (tokens.size() != 3) fail(line_no, "usage: down <a> <b>");
+      try {
+        topo.fail_link(tokens[1], tokens[2]);
+      } catch (const std::exception& e) {
+        fail(line_no, e.what());
+      }
+    } else {
+      fail(line_no, "unknown directive " + verb);
+    }
+  }
+  return topo;
+}
+
+Topology parse_topology_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_topology(in);
+}
+
+std::string serialize_topology(const Topology& topo) {
+  std::ostringstream out;
+  for (NodeId n = 0; n < topo.node_count(); ++n) {
+    if (topo.kind(n) == NodeKind::kCoreSwitch) {
+      out << "switch " << topo.name(n) << ' ' << topo.switch_id(n) << '\n';
+    } else {
+      out << "edge " << topo.name(n) << '\n';
+    }
+  }
+  for (LinkId l = 0; l < topo.link_count(); ++l) {
+    const Link& link = topo.link(l);
+    out << "link " << topo.name(link.a.node) << ' ' << topo.name(link.b.node)
+        << " rate=" << link.params.rate_bps << " delay=" << link.params.delay_s
+        << " queue=" << link.params.queue_packets << '\n';
+  }
+  for (LinkId l = 0; l < topo.link_count(); ++l) {
+    const Link& link = topo.link(l);
+    if (!link.up) {
+      out << "down " << topo.name(link.a.node) << ' ' << topo.name(link.b.node)
+          << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string to_graphviz(const Topology& topo) {
+  std::ostringstream out;
+  out << "graph kar {\n  node [fontname=\"Helvetica\"];\n";
+  for (NodeId n = 0; n < topo.node_count(); ++n) {
+    if (topo.kind(n) == NodeKind::kCoreSwitch) {
+      out << "  \"" << topo.name(n) << "\" [shape=box, label=\"" << topo.name(n)
+          << "\\nid=" << topo.switch_id(n) << "\"];\n";
+    } else {
+      out << "  \"" << topo.name(n) << "\" [shape=ellipse, style=filled, "
+          << "fillcolor=lightgray];\n";
+    }
+  }
+  for (LinkId l = 0; l < topo.link_count(); ++l) {
+    const Link& link = topo.link(l);
+    out << "  \"" << topo.name(link.a.node) << "\" -- \""
+        << topo.name(link.b.node) << "\"";
+    if (!link.up) out << " [style=dashed, color=red]";
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace kar::topo

@@ -1,0 +1,34 @@
+// Text serialization for topologies.
+//
+// A simple line-oriented format so experiments can be described in files:
+//
+//   # comment
+//   switch SW7 7
+//   edge AS1
+//   link SW7 SW13 rate=200e6 delay=0.5e-3 queue=100
+//   down SW7 SW13          # start with this link failed
+//
+// plus Graphviz (dot) export for inspection.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/graph.hpp"
+
+namespace kar::topo {
+
+/// Parses the text format above. Throws std::invalid_argument with a
+/// line-numbered message on malformed input.
+[[nodiscard]] Topology parse_topology(std::istream& in);
+[[nodiscard]] Topology parse_topology_string(const std::string& text);
+
+/// Serializes a topology back to the text format (round-trips with
+/// parse_topology up to comment/ordering normalization).
+[[nodiscard]] std::string serialize_topology(const Topology& topo);
+
+/// Graphviz dot output: switches as boxes labelled "name (id)", edge nodes
+/// as ellipses, failed links dashed red.
+[[nodiscard]] std::string to_graphviz(const Topology& topo);
+
+}  // namespace kar::topo

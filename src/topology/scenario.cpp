@@ -1,0 +1,28 @@
+#include "topology/scenario.hpp"
+
+#include <stdexcept>
+
+namespace kar::topo {
+
+std::string_view to_string(ProtectionLevel level) {
+  switch (level) {
+    case ProtectionLevel::kUnprotected: return "unprotected";
+    case ProtectionLevel::kPartial: return "partial";
+    case ProtectionLevel::kFull: return "full";
+  }
+  throw std::logic_error("to_string: bad ProtectionLevel");
+}
+
+std::vector<ProtectionAssignment> ScenarioRoute::protection_at(
+    ProtectionLevel level) const {
+  std::vector<ProtectionAssignment> out;
+  if (level == ProtectionLevel::kUnprotected) return out;
+  out = partial_protection;
+  if (level == ProtectionLevel::kFull) {
+    out.insert(out.end(), full_extra_protection.begin(),
+               full_extra_protection.end());
+  }
+  return out;
+}
+
+}  // namespace kar::topo

@@ -1,0 +1,57 @@
+// Named experiment scenarios: a topology plus the route / protection
+// configuration the paper evaluates on it (§3).
+//
+// A scenario pins down, by node name: the source and destination edge
+// nodes, the primary core path, and the driven-deflection protection
+// assignments (switch → next hop) for the partial and full protection
+// levels. The routing module turns these into residues and a route ID.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace kar::topo {
+
+/// One driven-deflection assignment: `switch_name` forwards deflected
+/// traffic toward `next_hop_name` (paper §2, "Driven Deflections").
+struct ProtectionAssignment {
+  std::string switch_name;
+  std::string next_hop_name;
+
+  friend bool operator==(const ProtectionAssignment&,
+                         const ProtectionAssignment&) = default;
+};
+
+/// The paper's three protection mechanisms (Table 1, Fig. 5).
+enum class ProtectionLevel : std::uint8_t { kUnprotected, kPartial, kFull };
+
+[[nodiscard]] std::string_view to_string(ProtectionLevel level);
+
+/// A source-routed flow configuration on a scenario topology.
+struct ScenarioRoute {
+  std::string src_edge;
+  std::string dst_edge;
+  /// Core switches of the primary path, ingress to egress order.
+  std::vector<std::string> core_path;
+  /// Extra assignments for partial protection (paper's hand-picked sets).
+  std::vector<ProtectionAssignment> partial_protection;
+  /// Extra assignments (beyond partial) for full protection.
+  std::vector<ProtectionAssignment> full_extra_protection;
+
+  /// The protection assignments in force at `level` (partial ∪ extra for
+  /// full; empty for unprotected).
+  [[nodiscard]] std::vector<ProtectionAssignment> protection_at(
+      ProtectionLevel level) const;
+};
+
+/// A complete, named experiment setup.
+struct Scenario {
+  std::string name;
+  std::string description;
+  Topology topology;
+  ScenarioRoute route;
+};
+
+}  // namespace kar::topo

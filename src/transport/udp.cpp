@@ -1,0 +1,70 @@
+#include "transport/udp.hpp"
+
+#include <stdexcept>
+
+namespace kar::transport {
+
+using dataplane::Datagram;
+using dataplane::Packet;
+
+std::uint64_t send_datagram(sim::Network& network,
+                            const routing::EncodedRoute& route,
+                            std::uint64_t flow_id, std::uint64_t sequence,
+                            std::size_t payload_bytes) {
+  Packet packet;
+  packet.transport = Datagram{sequence};
+  packet.flow_id = flow_id;
+  network.edge_at(route.src_edge).stamp(packet, route, payload_bytes);
+  network.inject(route.src_edge, std::move(packet));
+  return sequence;
+}
+
+CbrProbe::CbrProbe(sim::Network& network, FlowDispatcher& dispatcher,
+                   routing::EncodedRoute route, std::uint64_t flow_id,
+                   double interval_s, std::size_t payload_bytes)
+    : net_(&network),
+      route_(std::move(route)),
+      flow_id_(flow_id),
+      interval_s_(interval_s),
+      payload_bytes_(payload_bytes) {
+  dispatcher.register_endpoint(
+      route_.dst_edge, flow_id_, [this](const Packet& packet) {
+        if (const auto* datagram = std::get_if<Datagram>(&packet.transport)) {
+          ++received_;
+          if (on_receive_) on_receive_(datagram->sequence, packet);
+        }
+      });
+}
+
+void CbrProbe::tick() {
+  if (!running_) return;
+  send_datagram(*net_, route_, flow_id_, sent_, payload_bytes_);
+  ++sent_;
+  // Drift-free schedule: the k-th datagram goes out at exactly
+  // start + k * interval, regardless of floating-point accumulation.
+  net_->events().schedule_at(started_at_ + static_cast<double>(sent_) * interval_s_,
+                             [this] { tick(); });
+}
+
+void CbrProbe::start_at(double time) {
+  net_->events().schedule_at(time, [this] {
+    if (!running_) {
+      running_ = true;
+      started_at_ = net_->now();
+      tick();
+    }
+  });
+}
+
+void CbrProbe::stop_at(double time) {
+  net_->events().schedule_at(time, [this] { running_ = false; });
+}
+
+void CbrProbe::set_route(routing::EncodedRoute route) {
+  if (route.src_edge != route_.src_edge || route.dst_edge != route_.dst_edge) {
+    throw std::invalid_argument("CbrProbe::set_route: endpoints must match");
+  }
+  route_ = std::move(route);
+}
+
+}  // namespace kar::transport

@@ -1,0 +1,66 @@
+// Connectionless datagram sending: probe traffic for loss/stretch
+// measurements and the constant-rate workloads used by a few benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "routing/encoded_route.hpp"
+#include "sim/network.hpp"
+#include "transport/flows.hpp"
+
+namespace kar::transport {
+
+/// Sends one datagram of `payload_bytes` along `route` right now.
+/// Returns the sequence number used.
+std::uint64_t send_datagram(sim::Network& network,
+                            const routing::EncodedRoute& route,
+                            std::uint64_t flow_id, std::uint64_t sequence,
+                            std::size_t payload_bytes);
+
+/// Constant-bit-rate datagram source with a per-delivery callback at the
+/// receiving edge. Used to measure loss and path stretch around failures
+/// without TCP dynamics in the way.
+class CbrProbe {
+ public:
+  /// Emits `payload_bytes` datagrams every `interval_s` seconds between
+  /// start_at() and stop_at(). Deliveries invoke `on_receive(sequence,
+  /// packet)` via the dispatcher.
+  CbrProbe(sim::Network& network, FlowDispatcher& dispatcher,
+           routing::EncodedRoute route, std::uint64_t flow_id,
+           double interval_s, std::size_t payload_bytes);
+
+  CbrProbe(const CbrProbe&) = delete;
+  CbrProbe& operator=(const CbrProbe&) = delete;
+
+  void start_at(double time);
+  void stop_at(double time);
+
+  /// Swaps the route used for subsequent datagrams (models a controller
+  /// pushing a recomputed route ID to the ingress edge). The new route must
+  /// share both endpoints with the old one.
+  void set_route(routing::EncodedRoute route);
+
+  using ReceiveHandler =
+      std::function<void(std::uint64_t sequence, const dataplane::Packet&)>;
+  void set_receive_handler(ReceiveHandler handler) { on_receive_ = std::move(handler); }
+
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
+
+ private:
+  void tick();
+
+  sim::Network* net_;
+  routing::EncodedRoute route_;
+  std::uint64_t flow_id_;
+  double interval_s_;
+  std::size_t payload_bytes_;
+  bool running_ = false;
+  double started_at_ = 0.0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  ReceiveHandler on_receive_;
+};
+
+}  // namespace kar::transport

@@ -1,0 +1,156 @@
+#include "rns/biguint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace kar::rns {
+namespace {
+
+TEST(BigUint, DefaultIsZero) {
+  const BigUint zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.bit_length(), 0u);
+  EXPECT_EQ(zero.to_string(), "0");
+  EXPECT_EQ(zero.to_u64(), 0u);
+}
+
+TEST(BigUint, ConstructsFromU64) {
+  EXPECT_EQ(BigUint(44).to_u64(), 44u);
+  EXPECT_EQ(BigUint(0).to_u64(), 0u);
+  const std::uint64_t big = 0xFFFFFFFFFFFFFFFFULL;
+  EXPECT_EQ(BigUint(big).to_u64(), big);
+}
+
+TEST(BigUint, BitLengthMatchesValues) {
+  EXPECT_EQ(BigUint(1).bit_length(), 1u);
+  EXPECT_EQ(BigUint(2).bit_length(), 2u);
+  EXPECT_EQ(BigUint(3).bit_length(), 2u);
+  EXPECT_EQ(BigUint(255).bit_length(), 8u);
+  EXPECT_EQ(BigUint(256).bit_length(), 9u);
+  EXPECT_EQ(BigUint(26389).bit_length(), 15u);  // paper Table 1 unprotected
+  EXPECT_EQ((BigUint(1) << 100).bit_length(), 101u);
+}
+
+TEST(BigUint, AdditionCarriesAcrossLimbs) {
+  BigUint a(0xFFFFFFFFULL);
+  a += BigUint(1);
+  EXPECT_EQ(a.to_u64(), 0x100000000ULL);
+  BigUint b(0xFFFFFFFFFFFFFFFFULL);
+  b += BigUint(1);
+  EXPECT_EQ(b.to_string(), "18446744073709551616");
+  EXPECT_FALSE(b.fits_u64());
+}
+
+TEST(BigUint, SubtractionBorrows) {
+  BigUint a(0x100000000ULL);
+  a -= BigUint(1);
+  EXPECT_EQ(a.to_u64(), 0xFFFFFFFFULL);
+  EXPECT_EQ((BigUint(44) - BigUint(44)).to_string(), "0");
+}
+
+TEST(BigUint, SubtractionUnderflowThrows) {
+  BigUint small(3);
+  EXPECT_THROW(small -= BigUint(4), std::underflow_error);
+}
+
+TEST(BigUint, MultiplicationSmall) {
+  EXPECT_EQ((BigUint(4) * BigUint(7) * BigUint(11)).to_u64(), 308u);
+  EXPECT_EQ((BigUint(0) * BigUint(12345)).to_string(), "0");
+}
+
+TEST(BigUint, MultiplicationLarge) {
+  // 2^64 * 2^64 = 2^128
+  const BigUint x = BigUint(1) << 64;
+  const BigUint sq = x * x;
+  EXPECT_EQ(sq.bit_length(), 129u);
+  EXPECT_EQ(sq.to_hex(), "100000000000000000000000000000000");
+}
+
+TEST(BigUint, DivModSingleLimbDivisor) {
+  const BigUint n(1234567890123456789ULL);
+  const auto [q, r] = n.divmod(BigUint(1000));
+  EXPECT_EQ(q.to_u64(), 1234567890123456ULL);
+  EXPECT_EQ(r.to_u64(), 789u);
+}
+
+TEST(BigUint, DivModMultiLimbDivisor) {
+  const BigUint n = (BigUint(1) << 130) + BigUint(12345);
+  const BigUint d = (BigUint(1) << 65) + BigUint(7);
+  const auto [q, r] = n.divmod(d);
+  EXPECT_EQ(((q * d) + r).to_hex(), n.to_hex());
+  EXPECT_LT(r, d);
+}
+
+TEST(BigUint, DivisionByZeroThrows) {
+  EXPECT_THROW(BigUint(5).divmod(BigUint(0)), std::domain_error);
+  EXPECT_THROW(BigUint(5).mod_u64(0), std::domain_error);
+}
+
+TEST(BigUint, ModU64MatchesPaperExample) {
+  // Paper §2: R=44 forwards via ports 0/2/0 at switches 4/7/11.
+  const BigUint r(44);
+  EXPECT_EQ(r.mod_u64(4), 0u);
+  EXPECT_EQ(r.mod_u64(7), 2u);
+  EXPECT_EQ(r.mod_u64(11), 0u);
+  // R=660 adds SW5 -> port 0.
+  const BigUint r2(660);
+  EXPECT_EQ(r2.mod_u64(4), 0u);
+  EXPECT_EQ(r2.mod_u64(7), 2u);
+  EXPECT_EQ(r2.mod_u64(11), 0u);
+  EXPECT_EQ(r2.mod_u64(5), 0u);
+}
+
+TEST(BigUint, ModU64MultiLimb) {
+  const BigUint n = (BigUint(97) << 200) + BigUint(31);
+  // Cross-check against divmod.
+  EXPECT_EQ(n.mod_u64(101), n.divmod(BigUint(101)).remainder.to_u64());
+  EXPECT_EQ(n.mod_u64(2), n.divmod(BigUint(2)).remainder.to_u64());
+}
+
+TEST(BigUint, ShiftsRoundTrip) {
+  const BigUint x(0xDEADBEEFCAFEBABEULL);
+  EXPECT_EQ(((x << 77) >> 77), x);
+  EXPECT_EQ((x >> 200).to_string(), "0");
+  EXPECT_EQ((BigUint(1) << 32).to_u64(), 0x100000000ULL);
+}
+
+TEST(BigUint, ComparisonOrdering) {
+  EXPECT_LT(BigUint(3), BigUint(4));
+  EXPECT_GT(BigUint(1) << 64, BigUint(0xFFFFFFFFFFFFFFFFULL));
+  EXPECT_EQ(BigUint(42), BigUint(42));
+  EXPECT_LE(BigUint(0), BigUint(0));
+}
+
+TEST(BigUint, DecimalStringRoundTrip) {
+  const char* text = "340282366920938463463374607431768211455";  // 2^128-1
+  const BigUint x = BigUint::from_string(text);
+  EXPECT_EQ(x.to_string(), text);
+  EXPECT_EQ((x + BigUint(1)).bit_length(), 129u);
+}
+
+TEST(BigUint, HexStringParses) {
+  EXPECT_EQ(BigUint::from_string("0xff").to_u64(), 255u);
+  EXPECT_EQ(BigUint::from_string("0xDEADBEEF").to_u64(), 0xDEADBEEFULL);
+}
+
+TEST(BigUint, MalformedStringsThrow) {
+  EXPECT_THROW(BigUint::from_string(""), std::invalid_argument);
+  EXPECT_THROW(BigUint::from_string("12a3"), std::invalid_argument);
+  EXPECT_THROW(BigUint::from_string("0xZZ"), std::invalid_argument);
+}
+
+TEST(BigUint, ToU64OverflowThrows) {
+  EXPECT_THROW(((BigUint(1) << 65)).to_u64(), std::overflow_error);
+}
+
+TEST(BigUint, LeadingZeroNormalization) {
+  // (x + y) - y must compare equal to x even across limb boundaries.
+  const BigUint x(7);
+  const BigUint y = BigUint(1) << 96;
+  EXPECT_EQ((x + y) - y, x);
+}
+
+}  // namespace
+}  // namespace kar::rns

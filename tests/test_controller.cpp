@@ -1,0 +1,196 @@
+#include "routing/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/builders.hpp"
+
+namespace kar::routing {
+namespace {
+
+using topo::ProtectionLevel;
+using topo::Scenario;
+
+TEST(Controller, EncodesPaperFig1UnprotectedRoute) {
+  const Scenario s = topo::make_fig1_network();
+  const Controller controller(s.topology);
+  const EncodedRoute route =
+      controller.encode_scenario(s.route, ProtectionLevel::kUnprotected);
+  // Paper §2.2: R = 44 over basis {4, 7, 11} with ports {0, 2, 0}.
+  EXPECT_EQ(route.route_id.to_u64(), 44u);
+  EXPECT_EQ(route.switch_ids(), (std::vector<std::uint64_t>{4, 7, 11}));
+  EXPECT_EQ(route.ports(), (std::vector<std::uint64_t>{0, 2, 0}));
+  EXPECT_EQ(route.primary_count, 3u);
+}
+
+TEST(Controller, EncodesPaperFig1ProtectedRoute) {
+  const Scenario s = topo::make_fig1_network();
+  const Controller controller(s.topology);
+  const EncodedRoute route =
+      controller.encode_scenario(s.route, ProtectionLevel::kPartial);
+  // Paper §2.2: R = 660 once SW5 -> SW11 is grafted in.
+  EXPECT_EQ(route.route_id.to_u64(), 660u);
+  EXPECT_EQ(route.switch_ids(), (std::vector<std::uint64_t>{4, 7, 11, 5}));
+  EXPECT_EQ(route.ports(), (std::vector<std::uint64_t>{0, 2, 0, 0}));
+  EXPECT_EQ(route.primary_count, 3u);
+  EXPECT_EQ(route.assignments.size(), 4u);
+}
+
+TEST(Controller, RouteIdBytesMatchBitLength) {
+  const Scenario s = topo::make_experimental15();
+  const Controller controller(s.topology);
+  const auto unprotected =
+      controller.encode_scenario(s.route, ProtectionLevel::kUnprotected);
+  const auto partial =
+      controller.encode_scenario(s.route, ProtectionLevel::kPartial);
+  const auto full = controller.encode_scenario(s.route, ProtectionLevel::kFull);
+  EXPECT_EQ(unprotected.bit_length, 15u);
+  EXPECT_EQ(partial.bit_length, 28u);
+  EXPECT_EQ(full.bit_length, 43u);
+  EXPECT_EQ(unprotected.route_id_bytes(), 2u);
+  EXPECT_EQ(partial.route_id_bytes(), 4u);
+  EXPECT_EQ(full.route_id_bytes(), 6u);
+}
+
+TEST(Controller, ResiduesDriveThePrimaryPath) {
+  // Every switch on the primary path must, by modulo, forward to its
+  // successor — for all protection levels.
+  const Scenario s = topo::make_experimental15();
+  const Controller controller(s.topology);
+  const topo::Topology& t = s.topology;
+  for (const auto level : {ProtectionLevel::kUnprotected,
+                           ProtectionLevel::kPartial, ProtectionLevel::kFull}) {
+    const EncodedRoute route = controller.encode_scenario(s.route, level);
+    for (std::size_t i = 0; i < s.route.core_path.size(); ++i) {
+      const topo::NodeId node = t.at(s.route.core_path[i]);
+      const std::uint64_t residue = route.route_id.mod_u64(t.switch_id(node));
+      const topo::NodeId expected_next =
+          (i + 1 < s.route.core_path.size()) ? t.at(s.route.core_path[i + 1])
+                                             : t.at(s.route.dst_edge);
+      EXPECT_EQ(t.neighbor(node, static_cast<topo::PortIndex>(residue)),
+                expected_next)
+          << s.route.core_path[i] << " at level " << static_cast<int>(level);
+    }
+  }
+}
+
+TEST(Controller, ProtectionResiduesDriveTowardDestination) {
+  const Scenario s = topo::make_experimental15();
+  const Controller controller(s.topology);
+  const topo::Topology& t = s.topology;
+  const EncodedRoute route =
+      controller.encode_scenario(s.route, ProtectionLevel::kFull);
+  for (const auto& assignment : s.route.protection_at(ProtectionLevel::kFull)) {
+    const topo::NodeId node = t.at(assignment.switch_name);
+    const std::uint64_t residue = route.route_id.mod_u64(t.switch_id(node));
+    EXPECT_EQ(t.neighbor(node, static_cast<topo::PortIndex>(residue)),
+              t.at(assignment.next_hop_name))
+        << assignment.switch_name;
+  }
+}
+
+TEST(Controller, RejectsDisconnectedPath) {
+  const Scenario s = topo::make_fig1_network();
+  const Controller controller(s.topology);
+  const topo::Topology& t = s.topology;
+  // SW4 -> SW5 are not adjacent.
+  EXPECT_THROW(controller.encode_path(t.at("S"), {t.at("SW4"), t.at("SW5")},
+                                      t.at("D")),
+               std::invalid_argument);
+}
+
+TEST(Controller, RejectsWrongSourceAttachment) {
+  const Scenario s = topo::make_fig1_network();
+  const Controller controller(s.topology);
+  const topo::Topology& t = s.topology;
+  // S attaches to SW4, not SW7.
+  EXPECT_THROW(
+      controller.encode_path(t.at("S"), {t.at("SW7"), t.at("SW11")}, t.at("D")),
+      std::invalid_argument);
+}
+
+TEST(Controller, RejectsConflictingProtectionAssignment) {
+  const Scenario s = topo::make_fig1_network();
+  const Controller controller(s.topology);
+  const topo::Topology& t = s.topology;
+  // SW7 is on the path (residue toward SW11); assigning it a different
+  // next hop must be rejected — one residue per switch.
+  EXPECT_THROW(controller.encode_path(t.at("S"),
+                                      {t.at("SW4"), t.at("SW7"), t.at("SW11")},
+                                      t.at("D"), {{t.at("SW7"), t.at("SW5")}}),
+               std::invalid_argument);
+}
+
+TEST(Controller, AcceptsRedundantIdenticalAssignment) {
+  const Scenario s = topo::make_fig1_network();
+  const Controller controller(s.topology);
+  const topo::Topology& t = s.topology;
+  const EncodedRoute route = controller.encode_path(
+      t.at("S"), {t.at("SW4"), t.at("SW7"), t.at("SW11")}, t.at("D"),
+      {{t.at("SW7"), t.at("SW11")}});  // same residue SW7 already holds
+  EXPECT_EQ(route.route_id.to_u64(), 44u);
+  EXPECT_EQ(route.assignments.size(), 3u);  // deduplicated
+}
+
+TEST(Controller, RejectsEdgeEndpointsThatAreNotEdges) {
+  const Scenario s = topo::make_fig1_network();
+  const Controller controller(s.topology);
+  const topo::Topology& t = s.topology;
+  EXPECT_THROW(
+      controller.encode_path(t.at("SW4"), {t.at("SW7")}, t.at("D")),
+      std::invalid_argument);
+  EXPECT_THROW(controller.encode_path(t.at("S"), {}, t.at("D")),
+               std::invalid_argument);
+}
+
+TEST(Controller, RouteBetweenUsesShortestPath) {
+  const Scenario s = topo::make_fig1_network();
+  const Controller controller(s.topology);
+  const topo::Topology& t = s.topology;
+  const auto route = controller.route_between(t.at("S"), t.at("D"));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->route_id.to_u64(), 44u);
+}
+
+TEST(Controller, RouteBetweenDisconnectedIsNullopt) {
+  topo::Topology t;
+  const auto a = t.add_edge_node("A");
+  const auto b = t.add_edge_node("B");
+  t.add_switch("SW5", 5);
+  t.add_link(a, t.at("SW5"));
+  const Controller controller(t);
+  EXPECT_FALSE(controller.route_between(a, b).has_value());
+}
+
+TEST(Controller, ReencodeFromWrongEdgeReachesDestination) {
+  const Scenario s = topo::make_experimental15();
+  const Controller controller(s.topology);
+  const topo::Topology& t = s.topology;
+  const EncodedRoute original =
+      controller.encode_scenario(s.route, ProtectionLevel::kPartial);
+  // Pretend the packet surfaced at AS2 (attached to SW43).
+  const auto fresh = controller.reencode_from(t.at("AS2"), original);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(fresh->src_edge, t.at("AS2"));
+  EXPECT_EQ(fresh->dst_edge, t.at("AS3"));
+  // First hop from AS2 is SW43; its residue must point along a shortest
+  // path to AS3 (SW43 -> SW29).
+  const std::uint64_t residue = fresh->route_id.mod_u64(43);
+  EXPECT_EQ(t.neighbor(t.at("SW43"), static_cast<topo::PortIndex>(residue)),
+            t.at("SW29"));
+}
+
+TEST(Controller, ReencodeKeepsCompatibleProtection) {
+  const Scenario s = topo::make_experimental15();
+  const Controller controller(s.topology);
+  const topo::Topology& t = s.topology;
+  const EncodedRoute original =
+      controller.encode_scenario(s.route, ProtectionLevel::kPartial);
+  const auto fresh = controller.reencode_from(t.at("AS2"), original);
+  ASSERT_TRUE(fresh.has_value());
+  // The partial-protection switches {11, 19, 31} are not on the AS2->AS3
+  // shortest path (SW43-SW29), so their assignments must be preserved.
+  EXPECT_GT(fresh->assignments.size(), fresh->primary_count);
+}
+
+}  // namespace
+}  // namespace kar::routing

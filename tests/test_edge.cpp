@@ -1,0 +1,109 @@
+#include "dataplane/edge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/builders.hpp"
+
+namespace kar::dataplane {
+namespace {
+
+using topo::ProtectionLevel;
+using topo::Scenario;
+
+struct EdgeFixture : public ::testing::Test {
+  EdgeFixture()
+      : scenario(topo::make_experimental15()),
+        controller(scenario.topology),
+        route(controller.encode_scenario(scenario.route,
+                                         ProtectionLevel::kPartial)) {}
+
+  Scenario scenario;
+  routing::Controller controller;
+  routing::EncodedRoute route;
+};
+
+TEST_F(EdgeFixture, ConstructionRejectsSwitches) {
+  EXPECT_THROW(EdgeNode(scenario.topology, scenario.topology.at("SW10"),
+                        controller),
+               std::invalid_argument);
+}
+
+TEST_F(EdgeFixture, StampSetsHeaderAndSize) {
+  const EdgeNode ingress(scenario.topology, scenario.topology.at("AS1"),
+                         controller);
+  Packet packet;
+  ingress.stamp(packet, route, /*payload_bytes=*/1460);
+  EXPECT_EQ(packet.kar.route_id, route.route_id);
+  EXPECT_FALSE(packet.kar.deflected);
+  EXPECT_EQ(packet.src_edge, scenario.topology.at("AS1"));
+  EXPECT_EQ(packet.dst_edge, scenario.topology.at("AS3"));
+  // 54 base + 4 route-id bytes (28 bits) + payload.
+  EXPECT_EQ(packet.size_bytes, kBaseHeaderBytes + 4 + 1460);
+}
+
+TEST_F(EdgeFixture, StampRejectsForeignRoute) {
+  const EdgeNode wrong(scenario.topology, scenario.topology.at("AS2"),
+                       controller);
+  Packet packet;
+  EXPECT_THROW(wrong.stamp(packet, route, 100), std::invalid_argument);
+}
+
+TEST_F(EdgeFixture, DeliveryStripsKarHeader) {
+  const EdgeNode egress(scenario.topology, scenario.topology.at("AS3"),
+                        controller);
+  Packet packet;
+  packet.kar.route_id = route.route_id;
+  packet.kar.deflected = true;
+  packet.dst_edge = scenario.topology.at("AS3");
+  EXPECT_EQ(egress.receive(packet), EdgeNode::Verdict::kDeliver);
+  EXPECT_TRUE(packet.kar.route_id.is_zero());
+  EXPECT_FALSE(packet.kar.deflected);
+}
+
+TEST_F(EdgeFixture, WrongEdgeReencodeRefreshesRouteId) {
+  const EdgeNode bystander(scenario.topology, scenario.topology.at("AS2"),
+                           controller, WrongEdgePolicy::kReencode);
+  Packet packet;
+  packet.kar.route_id = route.route_id;
+  packet.kar.deflected = true;  // HP marking must be cleared on re-encode
+  packet.dst_edge = scenario.topology.at("AS3");
+  EXPECT_EQ(bystander.receive(packet), EdgeNode::Verdict::kReinject);
+  EXPECT_NE(packet.kar.route_id, route.route_id);
+  EXPECT_FALSE(packet.kar.deflected);
+  EXPECT_EQ(packet.reencode_count, 1u);
+  // The fresh route must drive AS2's uplink switch (SW43) toward AS3.
+  const std::uint64_t residue = packet.kar.route_id.mod_u64(43);
+  EXPECT_EQ(scenario.topology.neighbor(scenario.topology.at("SW43"),
+                                       static_cast<topo::PortIndex>(residue)),
+            scenario.topology.at("SW29"));
+}
+
+TEST_F(EdgeFixture, WrongEdgeBouncePolicyKeepsHeader) {
+  const EdgeNode bystander(scenario.topology, scenario.topology.at("AS2"),
+                           controller, WrongEdgePolicy::kBounceBack);
+  Packet packet;
+  packet.kar.route_id = route.route_id;
+  packet.kar.deflected = true;
+  packet.dst_edge = scenario.topology.at("AS3");
+  EXPECT_EQ(bystander.receive(packet), EdgeNode::Verdict::kReinject);
+  EXPECT_EQ(packet.kar.route_id, route.route_id);  // untouched
+  EXPECT_TRUE(packet.kar.deflected);               // marking preserved
+  EXPECT_EQ(packet.reencode_count, 0u);
+}
+
+TEST(EdgeNodeIsolated, ReencodeWithNoRouteDrops) {
+  // An edge with no path to the destination must report kDrop.
+  topo::Topology t;
+  const auto stranded = t.add_edge_node("LONE");
+  const auto dst = t.add_edge_node("DST");
+  t.add_switch("SW5", 5);
+  t.add_link(t.at("SW5"), dst);
+  const routing::Controller controller(t);
+  const EdgeNode edge(t, stranded, controller, WrongEdgePolicy::kReencode);
+  Packet packet;
+  packet.dst_edge = dst;
+  EXPECT_EQ(edge.receive(packet), EdgeNode::Verdict::kDrop);
+}
+
+}  // namespace
+}  // namespace kar::dataplane

@@ -1,0 +1,98 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace kar::sim {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTimeZero) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, FiresInTimestampOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesFireFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  double fired_at = -1;
+  q.schedule_at(5.0, [&] {
+    q.schedule_in(2.5, [&] { fired_at = q.now(); });
+  });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow) {
+  EventQueue q;
+  double fired_at = -1;
+  q.schedule_at(10.0, [&] {
+    q.schedule_at(3.0, [&] { fired_at = q.now(); });  // in the past
+  });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(2.0, [&] { ++fired; });
+  q.schedule_at(5.0, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(3.0), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);  // idle-advanced
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(10.0);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, HandlersCanChainEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 100) q.schedule_in(0.1, tick);
+  };
+  q.schedule_at(0.0, tick);
+  const std::size_t processed = q.run_all();
+  EXPECT_EQ(processed, 100u);
+  EXPECT_NEAR(q.now(), 9.9, 1e-9);
+}
+
+TEST(EventQueue, RunAllRespectsEventBudget) {
+  EventQueue q;
+  std::function<void()> forever = [&] { q.schedule_in(1.0, forever); };
+  q.schedule_at(0.0, forever);
+  EXPECT_EQ(q.run_all(50), 50u);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, NullHandlerThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_at(1.0, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kar::sim

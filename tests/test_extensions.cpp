@@ -1,0 +1,148 @@
+// Tests for the extension modules: header-encoding comparison,
+// forwarding-state model, and latency/jitter accounting.
+#include <gtest/gtest.h>
+
+#include "analysis/latency.hpp"
+#include "analysis/state_model.hpp"
+#include "routing/controller.hpp"
+#include "routing/encodings.hpp"
+#include "topology/builders.hpp"
+
+namespace kar {
+namespace {
+
+using routing::HeaderScheme;
+using topo::ProtectionLevel;
+using topo::Scenario;
+
+// -- encodings ---------------------------------------------------------------
+
+TEST(Encodings, KarRnsMatchesEq9) {
+  const Scenario s = topo::make_experimental15();
+  std::vector<topo::NodeId> core;
+  for (const auto& name : s.route.core_path) core.push_back(s.topology.at(name));
+  const auto cost =
+      routing::primary_header_cost(s.topology, core, HeaderScheme::kKarRns);
+  EXPECT_EQ(cost.bits, 15u);  // Table 1 unprotected
+  EXPECT_TRUE(cost.supports_protection);
+}
+
+TEST(Encodings, PortListCountsPerHopPortFields) {
+  // Fig. 1 route SW4 (2 ports), SW7 (3 ports), SW11 (3 ports):
+  // 1 + 2 + 2 bits of ports + 2 bits of cursor (path length 3).
+  const Scenario s = topo::make_fig1_network();
+  std::vector<topo::NodeId> core = {s.topology.at("SW4"), s.topology.at("SW7"),
+                                    s.topology.at("SW11")};
+  const auto cost =
+      routing::primary_header_cost(s.topology, core, HeaderScheme::kPortList);
+  EXPECT_EQ(cost.bits, 1u + 2u + 2u + 2u);
+  EXPECT_FALSE(cost.supports_protection);
+}
+
+TEST(Encodings, NodeListScalesWithSwitchCount) {
+  const Scenario s = topo::make_experimental15();  // 15 switches -> 4 bits/hop
+  std::vector<topo::NodeId> core;
+  for (const auto& name : s.route.core_path) core.push_back(s.topology.at(name));
+  const auto cost =
+      routing::primary_header_cost(s.topology, core, HeaderScheme::kNodeList);
+  EXPECT_EQ(cost.bits, 4u * 4u + 3u);  // 4 hops x 4 bits + 3-bit cursor
+}
+
+TEST(Encodings, CompareCoversAllSchemesAndProtectionBits) {
+  const Scenario s = topo::make_experimental15();
+  const routing::Controller controller(s.topology);
+  const auto route = controller.encode_scenario(s.route, ProtectionLevel::kFull);
+  const auto costs = routing::compare_header_costs(s.topology, route);
+  ASSERT_EQ(costs.size(), 3u);
+  // The KAR entry reflects the protected route (43 bits), the list entries
+  // only the primary path.
+  bool found_kar = false;
+  for (const auto& cost : costs) {
+    if (cost.scheme == HeaderScheme::kKarRns) {
+      EXPECT_EQ(cost.bits, 43u);
+      found_kar = true;
+    } else {
+      EXPECT_LT(cost.bits, 43u);
+      EXPECT_FALSE(cost.supports_protection);
+    }
+  }
+  EXPECT_TRUE(found_kar);
+}
+
+TEST(Encodings, SchemeNames) {
+  EXPECT_EQ(routing::to_string(HeaderScheme::kPortList), "port-list");
+  EXPECT_EQ(routing::to_string(HeaderScheme::kNodeList), "node-list");
+  EXPECT_EQ(routing::to_string(HeaderScheme::kKarRns), "kar-rns");
+}
+
+// -- state model ---------------------------------------------------------------
+
+TEST(StateModel, SingleFlowCountsPathSwitches) {
+  const Scenario s = topo::make_experimental15();
+  const auto report = analysis::compare_forwarding_state(
+      s.topology, {{s.topology.at("AS1"), s.topology.at("AS3")}});
+  EXPECT_EQ(report.flows, 1u);
+  EXPECT_EQ(report.unroutable_flows, 0u);
+  EXPECT_EQ(report.per_flow_total_entries, 4u);  // SW10, SW7, SW13, SW29
+  EXPECT_EQ(report.per_flow_max_entries, 1u);
+  EXPECT_EQ(report.per_dest_total_entries, 4u);
+  EXPECT_EQ(report.kar_total_entries, 0u);
+  EXPECT_DOUBLE_EQ(report.kar_mean_header_bits, 15.0);  // Table 1
+}
+
+TEST(StateModel, PerFlowGrowsPerDestSaturates) {
+  // Many flows to the same destination: per-flow entries grow linearly,
+  // per-destination entries stay at one per on-path switch.
+  const Scenario s = topo::make_experimental15();
+  std::vector<std::pair<topo::NodeId, topo::NodeId>> flows(
+      10, {s.topology.at("AS1"), s.topology.at("AS3")});
+  const auto report = analysis::compare_forwarding_state(s.topology, flows);
+  EXPECT_EQ(report.per_flow_total_entries, 40u);
+  EXPECT_EQ(report.per_flow_max_entries, 10u);
+  EXPECT_EQ(report.per_dest_total_entries, 4u);  // saturated
+  EXPECT_EQ(report.per_dest_max_entries, 1u);
+}
+
+TEST(StateModel, UnroutableFlowsAreCounted) {
+  topo::Topology t;
+  const auto a = t.add_edge_node("A");
+  const auto b = t.add_edge_node("B");
+  t.add_switch("SW5", 5);
+  t.add_link(a, t.at("SW5"));
+  const auto report = analysis::compare_forwarding_state(t, {{a, b}});
+  EXPECT_EQ(report.unroutable_flows, 1u);
+  EXPECT_EQ(report.per_flow_total_entries, 0u);
+}
+
+// -- latency -------------------------------------------------------------------
+
+TEST(Latency, ComputesDelayAndJitter) {
+  analysis::LatencyRecorder recorder;
+  recorder.record(0.0, 0.010);  // 10 ms
+  recorder.record(1.0, 1.014);  // 14 ms (+4)
+  recorder.record(2.0, 2.012);  // 12 ms (-2)
+  const auto stats = recorder.compute();
+  EXPECT_EQ(recorder.samples(), 3u);
+  EXPECT_NEAR(stats.delay.mean, 0.012, 1e-12);
+  EXPECT_NEAR(stats.jitter_mean, (0.004 + 0.002) / 2.0, 1e-12);
+  EXPECT_NEAR(stats.jitter_max, 0.004, 1e-12);
+  EXPECT_NEAR(stats.p50, 0.012, 1e-12);
+}
+
+TEST(Latency, EmptyAndSingleSample) {
+  analysis::LatencyRecorder recorder;
+  EXPECT_EQ(recorder.compute().delay.n, 0u);
+  recorder.record(0.0, 0.005);
+  const auto stats = recorder.compute();
+  EXPECT_EQ(stats.delay.n, 1u);
+  EXPECT_DOUBLE_EQ(stats.jitter_mean, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p99, 0.005);
+}
+
+TEST(Latency, RejectsNegativeDelay) {
+  analysis::LatencyRecorder recorder;
+  EXPECT_THROW(recorder.record(1.0, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kar

@@ -1,0 +1,88 @@
+#include "core/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/builders.hpp"
+
+namespace kar::core {
+namespace {
+
+using topo::ProtectionLevel;
+
+TEST(Fabric, BuildsFromScenarioAndEncodesPaperRoutes) {
+  Fabric fabric(topo::make_fig1_network());
+  const auto unprotected =
+      fabric.scenario_route_at(ProtectionLevel::kUnprotected);
+  EXPECT_EQ(unprotected.route_id.to_u64(), 44u);
+  const auto partial = fabric.scenario_route_at(ProtectionLevel::kPartial);
+  EXPECT_EQ(partial.route_id.to_u64(), 660u);
+}
+
+TEST(Fabric, BuildsFromBareTopologyWithoutScenario) {
+  topo::Scenario s = topo::make_line(3);
+  Fabric fabric(std::move(s.topology));
+  EXPECT_FALSE(fabric.scenario_route().has_value());
+  EXPECT_THROW(fabric.scenario_route_at(ProtectionLevel::kPartial),
+               std::logic_error);
+  const auto route = fabric.route("SRC", "DST");
+  EXPECT_EQ(route.primary_count, 3u);
+}
+
+TEST(Fabric, RouteRejectsUnknownOrDisconnectedEndpoints) {
+  Fabric fabric(topo::make_fig1_network());
+  EXPECT_THROW(fabric.route("S", "NOPE"), std::out_of_range);
+  // S -> S is not a route.
+  EXPECT_THROW(fabric.route("S", "S"), std::invalid_argument);
+}
+
+TEST(Fabric, BudgetedRouteRespectsBitCeiling) {
+  Fabric fabric(topo::make_experimental15());
+  const auto tight = fabric.route_with_budget("AS1", "AS3", 28);
+  EXPECT_LE(tight.bit_length, 28u);
+  EXPECT_GT(tight.assignments.size(), tight.primary_count);  // some protection
+  const auto roomy = fabric.route_with_budget("AS1", "AS3", 128);
+  EXPECT_GT(roomy.assignments.size(), tight.assignments.size());
+}
+
+TEST(Fabric, EndToEndFlowThroughFacade) {
+  Fabric::Options options;
+  options.network.technique = dataplane::DeflectionTechnique::kNotInputPort;
+  Fabric fabric(topo::make_experimental15(), options);
+  auto flow = fabric.bulk_flow(fabric.scenario_route_at(ProtectionLevel::kPartial),
+                               /*flow_id=*/1);
+  flow->start_at(0.0);
+  fabric.fail_link_at(1.0, "SW7", "SW13");
+  fabric.repair_link_at(2.0, "SW7", "SW13");
+  flow->stop_at(3.0);
+  fabric.run_until(4.0);
+  EXPECT_GT(flow->receiver().stats().delivered_segments, 1000u);
+  EXPECT_GT(fabric.network().counters().deflections, 0u);
+  EXPECT_DOUBLE_EQ(fabric.now(), 4.0);
+}
+
+TEST(Fabric, ProbeStreamThroughFacade) {
+  Fabric fabric(topo::make_fig1_network());
+  auto probe = fabric.probe_stream(
+      fabric.scenario_route_at(ProtectionLevel::kPartial), 7, 0.01);
+  std::uint64_t received = 0;
+  probe->set_receive_handler(
+      [&](std::uint64_t, const dataplane::Packet&) { ++received; });
+  probe->start_at(0.0);
+  probe->stop_at(1.0);
+  fabric.run_until(2.0);
+  EXPECT_EQ(probe->sent(), 100u);
+  EXPECT_EQ(received, 100u);
+}
+
+TEST(Fabric, BulkFlowAutoComputesReverseRoute) {
+  Fabric fabric(topo::make_rnp28());
+  auto flow = fabric.bulk_flow(
+      fabric.scenario_route_at(ProtectionLevel::kPartial), 1);
+  flow->start_at(0.0);
+  flow->stop_at(1.0);
+  fabric.run_until(2.0);
+  EXPECT_GT(flow->receiver().stats().delivered_segments, 100u);
+}
+
+}  // namespace
+}  // namespace kar::core

@@ -1,0 +1,136 @@
+// Randomized cross-checks: BigUint arithmetic against native 128-bit
+// references, topology-serialization round trips on random graphs, and
+// Yen's k-shortest-paths structural invariants on the RNP backbone.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "routing/paths.hpp"
+#include "rns/biguint.hpp"
+#include "topology/builders.hpp"
+#include "topology/io.hpp"
+
+namespace kar {
+namespace {
+
+using rns::BigUint;
+
+unsigned __int128 to_u128(const BigUint& value) {
+  unsigned __int128 out = 0;
+  const auto& limbs = value.limbs();
+  for (std::size_t i = limbs.size(); i-- > 0;) {
+    out = (out << 32) | limbs[i];
+  }
+  return out;
+}
+
+class BigUintFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigUintFuzz, ArithmeticMatches128BitReference) {
+  common::Rng rng(GetParam());
+  for (int iter = 0; iter < 300; ++iter) {
+    // Operands sized so that products stay within 128 bits.
+    const std::uint64_t a64 = rng() >> static_cast<int>(rng.below(60));
+    const std::uint64_t b64 = rng() >> static_cast<int>(rng.below(60));
+    const auto a = static_cast<unsigned __int128>(a64);
+    const auto b = static_cast<unsigned __int128>(b64);
+    const BigUint big_a(a64);
+    const BigUint big_b(b64);
+
+    EXPECT_EQ(to_u128(big_a + big_b), a + b);
+    EXPECT_EQ(to_u128(big_a * big_b), a * b);
+    if (a64 >= b64) {
+      EXPECT_EQ(to_u128(big_a - big_b), a - b);
+    }
+    if (b64 != 0) {
+      const auto [quotient, remainder] = big_a.divmod(big_b);
+      EXPECT_EQ(to_u128(quotient), a / b);
+      EXPECT_EQ(to_u128(remainder), a % b);
+      EXPECT_EQ(big_a.mod_u64(b64), static_cast<std::uint64_t>(a % b));
+    }
+    const auto shift = rng.below(63);
+    EXPECT_EQ(to_u128(big_a << shift), a << shift);
+    EXPECT_EQ(to_u128(big_a >> shift), a >> shift);
+  }
+}
+
+TEST_P(BigUintFuzz, MultiLimbDivModReconstructs) {
+  common::Rng rng(GetParam() ^ 0xFACEULL);
+  for (int iter = 0; iter < 40; ++iter) {
+    // Build ~160-bit dividend and ~80-bit divisor from random pieces.
+    BigUint n = (BigUint(rng()) << 96) + (BigUint(rng()) << 48) + BigUint(rng());
+    BigUint d = (BigUint(rng() | 1) << 16) + BigUint(rng());
+    const auto [quotient, remainder] = n.divmod(d);
+    EXPECT_EQ(quotient * d + remainder, n);
+    EXPECT_LT(remainder, d);
+    // String round trip on the same values.
+    EXPECT_EQ(BigUint::from_string(n.to_string()), n);
+    EXPECT_EQ(BigUint::from_string("0x" + n.to_hex()), n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigUintFuzz, ::testing::Range<std::uint64_t>(1, 9));
+
+class TopologyIoFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopologyIoFuzz, RandomTopologiesRoundTripThroughText) {
+  const topo::Scenario s = topo::make_random_connected(
+      8 + GetParam() % 10, 4 + GetParam() % 7, GetParam());
+  const std::string text = topo::serialize_topology(s.topology);
+  const topo::Topology parsed = topo::parse_topology_string(text);
+  ASSERT_EQ(parsed.node_count(), s.topology.node_count());
+  ASSERT_EQ(parsed.link_count(), s.topology.link_count());
+  for (topo::NodeId n = 0; n < s.topology.node_count(); ++n) {
+    EXPECT_EQ(parsed.kind(n), s.topology.kind(n));
+    EXPECT_EQ(parsed.name(n), s.topology.name(n));
+    EXPECT_EQ(parsed.port_count(n), s.topology.port_count(n));
+    for (topo::PortIndex p = 0; p < s.topology.port_count(n); ++p) {
+      EXPECT_EQ(parsed.neighbor(n, p), s.topology.neighbor(n, p));
+    }
+  }
+  // Serialization is deterministic (stable output for tooling).
+  EXPECT_EQ(topo::serialize_topology(parsed), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologyIoFuzz,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(KspStructural, RnpPathsAreSimpleDistinctAndOrdered) {
+  const topo::Scenario s = topo::make_rnp28();
+  const auto paths = routing::k_shortest_paths(
+      s.topology, s.topology.at("AS1"), s.topology.at("AS-SP"), 12);
+  ASSERT_GE(paths.size(), 6u);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    // Endpoints correct.
+    EXPECT_EQ(paths[i].nodes.front(), s.topology.at("AS1"));
+    EXPECT_EQ(paths[i].nodes.back(), s.topology.at("AS-SP"));
+    // Consecutive nodes adjacent; intermediate nodes are core switches.
+    for (std::size_t j = 0; j + 1 < paths[i].nodes.size(); ++j) {
+      EXPECT_TRUE(s.topology
+                      .link_between(paths[i].nodes[j], paths[i].nodes[j + 1])
+                      .has_value());
+      if (j > 0) {
+        EXPECT_EQ(s.topology.kind(paths[i].nodes[j]),
+                  topo::NodeKind::kCoreSwitch);
+      }
+    }
+    // Loopless.
+    auto sorted = paths[i].nodes;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+    // Ordered by cost, pairwise distinct.
+    if (i > 0) {
+      EXPECT_GE(paths[i].cost, paths[i - 1].cost);
+    }
+    for (std::size_t j = i + 1; j < paths.size(); ++j) {
+      EXPECT_NE(paths[i].nodes, paths[j].nodes);
+    }
+    // Cost equals hop count under the default metric.
+    EXPECT_DOUBLE_EQ(paths[i].cost,
+                     static_cast<double>(paths[i].nodes.size() - 1));
+  }
+}
+
+}  // namespace
+}  // namespace kar

@@ -1,0 +1,109 @@
+#include "routing/id_assign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rns/crt.hpp"
+#include "rns/modular.hpp"
+#include "topology/builders.hpp"
+
+namespace kar::routing {
+namespace {
+
+using topo::NodeId;
+using topo::NodeKind;
+using topo::Scenario;
+
+std::vector<std::uint64_t> id_values(
+    const std::unordered_map<NodeId, topo::SwitchId>& ids) {
+  std::vector<std::uint64_t> out;
+  out.reserve(ids.size());
+  for (const auto& [node, id] : ids) {
+    (void)node;
+    out.push_back(id);
+  }
+  return out;
+}
+
+TEST(IdAssigner, AscendingProducesValidAssignment) {
+  const Scenario s = topo::make_experimental15();
+  const auto ids = assign_switch_ids(s.topology, IdStrategy::kAscending);
+  EXPECT_EQ(ids.size(), 15u);
+  EXPECT_TRUE(rns::pairwise_coprime(id_values(ids)));
+  for (const auto& [node, id] : ids) {
+    EXPECT_GE(id, s.topology.port_count(node)) << s.topology.name(node);
+    EXPECT_GE(id, 2u);
+  }
+}
+
+TEST(IdAssigner, DegreeDescendingGivesSmallIdsToHubs) {
+  const Scenario s = topo::make_rnp28();
+  const auto ids = assign_switch_ids(s.topology, IdStrategy::kDegreeDescending);
+  // SW13 is the highest-degree switch (7 core links); it must receive one
+  // of the smallest assigned IDs.
+  const NodeId hub = s.topology.at("SW13");
+  auto values = id_values(ids);
+  std::sort(values.begin(), values.end());
+  EXPECT_LE(ids.at(hub), values[2]) << "hub did not get a small id";
+}
+
+TEST(IdAssigner, PrimesOnlyStrategyYieldsPrimes) {
+  const Scenario s = topo::make_experimental15();
+  const auto ids = assign_switch_ids(s.topology, IdStrategy::kPrimesAscending);
+  for (const auto& [node, id] : ids) {
+    (void)node;
+    EXPECT_TRUE(rns::is_prime_u64(id)) << id;
+  }
+  EXPECT_TRUE(rns::pairwise_coprime(id_values(ids)));
+}
+
+TEST(IdAssigner, DegreeAwareReducesRouteBits) {
+  // The motivating property: for the RNP route through high-degree hubs,
+  // degree-aware assignment must not need more bits than prime-ascending
+  // in insertion order.
+  const Scenario s = topo::make_rnp28();
+  const auto degree_ids =
+      assign_switch_ids(s.topology, IdStrategy::kDegreeDescending);
+  const auto naive_ids =
+      assign_switch_ids(s.topology, IdStrategy::kPrimesAscending);
+  const auto bits_for = [&](const auto& ids) {
+    std::vector<std::uint64_t> route_ids;
+    for (const auto& name : s.route.core_path) {
+      route_ids.push_back(ids.at(s.topology.at(name)));
+    }
+    return rns::route_id_bit_length(route_ids);
+  };
+  EXPECT_LE(bits_for(degree_ids), bits_for(naive_ids));
+}
+
+TEST(RelabelTopology, PreservesStructure) {
+  const Scenario s = topo::make_fig1_network();
+  const auto ids = assign_switch_ids(s.topology, IdStrategy::kAscending);
+  const topo::Topology relabeled = relabel_topology(s.topology, ids);
+  EXPECT_EQ(relabeled.node_count(), s.topology.node_count());
+  EXPECT_EQ(relabeled.link_count(), s.topology.link_count());
+  // Node handles, kinds and port wiring carry over.
+  for (NodeId n = 0; n < s.topology.node_count(); ++n) {
+    EXPECT_EQ(relabeled.kind(n), s.topology.kind(n));
+    EXPECT_EQ(relabeled.port_count(n), s.topology.port_count(n));
+    for (topo::PortIndex p = 0; p < s.topology.port_count(n); ++p) {
+      EXPECT_EQ(relabeled.neighbor(n, p), s.topology.neighbor(n, p));
+    }
+  }
+  // Edge names survive; switches renamed to SW<id>.
+  EXPECT_TRUE(relabeled.find("S").has_value());
+  EXPECT_TRUE(relabeled.find("D").has_value());
+  for (const auto& [node, id] : ids) {
+    EXPECT_EQ(relabeled.switch_id(node), id);
+  }
+}
+
+TEST(RelabelTopology, MissingIdThrows) {
+  const Scenario s = topo::make_fig1_network();
+  std::unordered_map<NodeId, topo::SwitchId> incomplete;
+  EXPECT_THROW(relabel_topology(s.topology, incomplete), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kar::routing

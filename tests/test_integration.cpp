@@ -1,0 +1,234 @@
+// End-to-end scenario tests: the paper's qualitative claims exercised
+// through the full stack (topology -> controller -> encoded route -> DES
+// network -> TCP), at reduced time scale so the suite stays fast.
+#include <gtest/gtest.h>
+
+#include "analysis/reorder.hpp"
+#include "routing/controller.hpp"
+#include "sim/network.hpp"
+#include "topology/builders.hpp"
+#include "transport/flows.hpp"
+
+namespace kar {
+namespace {
+
+using dataplane::DeflectionTechnique;
+using topo::ProtectionLevel;
+using topo::Scenario;
+using transport::BulkTransferFlow;
+using transport::FlowDispatcher;
+using transport::TcpParams;
+
+/// Runs a compressed Fig.4-style experiment on the 15-node network:
+/// bulk TCP AS1 -> AS3, SW7-SW13 fails during [t_fail, t_repair).
+struct Fig4Run {
+  double before_mbps = 0;
+  double during_mbps = 0;
+  double after_mbps = 0;
+  std::uint64_t out_of_order = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t drops = 0;
+};
+
+Fig4Run run_fig4(DeflectionTechnique technique, ProtectionLevel level,
+                 const std::string& fail_a = "SW7",
+                 const std::string& fail_b = "SW13") {
+  Scenario s = topo::make_experimental15();
+  const routing::Controller controller(s.topology);
+  sim::NetworkConfig config;
+  config.technique = technique;
+  config.seed = 1234;
+  sim::Network net(s.topology, controller, config);
+  FlowDispatcher dispatcher(net);
+  const auto forward = controller.encode_scenario(s.route, level);
+  // ACKs return over the backup chain SW29-SW31-SW19-SW11-SW10, disjoint
+  // from all three studied failure links, so the measurement isolates
+  // forward-path deflection effects (the ReverseProtection test covers
+  // ACK-side failures explicitly).
+  topo::ScenarioRoute reverse_route;
+  reverse_route.src_edge = s.route.dst_edge;
+  reverse_route.dst_edge = s.route.src_edge;
+  reverse_route.core_path = {"SW29", "SW31", "SW19", "SW11", "SW10"};
+  const auto reverse =
+      controller.encode_scenario(reverse_route, ProtectionLevel::kUnprotected);
+  TcpParams params;
+  params.receiver_window_segments = 256;
+  BulkTransferFlow flow(net, dispatcher, forward, reverse, 1, params, 0.25);
+
+  constexpr double kFail = 2.0;
+  constexpr double kRepair = 4.0;
+  constexpr double kEnd = 6.0;
+  flow.start_at(0.0);
+  net.fail_link_at(kFail, fail_a, fail_b);
+  net.repair_link_at(kRepair, fail_a, fail_b);
+  flow.stop_at(kEnd);
+  net.events().run_until(kEnd + 1.0);
+
+  Fig4Run result;
+  result.before_mbps = flow.receiver().goodput().mbps_between(1.0, kFail);
+  result.during_mbps = flow.receiver().goodput().mbps_between(kFail + 0.25, kRepair);
+  result.after_mbps = flow.receiver().goodput().mbps_between(kRepair + 0.5, kEnd);
+  result.out_of_order = flow.receiver().stats().out_of_order_segments;
+  result.fast_retransmits = flow.sender().stats().fast_retransmits;
+  result.drops = net.counters().total_drops();
+  return result;
+}
+
+TEST(Fig4Style, NoDeflectionStallsDuringFailure) {
+  const Fig4Run r = run_fig4(DeflectionTechnique::kNone, ProtectionLevel::kPartial);
+  EXPECT_GT(r.before_mbps, 100.0);       // healthy: near nominal 200
+  EXPECT_LT(r.during_mbps, 5.0);         // traffic stops
+  EXPECT_GT(r.after_mbps, 50.0);         // recovers after repair
+  EXPECT_GT(r.drops, 0u);
+}
+
+TEST(Fig4Style, NipKeepsTrafficFlowingThroughFailure) {
+  const Fig4Run r =
+      run_fig4(DeflectionTechnique::kNotInputPort, ProtectionLevel::kPartial);
+  EXPECT_GT(r.before_mbps, 100.0);
+  // Paper: NIP holds roughly 75% of nominal during the failure; we assert
+  // the qualitative bound (well above half of the healthy rate).
+  EXPECT_GT(r.during_mbps, r.before_mbps * 0.4);
+  EXPECT_GT(r.after_mbps, 100.0);
+}
+
+TEST(Fig4Style, TechniqueOrderingNipBeatsHotPotato) {
+  const Fig4Run nip =
+      run_fig4(DeflectionTechnique::kNotInputPort, ProtectionLevel::kPartial);
+  const Fig4Run hp =
+      run_fig4(DeflectionTechnique::kHotPotato, ProtectionLevel::kPartial);
+  const Fig4Run none =
+      run_fig4(DeflectionTechnique::kNone, ProtectionLevel::kPartial);
+  // The paper's ordering in Fig. 4: NIP > HP > no deflection (during failure).
+  EXPECT_GT(nip.during_mbps, hp.during_mbps);
+  EXPECT_GT(hp.during_mbps, none.during_mbps);
+}
+
+TEST(Fig4Style, DeflectionCausesReordering) {
+  // With the SW7-SW13 failure and partial protection, NIP drives packets
+  // over the longer SW19-SW31 branch while in-flight packets complete on
+  // the short path: reordering and spurious retransmits must show up.
+  const Fig4Run r =
+      run_fig4(DeflectionTechnique::kNotInputPort, ProtectionLevel::kPartial);
+  EXPECT_GT(r.out_of_order, 0u);
+  EXPECT_GT(r.fast_retransmits, 0u);
+}
+
+TEST(Fig5Style, FullProtectionBeatsPartialForSw10Failure) {
+  // Paper Fig. 5: failure at SW10-SW7 is where partial protection loses
+  // 2/3 of deflected packets to unprotected wandering; full protection
+  // drives all three branches.
+  const Fig4Run partial = run_fig4(DeflectionTechnique::kNotInputPort,
+                                   ProtectionLevel::kPartial, "SW10", "SW7");
+  const Fig4Run full = run_fig4(DeflectionTechnique::kNotInputPort,
+                                ProtectionLevel::kFull, "SW10", "SW7");
+  EXPECT_GT(full.during_mbps, partial.during_mbps * 1.2);
+}
+
+TEST(Fig5Style, PartialMatchesFullWhenCoverageSuffices) {
+  // For SW13-SW29 failures the partial set already encloses the alternative
+  // path (paper §3.1): partial and full should be close.
+  const Fig4Run partial = run_fig4(DeflectionTechnique::kNotInputPort,
+                                   ProtectionLevel::kPartial, "SW13", "SW29");
+  const Fig4Run full = run_fig4(DeflectionTechnique::kNotInputPort,
+                                ProtectionLevel::kFull, "SW13", "SW29");
+  EXPECT_GT(partial.during_mbps, 10.0);
+  EXPECT_NEAR(partial.during_mbps / full.during_mbps, 1.0, 0.35);
+}
+
+TEST(Fig8Style, ProtectionLoopDegradesButDelivers) {
+  Scenario s = topo::make_fig8_redundant();
+  const routing::Controller controller(s.topology);
+  sim::NetworkConfig config;
+  config.technique = DeflectionTechnique::kNotInputPort;
+  sim::Network net(s.topology, controller, config);
+  FlowDispatcher dispatcher(net);
+  const auto forward = controller.encode_scenario(s.route, ProtectionLevel::kPartial);
+  // ACKs ride the redundant SW113-SW109-SW73 path (a different route ID may
+  // freely use the parallel branch), so the failure hits only the data path.
+  topo::ScenarioRoute reverse_route;
+  reverse_route.src_edge = s.route.dst_edge;
+  reverse_route.dst_edge = s.route.src_edge;
+  reverse_route.core_path = {"SW113", "SW109", "SW73", "SW41", "SW13", "SW7"};
+  const auto reverse =
+      controller.encode_scenario(reverse_route, ProtectionLevel::kUnprotected);
+  TcpParams params;
+  params.receiver_window_segments = 256;
+  BulkTransferFlow flow(net, dispatcher, forward, reverse, 1, params, 0.25);
+  flow.start_at(0.0);
+  net.fail_link_at(2.0, "SW73", "SW107");
+  flow.stop_at(5.0);
+  net.events().run_until(6.0);
+  const double before = flow.receiver().goodput().mbps_between(1.0, 2.0);
+  const double during = flow.receiver().goodput().mbps_between(2.5, 5.0);
+  EXPECT_GT(before, 100.0);
+  // Liveness: the protection loop keeps delivering (the paper reports a
+  // drop to 54.8% of nominal; our plain NewReno-without-SACK substrate is
+  // far more reorder-sensitive, so we assert survival + degradation).
+  EXPECT_GT(during, 2.0);
+  EXPECT_LT(during, before * 0.85);
+}
+
+TEST(HotPotatoEndToEnd, WrongEdgeReencodeRescuesWalkers) {
+  // HP random walks frequently surface at AS2; the re-encode service must
+  // get them to AS3 and the network must count those re-encodes.
+  Scenario s = topo::make_experimental15();
+  const routing::Controller controller(s.topology);
+  sim::NetworkConfig config;
+  config.technique = DeflectionTechnique::kHotPotato;
+  config.seed = 77;
+  sim::Network net(s.topology, controller, config);
+  const auto route =
+      controller.encode_scenario(s.route, ProtectionLevel::kUnprotected);
+  net.fail_link_at(0.0, "SW7", "SW13");
+  net.events().run_until(0.001);
+  std::uint64_t delivered = 0;
+  net.set_delivery_handler(route.dst_edge,
+                           [&](const dataplane::Packet&) { ++delivered; });
+  // Pace injections (1 ms apart) so the uplink queue is never the limit.
+  for (int i = 0; i < 200; ++i) {
+    net.events().schedule_at(0.001 * (i + 1), [&net, &route, i] {
+      dataplane::Packet p;
+      p.transport = dataplane::Datagram{static_cast<std::uint64_t>(i)};
+      net.edge_at(route.src_edge).stamp(p, route, 100);
+      net.inject(route.src_edge, std::move(p));
+    });
+  }
+  net.events().run_all();
+  EXPECT_EQ(delivered, 200u);  // hitless: nothing lost, only detoured
+  EXPECT_GT(net.counters().reencodes, 0u);
+  EXPECT_GT(net.counters().deflections, 0u);
+}
+
+TEST(ReverseProtection, AckPathFailureIsAlsoSurvivable) {
+  // Fail a link that only the ACK path protection covers: data flows
+  // forward on the unprotected short path while ACKs detour.
+  Scenario s = topo::make_experimental15();
+  const routing::Controller controller(s.topology);
+  sim::NetworkConfig config;
+  config.technique = DeflectionTechnique::kNotInputPort;
+  sim::Network net(s.topology, controller, config);
+  FlowDispatcher dispatcher(net);
+  const auto forward =
+      controller.encode_scenario(s.route, ProtectionLevel::kPartial);
+  topo::ScenarioRoute reverse_route;
+  reverse_route.src_edge = s.route.dst_edge;
+  reverse_route.dst_edge = s.route.src_edge;
+  reverse_route.core_path.assign(s.route.core_path.rbegin(),
+                                 s.route.core_path.rend());
+  // Reverse protection: mirror tree toward SW10.
+  reverse_route.partial_protection = {
+      {"SW31", "SW19"}, {"SW19", "SW11"}, {"SW11", "SW10"}};
+  const auto reverse =
+      controller.encode_scenario(reverse_route, ProtectionLevel::kPartial);
+  BulkTransferFlow flow(net, dispatcher, forward, reverse, 1);
+  flow.start_at(0.0);
+  net.fail_link_at(1.5, "SW7", "SW13");
+  flow.stop_at(4.0);
+  net.events().run_until(5.0);
+  // Both directions cross SW7-SW13; both survive via their protections.
+  EXPECT_GT(flow.receiver().goodput().mbps_between(2.0, 4.0), 20.0);
+}
+
+}  // namespace
+}  // namespace kar

@@ -1,0 +1,102 @@
+#include "topology/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/builders.hpp"
+
+namespace kar::topo {
+namespace {
+
+constexpr const char* kSample = R"(# tiny network
+switch SW5 5
+switch SW7 7
+edge AS1
+link SW5 SW7 rate=1e9 delay=0.002 queue=64
+link AS1 SW5
+down SW5 SW7
+)";
+
+TEST(TopologyParser, ParsesSample) {
+  const Topology t = parse_topology_string(kSample);
+  EXPECT_EQ(t.node_count(), 3u);
+  EXPECT_EQ(t.link_count(), 2u);
+  EXPECT_EQ(t.switch_id(t.at("SW5")), 5u);
+  const auto link = t.link_between(t.at("SW5"), t.at("SW7"));
+  ASSERT_TRUE(link.has_value());
+  EXPECT_DOUBLE_EQ(t.link(*link).params.rate_bps, 1e9);
+  EXPECT_DOUBLE_EQ(t.link(*link).params.delay_s, 0.002);
+  EXPECT_EQ(t.link(*link).params.queue_packets, 64u);
+  EXPECT_FALSE(t.link_up(*link));  // the "down" directive
+  // Default link params on the second link.
+  const auto uplink = t.link_between(t.at("AS1"), t.at("SW5"));
+  ASSERT_TRUE(uplink.has_value());
+  EXPECT_TRUE(t.link_up(*uplink));
+}
+
+TEST(TopologyParser, CommentsAndBlankLinesIgnored) {
+  const Topology t = parse_topology_string("\n# only comments\n\n  \n");
+  EXPECT_EQ(t.node_count(), 0u);
+}
+
+TEST(TopologyParser, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_topology_string("switch SW5 5\nbogus directive\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TopologyParser, RejectsMalformedInput) {
+  EXPECT_THROW(parse_topology_string("switch OnlyName\n"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_string("switch X notanumber\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_topology_string("link A B\n"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_string("switch A 5\nedge E\nlink A E bad\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_topology_string("switch A 5\nedge E\nlink A E speed=2\n"),
+      std::invalid_argument);
+  EXPECT_THROW(parse_topology_string("down A B\n"), std::invalid_argument);
+}
+
+TEST(TopologyParser, RoundTripsThroughSerialize) {
+  const Scenario s = make_experimental15();
+  const std::string text = serialize_topology(s.topology);
+  const Topology parsed = parse_topology_string(text);
+  EXPECT_EQ(parsed.node_count(), s.topology.node_count());
+  EXPECT_EQ(parsed.link_count(), s.topology.link_count());
+  // Structure: every link of the original exists in the parsed copy with
+  // identical endpoints and parameters.
+  for (LinkId l = 0; l < s.topology.link_count(); ++l) {
+    const Link& orig = s.topology.link(l);
+    const auto found = parsed.link_between(
+        parsed.at(s.topology.name(orig.a.node)),
+        parsed.at(s.topology.name(orig.b.node)));
+    ASSERT_TRUE(found.has_value());
+    EXPECT_DOUBLE_EQ(parsed.link(*found).params.rate_bps, orig.params.rate_bps);
+  }
+}
+
+TEST(TopologyParser, RoundTripPreservesFailedLinks) {
+  Scenario s = make_fig1_network();
+  s.topology.fail_link("SW7", "SW11");
+  const Topology parsed = parse_topology_string(serialize_topology(s.topology));
+  const auto link = parsed.link_between(parsed.at("SW7"), parsed.at("SW11"));
+  ASSERT_TRUE(link.has_value());
+  EXPECT_FALSE(parsed.link_up(*link));
+}
+
+TEST(Graphviz, MentionsEveryNodeAndFailedLinkStyle) {
+  Scenario s = make_fig1_network();
+  s.topology.fail_link("SW7", "SW11");
+  const std::string dot = to_graphviz(s.topology);
+  for (const char* name : {"SW4", "SW5", "SW7", "SW11", "S", "D"}) {
+    EXPECT_NE(dot.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  EXPECT_NE(dot.find("graph kar {"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kar::topo

@@ -1,0 +1,179 @@
+#include "analysis/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/walks.hpp"
+#include "routing/controller.hpp"
+#include "topology/builders.hpp"
+
+namespace kar::analysis {
+namespace {
+
+using dataplane::DeflectionTechnique;
+using topo::ProtectionLevel;
+using topo::Scenario;
+
+TEST(Markov, HealthyRouteIsDeterministic) {
+  const Scenario s = topo::make_fig1_network();
+  const routing::Controller controller(s.topology);
+  const auto route =
+      controller.encode_scenario(s.route, ProtectionLevel::kUnprotected);
+  const auto result = analyze_deflection(s.topology, route,
+                                         DeflectionTechnique::kNotInputPort);
+  EXPECT_DOUBLE_EQ(result.delivery_probability, 1.0);
+  EXPECT_DOUBLE_EQ(result.expected_hops, 3.0);
+  EXPECT_DOUBLE_EQ(result.expected_hops_given_delivery, 3.0);
+  EXPECT_DOUBLE_EQ(result.drop_probability, 0.0);
+}
+
+TEST(Markov, NoDeflectionLosesEverythingDuringFailure) {
+  Scenario s = topo::make_fig1_network();
+  const routing::Controller controller(s.topology);
+  const auto route =
+      controller.encode_scenario(s.route, ProtectionLevel::kUnprotected);
+  s.topology.fail_link("SW7", "SW11");
+  const auto result =
+      analyze_deflection(s.topology, route, DeflectionTechnique::kNone);
+  EXPECT_DOUBLE_EQ(result.delivery_probability, 0.0);
+  EXPECT_DOUBLE_EQ(result.drop_probability, 1.0);
+  EXPECT_DOUBLE_EQ(result.expected_hops, 2.0);  // SW4, SW7, then dropped
+}
+
+TEST(Markov, DrivenDeflectionDeliversDeterministically) {
+  Scenario s = topo::make_fig1_network();
+  const routing::Controller controller(s.topology);
+  const auto route =
+      controller.encode_scenario(s.route, ProtectionLevel::kPartial);
+  s.topology.fail_link("SW7", "SW11");
+  const auto result = analyze_deflection(s.topology, route,
+                                         DeflectionTechnique::kNotInputPort);
+  EXPECT_NEAR(result.delivery_probability, 1.0, 1e-9);
+  EXPECT_NEAR(result.expected_hops, 4.0, 1e-9);  // SW4,SW7,SW5,SW11
+}
+
+TEST(Markov, AvpBouncesInflateExpectedHops) {
+  Scenario s = topo::make_fig1_network();
+  const routing::Controller controller(s.topology);
+  const auto route =
+      controller.encode_scenario(s.route, ProtectionLevel::kPartial);
+  s.topology.fail_link("SW7", "SW11");
+  const auto avp = analyze_deflection(s.topology, route,
+                                      DeflectionTechnique::kAnyValidPort);
+  const auto nip = analyze_deflection(s.topology, route,
+                                      DeflectionTechnique::kNotInputPort);
+  EXPECT_NEAR(avp.delivery_probability, 1.0, 1e-9);
+  // AVP flips a coin at SW7 between SW4 (bounce, +2 hops with another coin
+  // waiting) and SW5; exact expectation is strictly above NIP's 4.
+  EXPECT_GT(avp.expected_hops, nip.expected_hops + 0.5);
+}
+
+TEST(Markov, AvpBounceExpectationClosedForm) {
+  // Hand-computable chain: with SW7-SW11 down and R=660:
+  //   at SW7 (from SW4): uniform over {SW4, SW5}.
+  //   via SW4: 44 mod 4 = 0 -> straight back to SW7 (2 extra hops).
+  //   via SW5: 660 mod 5 = 0 -> SW11 -> D.
+  // E[hops] = 2 (SW4,SW7) + E[tail at SW7], where
+  //   E[tail] = 1/2 (1 + 1: SW5,SW11) + 1/2 (2 + E[tail]).
+  // => E[tail] = 4, total = 6.
+  Scenario s = topo::make_fig1_network();
+  const routing::Controller controller(s.topology);
+  const auto route =
+      controller.encode_scenario(s.route, ProtectionLevel::kPartial);
+  s.topology.fail_link("SW7", "SW11");
+  const auto avp = analyze_deflection(s.topology, route,
+                                      DeflectionTechnique::kAnyValidPort);
+  EXPECT_NEAR(avp.expected_hops, 6.0, 1e-9);
+}
+
+TEST(Markov, MatchesMonteCarloOnFig1) {
+  Scenario s = topo::make_fig1_network();
+  const routing::Controller controller(s.topology);
+  const auto route =
+      controller.encode_scenario(s.route, ProtectionLevel::kPartial);
+  s.topology.fail_link("SW7", "SW11");
+  const auto exact = analyze_deflection(s.topology, route,
+                                        DeflectionTechnique::kAnyValidPort);
+  WalkConfig config;
+  config.technique = DeflectionTechnique::kAnyValidPort;
+  const auto sampled =
+      sample_walks(s.topology, controller, route, config, 20000, 7);
+  EXPECT_NEAR(sampled.delivery_rate, exact.delivery_probability, 0.01);
+  EXPECT_NEAR(sampled.hops.mean, exact.expected_hops_given_delivery, 0.15);
+}
+
+TEST(Markov, Fig8ProtectionLoopGeometry) {
+  // Paper §3.2 (Fig. 8): failure of SW73-SW107 leaves a coin flip between
+  // SW109 (delivers) and SW71 (protection loop back to SW73, 4 hops).
+  // Delivery probability is 1; the loop adds a geometric number of rounds.
+  Scenario s = topo::make_fig8_redundant();
+  const routing::Controller controller(s.topology);
+  const auto route =
+      controller.encode_scenario(s.route, ProtectionLevel::kPartial);
+  s.topology.fail_link("SW73", "SW107");
+  const auto result = analyze_deflection(s.topology, route,
+                                         DeflectionTechnique::kNotInputPort);
+  EXPECT_NEAR(result.delivery_probability, 1.0, 1e-9);
+  // Success-only path costs 6 decisions (SW7,13,41,73,109,113); each failed
+  // coin flip at SW73 adds the 4-decision loop SW71,17,41,73. Expected
+  // retries with p = 1/2 is 1, so E[hops] = 6 + 1 * 4 = 10.
+  EXPECT_NEAR(result.expected_hops, 10.0, 1e-9);
+}
+
+TEST(Markov, Sw10SplitExactThirds) {
+  // Exact version of the paper's 2/3 claim: with partial protection and a
+  // SW10-SW7 failure, delivery still happens with probability 1 (walks
+  // re-enter the fabric), but expected hops blow up versus full protection.
+  Scenario s = topo::make_experimental15();
+  const routing::Controller controller(s.topology);
+  const auto partial =
+      controller.encode_scenario(s.route, ProtectionLevel::kPartial);
+  const auto full = controller.encode_scenario(s.route, ProtectionLevel::kFull);
+  s.topology.fail_link("SW10", "SW7");
+  const auto partial_result = analyze_deflection(
+      s.topology, partial, DeflectionTechnique::kNotInputPort);
+  const auto full_result =
+      analyze_deflection(s.topology, full, DeflectionTechnique::kNotInputPort);
+  // Full protection drives every branch: strictly fewer expected hops.
+  EXPECT_GT(partial_result.expected_hops, full_result.expected_hops);
+  EXPECT_NEAR(full_result.delivery_probability, 1.0, 1e-9);
+  // Under full protection all three branches are driven:
+  // 1/3 * (SW11: 10,11,19,31,29 = 5 hops? SW10,SW11,SW19,SW31,SW29)
+  // 1/3 * (SW10,SW17,SW43,SW29) = 4 hops, 1/3 * (SW10,SW37,SW17,SW43,SW29).
+  EXPECT_NEAR(full_result.expected_hops, (5.0 + 4.0 + 5.0) / 3.0, 1e-9);
+}
+
+TEST(Markov, WrongEdgeMassIsAccounted) {
+  // Route the fig1 net with a residue that sends SW4 back to S: the chain
+  // must classify that as wrong-edge absorption (S is not the packet's
+  // destination; re-encode is outside the chain).
+  Scenario s = topo::make_fig1_network();
+  const routing::Controller controller(s.topology);
+  routing::EncodedRoute route;
+  route.route_id = rns::BigUint(1);  // 1 mod 4 = 1 -> port 1 = S
+  route.src_edge = s.topology.at("S");
+  route.dst_edge = s.topology.at("D");
+  const auto result =
+      analyze_deflection(s.topology, route, DeflectionTechnique::kAnyValidPort);
+  EXPECT_DOUBLE_EQ(result.wrong_edge_probability, 1.0);
+  EXPECT_DOUBLE_EQ(result.delivery_probability, 0.0);
+}
+
+TEST(Markov, ProbabilitiesSumToOne) {
+  Scenario s = topo::make_experimental15();
+  const routing::Controller controller(s.topology);
+  const auto route =
+      controller.encode_scenario(s.route, ProtectionLevel::kPartial);
+  s.topology.fail_link("SW7", "SW13");
+  for (const auto technique :
+       {DeflectionTechnique::kNone, DeflectionTechnique::kAnyValidPort,
+        DeflectionTechnique::kNotInputPort}) {
+    const auto result = analyze_deflection(s.topology, route, technique);
+    EXPECT_NEAR(result.delivery_probability + result.wrong_edge_probability +
+                    result.drop_probability,
+                1.0, 1e-9)
+        << to_string(technique);
+  }
+}
+
+}  // namespace
+}  // namespace kar::analysis

@@ -1,0 +1,130 @@
+#include "rns/modular.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace kar::rns {
+namespace {
+
+TEST(ExtendedGcd, ProducesBezoutIdentity) {
+  for (const auto& [a, b] : {std::pair<std::uint64_t, std::uint64_t>{240, 46},
+                            {17, 5}, {1, 1}, {12, 0}, {0, 9}, {77, 4}}) {
+    const auto [g, x, y] = extended_gcd(a, b);
+    EXPECT_EQ(g, std::gcd(a, b));
+    EXPECT_EQ(static_cast<std::int64_t>(a) * x + static_cast<std::int64_t>(b) * y,
+              static_cast<std::int64_t>(g))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(ModInverse, MatchesPaperExamples) {
+  // Paper §2.2 worked example: L1 = <77^-1>_4 = 1, L2 = <44^-1>_7 = 4,
+  // L3 = <28^-1>_11 = 2.
+  EXPECT_EQ(mod_inverse(77, 4), 1u);
+  EXPECT_EQ(mod_inverse(44, 7), 4u);
+  EXPECT_EQ(mod_inverse(28, 11), 2u);
+  // Protected example: L1 = <385^-1>_4 = 1, L2 = <220^-1>_7 = 5,
+  // L3 = <140^-1>_11 = 7, L4 = <308^-1>_5 = 2.
+  EXPECT_EQ(mod_inverse(385, 4), 1u);
+  EXPECT_EQ(mod_inverse(220, 7), 5u);
+  EXPECT_EQ(mod_inverse(140, 11), 7u);
+  EXPECT_EQ(mod_inverse(308, 5), 2u);
+}
+
+TEST(ModInverse, InverseProperty) {
+  for (std::uint64_t m : {5ULL, 7ULL, 11ULL, 97ULL, 101ULL}) {
+    for (std::uint64_t a = 1; a < m; ++a) {
+      const auto inv = mod_inverse(a, m);
+      ASSERT_TRUE(inv.has_value()) << a << " mod " << m;
+      EXPECT_EQ(mul_mod(a, *inv, m), 1u);
+      EXPECT_LT(*inv, m);
+    }
+  }
+}
+
+TEST(ModInverse, NonCoprimeHasNoInverse) {
+  EXPECT_FALSE(mod_inverse(6, 4).has_value());
+  EXPECT_FALSE(mod_inverse(10, 5).has_value());
+  EXPECT_FALSE(mod_inverse(0, 7).has_value());
+}
+
+TEST(ModInverse, ModulusOneIsZeroByConvention) {
+  EXPECT_EQ(mod_inverse(42, 1), 0u);
+}
+
+TEST(ModInverse, ZeroModulusThrows) {
+  EXPECT_THROW(mod_inverse(3, 0), std::domain_error);
+}
+
+TEST(MulMod, NoOverflowOnLargeOperands) {
+  const std::uint64_t big = 0xFFFFFFFFFFFFFFF0ULL;
+  const std::uint64_t m = 0xFFFFFFFFFFFFFFFBULL;
+  // (m-11)*(m-11) mod m computed via 128-bit; sanity: result < m.
+  EXPECT_LT(mul_mod(big, big, m), m);
+  EXPECT_EQ(mul_mod(1ULL << 63, 2, 0xFFFFFFFFFFFFFFFFULL), 1u);
+}
+
+TEST(Coprime, PaperSwitchIdSets) {
+  // {4, 5, 7, 11}: 4 is composite but coprime with the rest (paper §2).
+  const std::vector<std::uint64_t> fig1 = {4, 5, 7, 11};
+  EXPECT_TRUE(pairwise_coprime(fig1));
+  // {10, 7, 13, 29} primary route of the 15-node network.
+  const std::vector<std::uint64_t> net15 = {10, 7, 13, 29};
+  EXPECT_TRUE(pairwise_coprime(net15));
+}
+
+TEST(Coprime, DetectsViolationWithWitness) {
+  const std::vector<std::uint64_t> bad = {4, 7, 10};  // gcd(4, 10) = 2
+  const auto violation = find_coprime_violation(bad);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->first_index, 0u);
+  EXPECT_EQ(violation->second_index, 2u);
+  EXPECT_EQ(violation->common_factor, 2u);
+}
+
+TEST(Coprime, EmptyAndSingletonArePairwiseCoprime) {
+  EXPECT_TRUE(pairwise_coprime({}));
+  const std::vector<std::uint64_t> one = {12};
+  EXPECT_TRUE(pairwise_coprime(one));
+}
+
+TEST(IsPrime, KnownValues) {
+  EXPECT_FALSE(is_prime_u64(0));
+  EXPECT_FALSE(is_prime_u64(1));
+  EXPECT_TRUE(is_prime_u64(2));
+  EXPECT_TRUE(is_prime_u64(3));
+  EXPECT_FALSE(is_prime_u64(4));
+  EXPECT_TRUE(is_prime_u64(113));
+  EXPECT_FALSE(is_prime_u64(117));  // 9 * 13
+  EXPECT_TRUE(is_prime_u64(2147483647ULL));          // 2^31 - 1
+  EXPECT_TRUE(is_prime_u64(18446744073709551557ULL));  // largest 64-bit prime
+  EXPECT_FALSE(is_prime_u64(18446744073709551555ULL));
+}
+
+TEST(NextCoprimeIds, ProducesPairwiseCoprimeSet) {
+  const auto ids = next_coprime_ids(10, 3, {});
+  EXPECT_EQ(ids.size(), 10u);
+  EXPECT_TRUE(pairwise_coprime(ids));
+  for (const auto id : ids) EXPECT_GE(id, 3u);
+}
+
+TEST(NextCoprimeIds, RespectsExistingIds) {
+  const std::vector<std::uint64_t> existing = {6, 35};
+  const auto ids = next_coprime_ids(5, 2, existing);
+  for (const auto id : ids) {
+    for (const auto e : existing) {
+      EXPECT_EQ(std::gcd(id, e), 1u) << id << " vs " << e;
+    }
+  }
+}
+
+TEST(NextCoprimeIds, GreedyPicksSmallest) {
+  const auto ids = next_coprime_ids(4, 2, {});
+  // 2, 3, 5, 7: 4 conflicts with 2, 6 with 2 and 3.
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{2, 3, 5, 7}));
+}
+
+}  // namespace
+}  // namespace kar::rns

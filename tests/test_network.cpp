@@ -1,0 +1,283 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "topology/builders.hpp"
+#include "transport/udp.hpp"
+
+namespace kar::sim {
+namespace {
+
+using dataplane::DeflectionTechnique;
+using dataplane::Packet;
+using topo::ProtectionLevel;
+using topo::Scenario;
+
+struct NetFixture : public ::testing::Test {
+  NetFixture() : scenario(topo::make_fig1_network()), controller(scenario.topology) {}
+
+  Network make_network(NetworkConfig config = {}) {
+    return Network(scenario.topology, controller, config);
+  }
+
+  routing::EncodedRoute route(ProtectionLevel level) {
+    return controller.encode_scenario(scenario.route, level);
+  }
+
+  Packet probe(const routing::EncodedRoute& r, Network& net, std::size_t bytes = 100) {
+    Packet p;
+    p.transport = dataplane::Datagram{0};
+    net.edge_at(r.src_edge).stamp(p, r, bytes);
+    return p;
+  }
+
+  Scenario scenario;
+  routing::Controller controller;
+};
+
+TEST_F(NetFixture, DeliversAlongEncodedRoute) {
+  Network net = make_network();
+  const auto r = route(ProtectionLevel::kUnprotected);
+  std::vector<std::uint64_t> delivered_hops;
+  net.set_delivery_handler(r.dst_edge, [&](const Packet& p) {
+    delivered_hops.push_back(p.hop_count);
+  });
+  net.inject(r.src_edge, probe(r, net));
+  net.events().run_all();
+  ASSERT_EQ(delivered_hops.size(), 1u);
+  EXPECT_EQ(delivered_hops[0], 3u);  // SW4, SW7, SW11
+  EXPECT_EQ(net.counters().delivered, 1u);
+  EXPECT_EQ(net.counters().deflections, 0u);
+  EXPECT_EQ(net.counters().total_drops(), 0u);
+}
+
+TEST_F(NetFixture, DeliveryLatencyMatchesStoreAndForwardModel) {
+  NetworkConfig config;
+  config.switch_latency_s = 0.0;
+  Network net = make_network(config);
+  const auto r = route(ProtectionLevel::kUnprotected);
+  double delivered_at = -1;
+  net.set_delivery_handler(r.dst_edge,
+                           [&](const Packet&) { delivered_at = net.now(); });
+  Packet p = probe(r, net, 1000 - dataplane::kBaseHeaderBytes - 2);
+  const double tx = 1000.0 * 8 / 200e6;     // per-hop serialization (1000 B)
+  const double expected = 4 * (tx + 0.5e-3);  // 4 links, default 0.5 ms delay
+  net.inject(r.src_edge, std::move(p));
+  net.events().run_all();
+  EXPECT_NEAR(delivered_at, expected, 1e-9);
+}
+
+TEST_F(NetFixture, NoDeflectionDropsDuringFailure) {
+  NetworkConfig config;
+  config.technique = DeflectionTechnique::kNone;
+  Network net = make_network(config);
+  const auto r = route(ProtectionLevel::kUnprotected);
+  net.fail_link_at(0.0, "SW7", "SW11");
+  net.events().run_until(0.001);
+  net.inject(r.src_edge, probe(r, net));
+  net.events().run_all();
+  EXPECT_EQ(net.counters().delivered, 0u);
+  EXPECT_EQ(net.counters().drop_no_viable_port, 1u);
+}
+
+TEST_F(NetFixture, NipDeflectionRecoversViaProtectionPath) {
+  NetworkConfig config;
+  config.technique = DeflectionTechnique::kNotInputPort;
+  Network net = make_network(config);
+  const auto r = route(ProtectionLevel::kPartial);  // R = 660 with SW5
+  net.fail_link_at(0.0, "SW7", "SW11");
+  net.events().run_until(0.001);
+  std::uint64_t hops = 0;
+  net.set_delivery_handler(r.dst_edge,
+                           [&](const Packet& p) { hops = p.hop_count; });
+  net.inject(r.src_edge, probe(r, net));
+  net.events().run_all();
+  EXPECT_EQ(net.counters().delivered, 1u);
+  // SW4 -> SW7 -> (deflect, but NIP excludes SW4) -> SW5 -> SW11: 4 hops.
+  EXPECT_EQ(hops, 4u);
+  EXPECT_EQ(net.counters().deflections, 1u);
+}
+
+TEST_F(NetFixture, InFlightPacketsDieWhenLinkFails) {
+  NetworkConfig config;
+  config.technique = DeflectionTechnique::kNone;
+  Network net = make_network(config);
+  const auto r = route(ProtectionLevel::kUnprotected);
+  // Inject, then fail SW7-SW11 while the packet is still upstream of it.
+  net.inject(r.src_edge, probe(r, net, 1200));
+  net.fail_link_at(0.0005, "SW7", "SW11");  // mid-flight (prop delay 0.5ms/hop)
+  net.events().run_all();
+  EXPECT_EQ(net.counters().delivered, 0u);
+  EXPECT_GE(net.counters().drop_link_failed + net.counters().drop_no_viable_port,
+            1u);
+}
+
+TEST_F(NetFixture, RepairRestoresDelivery) {
+  Network net = make_network();
+  const auto r = route(ProtectionLevel::kUnprotected);
+  net.fail_link_at(0.0, "SW7", "SW11");
+  net.repair_link_at(1.0, "SW7", "SW11");
+  std::uint64_t delivered = 0;
+  net.set_delivery_handler(r.dst_edge, [&](const Packet&) { ++delivered; });
+  net.events().run_until(2.0);
+  net.inject(r.src_edge, probe(r, net));
+  net.events().run_all();
+  EXPECT_EQ(delivered, 1u);
+}
+
+TEST_F(NetFixture, QueueOverflowDropsExcessPackets) {
+  // Shrink the queue on the S-SW4 uplink and flood it instantaneously.
+  Scenario small = topo::make_fig1_network(
+      topo::LinkParams{.rate_bps = 1e6, .delay_s = 1e-3, .queue_packets = 5});
+  routing::Controller ctrl(small.topology);
+  Network net(small.topology, ctrl, {});
+  const auto r = ctrl.encode_scenario(small.route, ProtectionLevel::kUnprotected);
+  for (int i = 0; i < 50; ++i) {
+    Packet p;
+    p.transport = dataplane::Datagram{static_cast<std::uint64_t>(i)};
+    net.edge_at(r.src_edge).stamp(p, r, 1000);
+    net.inject(r.src_edge, std::move(p));
+  }
+  net.events().run_all();
+  EXPECT_GT(net.counters().drop_queue_overflow, 0u);
+  EXPECT_LT(net.counters().delivered, 50u);
+  EXPECT_EQ(net.counters().delivered + net.counters().total_drops(), 50u);
+}
+
+TEST_F(NetFixture, TtlGuardsInfiniteWalks) {
+  NetworkConfig config;
+  config.technique = DeflectionTechnique::kAnyValidPort;
+  config.max_hops = 16;
+  config.wrong_edge_policy = dataplane::WrongEdgePolicy::kBounceBack;
+  Network net = make_network(config);
+  // Sever the destination entirely: SW11's links to D and SW5 and SW7 stay,
+  // but fail both SW7-SW11 and SW5-SW11 so nothing reaches D; AVP then
+  // ping-pongs forever — the TTL must reap the packet.
+  const auto r = route(ProtectionLevel::kPartial);
+  net.fail_link_at(0.0, "SW7", "SW11");
+  net.fail_link_at(0.0, "SW5", "SW11");
+  net.events().run_until(0.001);
+  net.inject(r.src_edge, probe(r, net));
+  net.events().run_all();
+  EXPECT_EQ(net.counters().delivered, 0u);
+  EXPECT_EQ(net.counters().drop_ttl, 1u);
+}
+
+TEST_F(NetFixture, DetectionDelayBlackholesUntilItFires) {
+  NetworkConfig config;
+  config.technique = DeflectionTechnique::kNotInputPort;
+  config.failure_detection_delay_s = 0.050;
+  Network net = make_network(config);
+  const auto r = route(ProtectionLevel::kPartial);
+  std::uint64_t delivered = 0;
+  net.set_delivery_handler(r.dst_edge, [&](const Packet&) { ++delivered; });
+  net.fail_link_at(1.0, "SW7", "SW11");
+  // Probe during the undetected window: blackholed into the dead link.
+  net.events().run_until(1.010);
+  net.inject(r.src_edge, probe(r, net));
+  net.events().run_until(1.049);
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(net.counters().drop_link_failed, 1u);
+  // After detection fires, deflection takes over.
+  net.events().run_until(1.2);
+  net.inject(r.src_edge, probe(r, net));
+  net.events().run_all();
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_GT(net.counters().deflections, 0u);
+}
+
+TEST_F(NetFixture, RepairRacingDetectionIsCancelled) {
+  NetworkConfig config;
+  config.failure_detection_delay_s = 0.100;
+  Network net = make_network(config);
+  const auto r = route(ProtectionLevel::kUnprotected);
+  net.fail_link_at(1.0, "SW7", "SW11");
+  net.repair_link_at(1.020, "SW7", "SW11");  // repaired before detection
+  std::uint64_t delivered = 0;
+  net.set_delivery_handler(r.dst_edge, [&](const Packet&) { ++delivered; });
+  // Well after the (cancelled) detection would have fired: the link must
+  // be up and traffic must flow on the primary path.
+  net.events().run_until(1.5);
+  net.inject(r.src_edge, probe(r, net));
+  net.events().run_all();
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_EQ(net.counters().deflections, 0u);
+}
+
+TEST_F(NetFixture, TraceHookSeesFullLifecycle) {
+  Network net = make_network();
+  const auto r = route(ProtectionLevel::kUnprotected);
+  std::vector<TraceEvent::Kind> kinds;
+  net.set_trace_hook([&](const TraceEvent& e) { kinds.push_back(e.kind); });
+  net.inject(r.src_edge, probe(r, net));
+  net.events().run_all();
+  ASSERT_EQ(kinds.size(), 5u);  // inject + 3 hops + deliver
+  EXPECT_EQ(kinds.front(), TraceEvent::Kind::kInject);
+  EXPECT_EQ(kinds.back(), TraceEvent::Kind::kDeliver);
+}
+
+TEST_F(NetFixture, WrongEdgeReencodeCountsAndDelivers) {
+  // Force a wrong-edge arrival: route to D but with a route ID whose
+  // residue at SW4 points back at S. AVP follows the residue even into the
+  // input port (NIP would refuse to forward back to S).
+  NetworkConfig config;
+  config.technique = DeflectionTechnique::kAnyValidPort;
+  Network net = make_network(config);
+  const topo::Topology& t = net.topology();
+  Packet p;
+  p.transport = dataplane::Datagram{0};
+  // Residue at SW4 = 1 (port 1 = S). Any such value works: 1 mod 4.
+  p.kar.route_id = rns::BigUint(1);
+  p.src_edge = t.at("S");
+  p.dst_edge = t.at("D");
+  p.size_bytes = 200;
+  net.inject(t.at("S"), std::move(p));
+  net.events().run_all();
+  EXPECT_EQ(net.counters().reencodes, 1u);
+  EXPECT_EQ(net.counters().delivered, 1u);
+}
+
+TEST_F(NetFixture, InjectRejectsNonEdgeNodes) {
+  Network net = make_network();
+  Packet p;
+  EXPECT_THROW(net.inject(net.topology().at("SW4"), std::move(p)),
+               std::invalid_argument);
+}
+
+TEST_F(NetFixture, FailLinkAtRejectsNonAdjacent) {
+  Network net = make_network();
+  EXPECT_THROW(net.fail_link_at(0.0, "SW4", "SW5"), std::invalid_argument);
+}
+
+TEST_F(NetFixture, DeterministicAcrossIdenticalSeeds) {
+  const auto run = [&](std::uint64_t seed) {
+    Scenario fresh = topo::make_fig1_network();
+    routing::Controller ctrl(fresh.topology);
+    NetworkConfig config;
+    config.technique = DeflectionTechnique::kHotPotato;
+    config.seed = seed;
+    Network net(fresh.topology, ctrl, config);
+    const auto r = ctrl.encode_scenario(fresh.route, ProtectionLevel::kUnprotected);
+    net.fail_link_at(0.0, "SW7", "SW11");
+    net.events().run_until(0.001);
+    std::uint64_t total_hops = 0;
+    net.set_delivery_handler(r.dst_edge,
+                             [&](const Packet& p) { total_hops += p.hop_count; });
+    for (int i = 0; i < 20; ++i) {
+      Packet p;
+      p.transport = dataplane::Datagram{static_cast<std::uint64_t>(i)};
+      net.edge_at(r.src_edge).stamp(p, r, 100);
+      net.inject(r.src_edge, std::move(p));
+    }
+    net.events().run_all();
+    return total_hops;
+  };
+  EXPECT_EQ(run(99), run(99));
+  // Not a hard guarantee, but astronomically likely with random walks:
+  EXPECT_NE(run(99), run(100));
+}
+
+}  // namespace
+}  // namespace kar::sim

@@ -1,0 +1,180 @@
+#include "routing/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "topology/builders.hpp"
+
+namespace kar::routing {
+namespace {
+
+using topo::NodeId;
+using topo::Scenario;
+
+std::vector<std::string> names(const topo::Topology& t, const Path& p) {
+  std::vector<std::string> out;
+  for (const NodeId n : p.nodes) out.push_back(t.name(n));
+  return out;
+}
+
+TEST(ShortestPath, LineTopologyIsTheLine) {
+  const Scenario s = topo::make_line(4);
+  const auto path = shortest_path(s.topology, s.topology.at("SRC"),
+                                  s.topology.at("DST"));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->nodes.size(), 6u);  // SRC + 4 switches + DST
+  EXPECT_DOUBLE_EQ(path->cost, 5.0);
+}
+
+TEST(ShortestPath, Fig1PrefersDirectRoute) {
+  const Scenario s = topo::make_fig1_network();
+  const auto path =
+      shortest_path(s.topology, s.topology.at("S"), s.topology.at("D"));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(names(s.topology, *path),
+            (std::vector<std::string>{"S", "SW4", "SW7", "SW11", "D"}));
+}
+
+TEST(ShortestPath, IgnoresFailuresByDefault) {
+  Scenario s = topo::make_fig1_network();
+  s.topology.fail_link("SW7", "SW11");
+  // Paper evaluation policy: the controller ignores failures.
+  const auto path =
+      shortest_path(s.topology, s.topology.at("S"), s.topology.at("D"));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(names(s.topology, *path),
+            (std::vector<std::string>{"S", "SW4", "SW7", "SW11", "D"}));
+}
+
+TEST(ShortestPath, FailureAwareModeRoutesAround) {
+  Scenario s = topo::make_fig1_network();
+  s.topology.fail_link("SW7", "SW11");
+  PathOptions options;
+  options.ignore_failures = false;
+  const auto path = shortest_path(s.topology, s.topology.at("S"),
+                                  s.topology.at("D"), options);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(names(s.topology, *path),
+            (std::vector<std::string>{"S", "SW4", "SW7", "SW5", "SW11", "D"}));
+}
+
+TEST(ShortestPath, DisconnectedReturnsNullopt) {
+  topo::Topology t;
+  const NodeId a = t.add_edge_node("A");
+  const NodeId b = t.add_edge_node("B");
+  EXPECT_FALSE(shortest_path(t, a, b).has_value());
+}
+
+TEST(ShortestPath, EdgeNodesDoNotTransit) {
+  // A - sw1 - E - sw2 - B: the only "path" goes through edge node E, which
+  // must not forward transit traffic.
+  topo::Topology t;
+  const NodeId a = t.add_edge_node("A");
+  const NodeId b = t.add_edge_node("B");
+  const NodeId e = t.add_edge_node("E");
+  const NodeId s1 = t.add_switch("SW5", 5);
+  const NodeId s2 = t.add_switch("SW7", 7);
+  t.add_link(a, s1);
+  t.add_link(s1, e);
+  t.add_link(e, s2);
+  t.add_link(s2, b);
+  EXPECT_FALSE(shortest_path(t, a, b).has_value());
+}
+
+TEST(ShortestPath, DelayMetricPrefersLowLatency) {
+  topo::Topology t;
+  const NodeId a = t.add_edge_node("A");
+  const NodeId b = t.add_edge_node("B");
+  const NodeId s1 = t.add_switch("SW5", 5);
+  const NodeId s2 = t.add_switch("SW7", 7);
+  const NodeId s3 = t.add_switch("SW11", 11);
+  topo::LinkParams slow;
+  slow.delay_s = 10e-3;
+  topo::LinkParams fast;
+  fast.delay_s = 1e-3;
+  t.add_link(a, s1, fast);
+  t.add_link(s1, b, slow);       // 1 hop but slow
+  t.add_link(s1, s2, fast);      // 2 extra hops but fast
+  t.add_link(s2, s3, fast);
+  t.add_link(s3, b, fast);
+  PathOptions options;
+  options.metric = PathMetric::kDelay;
+  const auto path = shortest_path(t, a, b, options);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->nodes.size(), 5u);  // takes the low-delay detour
+}
+
+TEST(DistancesTo, MatchesShortestPathCosts) {
+  const Scenario s = topo::make_experimental15();
+  const auto dist = distances_to(s.topology, s.topology.at("AS3"));
+  // AS3 hangs off SW29: distance 1 from SW29, 2 from SW13, 4 from SW10.
+  EXPECT_DOUBLE_EQ(dist[s.topology.at("SW29")], 1.0);
+  EXPECT_DOUBLE_EQ(dist[s.topology.at("SW13")], 2.0);
+  EXPECT_DOUBLE_EQ(dist[s.topology.at("SW10")], 4.0);
+  EXPECT_DOUBLE_EQ(dist[s.topology.at("AS3")], 0.0);
+}
+
+TEST(DistancesTo, UnreachableIsInfinity) {
+  topo::Topology t;
+  t.add_switch("SW5", 5);
+  const NodeId island = t.add_switch("SW7", 7);
+  const NodeId dst = t.add_edge_node("D");
+  t.add_link(t.at("SW5"), dst);
+  const auto dist = distances_to(t, dst);
+  EXPECT_TRUE(std::isinf(dist[island]));
+}
+
+TEST(KShortestPaths, FindsDistinctLooplessPaths) {
+  const Scenario s = topo::make_fig1_network();
+  const auto paths = k_shortest_paths(s.topology, s.topology.at("S"),
+                                      s.topology.at("D"), 3);
+  ASSERT_GE(paths.size(), 2u);
+  // Best: S-4-7-11-D (cost 4); second: S-4-7-5-11-D (cost 5).
+  EXPECT_DOUBLE_EQ(paths[0].cost, 4.0);
+  EXPECT_DOUBLE_EQ(paths[1].cost, 5.0);
+  EXPECT_EQ(names(s.topology, paths[1]),
+            (std::vector<std::string>{"S", "SW4", "SW7", "SW5", "SW11", "D"}));
+  // All returned paths are distinct and loopless.
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    for (std::size_t j = i + 1; j < paths.size(); ++j) {
+      EXPECT_NE(paths[i].nodes, paths[j].nodes);
+    }
+    std::vector<NodeId> sorted = paths[i].nodes;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end())
+        << "path " << i << " revisits a node";
+  }
+}
+
+TEST(KShortestPaths, CostsAreNonDecreasing) {
+  const Scenario s = topo::make_rnp28();
+  const auto paths = k_shortest_paths(s.topology, s.topology.at("AS1"),
+                                      s.topology.at("AS-SP"), 6);
+  ASSERT_GE(paths.size(), 3u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].cost, paths[i - 1].cost);
+  }
+}
+
+TEST(KShortestPaths, KZeroAndDisconnected) {
+  const Scenario s = topo::make_fig1_network();
+  EXPECT_TRUE(
+      k_shortest_paths(s.topology, s.topology.at("S"), s.topology.at("D"), 0)
+          .empty());
+  topo::Topology t;
+  const NodeId a = t.add_edge_node("A");
+  const NodeId b = t.add_edge_node("B");
+  EXPECT_TRUE(k_shortest_paths(t, a, b, 4).empty());
+}
+
+TEST(KShortestPaths, ExhaustsSmallGraphGracefully) {
+  const Scenario s = topo::make_line(3);
+  const auto paths = k_shortest_paths(s.topology, s.topology.at("SRC"),
+                                      s.topology.at("DST"), 10);
+  EXPECT_EQ(paths.size(), 1u);  // a line has exactly one loopless path
+}
+
+}  // namespace
+}  // namespace kar::routing

@@ -1,0 +1,164 @@
+#include "routing/protection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "routing/controller.hpp"
+#include "routing/paths.hpp"
+#include "rns/crt.hpp"
+#include "topology/builders.hpp"
+
+namespace kar::routing {
+namespace {
+
+using topo::NodeId;
+using topo::Scenario;
+
+std::vector<NodeId> resolve_core(const Scenario& s) {
+  std::vector<NodeId> core;
+  for (const auto& name : s.route.core_path) core.push_back(s.topology.at(name));
+  return core;
+}
+
+TEST(ProtectionPlanner, CoversEveryReachableOffPathSwitchWhenUnbounded) {
+  const Scenario s = topo::make_experimental15();
+  const auto core = resolve_core(s);
+  const auto plan = plan_driven_deflections(s.topology, core,
+                                            s.topology.at(s.route.dst_edge));
+  // 15 switches, 4 on the path: all 11 others reach AS3, so all planned.
+  EXPECT_EQ(plan.size(), 11u);
+  std::unordered_set<NodeId> on_path(core.begin(), core.end());
+  for (const auto& [node, next] : plan) {
+    EXPECT_FALSE(on_path.contains(node));
+    EXPECT_TRUE(s.topology.port_to(node, next).has_value());
+  }
+}
+
+TEST(ProtectionPlanner, AssignmentsPointDownhill) {
+  const Scenario s = topo::make_experimental15();
+  const auto core = resolve_core(s);
+  const NodeId dst = s.topology.at(s.route.dst_edge);
+  const auto plan = plan_driven_deflections(s.topology, core, dst);
+  const auto dist = distances_to(s.topology, dst);
+  for (const auto& [node, next] : plan) {
+    EXPECT_DOUBLE_EQ(dist[next] + 1.0, dist[node])
+        << s.topology.name(node) << " -> " << s.topology.name(next);
+  }
+}
+
+TEST(ProtectionPlanner, DrivenPathsAreLoopFree) {
+  // Following planned assignments from any protected switch must reach the
+  // destination without revisiting a node (driven deflections are loop-free
+  // by construction — the paper's safety condition).
+  const Scenario s = topo::make_experimental15();
+  const auto core = resolve_core(s);
+  const NodeId dst = s.topology.at(s.route.dst_edge);
+  const auto plan = plan_driven_deflections(s.topology, core, dst);
+  std::unordered_map<NodeId, NodeId> next_hop;
+  for (const auto& [node, next] : plan) next_hop[node] = next;
+  // Primary path switches point at their successors.
+  for (std::size_t i = 0; i < core.size(); ++i) {
+    next_hop[core[i]] = (i + 1 < core.size()) ? core[i + 1] : dst;
+  }
+  for (const auto& [start, first] : next_hop) {
+    (void)first;
+    std::unordered_set<NodeId> visited;
+    NodeId cur = start;
+    while (cur != dst) {
+      EXPECT_TRUE(visited.insert(cur).second)
+          << "loop through " << s.topology.name(cur);
+      const auto it = next_hop.find(cur);
+      ASSERT_NE(it, next_hop.end()) << s.topology.name(cur);
+      cur = it->second;
+    }
+  }
+}
+
+TEST(ProtectionPlanner, RespectsBitBudget) {
+  const Scenario s = topo::make_experimental15();
+  const auto core = resolve_core(s);
+  const NodeId dst = s.topology.at(s.route.dst_edge);
+  PlannerOptions options;
+  options.max_route_id_bits = 28;  // the paper's partial-protection budget
+  const auto plan = plan_driven_deflections(s.topology, core, dst, options);
+  std::vector<std::uint64_t> ids;
+  for (const NodeId n : core) ids.push_back(s.topology.switch_id(n));
+  for (const auto& [node, next] : plan) {
+    (void)next;
+    ids.push_back(s.topology.switch_id(node));
+  }
+  EXPECT_LE(rns::route_id_bit_length(ids), 28u);
+  EXPECT_FALSE(plan.empty());
+  // The budget must actually bind: unbounded planning needs more bits.
+  const auto unbounded = plan_driven_deflections(s.topology, core, dst);
+  EXPECT_GT(unbounded.size(), plan.size());
+}
+
+TEST(ProtectionPlanner, RespectsSwitchCountBudget) {
+  const Scenario s = topo::make_experimental15();
+  const auto core = resolve_core(s);
+  PlannerOptions options;
+  options.max_switches = 7;  // 4 primary + 3 protection
+  const auto plan = plan_driven_deflections(
+      s.topology, core, s.topology.at(s.route.dst_edge), options);
+  EXPECT_EQ(plan.size(), 3u);
+}
+
+TEST(ProtectionPlanner, DistanceFilterKeepsOnlyAdjacentCandidates) {
+  const Scenario s = topo::make_experimental15();
+  const auto core = resolve_core(s);
+  PlannerOptions options;
+  options.max_distance_from_path = 1;
+  const auto plan = plan_driven_deflections(
+      s.topology, core, s.topology.at(s.route.dst_edge), options);
+  for (const auto& [node, next] : plan) {
+    (void)next;
+    bool adjacent_to_path = false;
+    for (const NodeId p : core) {
+      if (s.topology.port_to(node, p).has_value()) {
+        adjacent_to_path = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(adjacent_to_path) << s.topology.name(node);
+  }
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(ProtectionPlanner, PlannedRouteEncodes) {
+  // End-to-end: planner output must be encodable by the controller.
+  const Scenario s = topo::make_rnp28();
+  const auto core = resolve_core(s);
+  const NodeId dst = s.topology.at(s.route.dst_edge);
+  PlannerOptions options;
+  options.max_route_id_bits = 64;
+  const auto plan = plan_driven_deflections(s.topology, core, dst, options);
+  const Controller controller(s.topology);
+  const EncodedRoute route =
+      controller.encode_path(s.topology.at(s.route.src_edge), core, dst, plan);
+  EXPECT_LE(route.bit_length, 64u);
+  EXPECT_GT(route.assignments.size(), core.size());
+}
+
+TEST(ProtectionPlanner, PrioritizesPathAdjacentSwitches) {
+  const Scenario s = topo::make_experimental15();
+  const auto core = resolve_core(s);
+  PlannerOptions options;
+  options.max_switches = core.size() + 2;  // room for just two
+  const auto plan = plan_driven_deflections(
+      s.topology, core, s.topology.at(s.route.dst_edge), options);
+  ASSERT_EQ(plan.size(), 2u);
+  // Both picks must be directly adjacent to the primary path.
+  for (const auto& [node, next] : plan) {
+    (void)next;
+    bool adjacent = false;
+    for (const NodeId p : core) {
+      adjacent = adjacent || s.topology.port_to(node, p).has_value();
+    }
+    EXPECT_TRUE(adjacent) << s.topology.name(node);
+  }
+}
+
+}  // namespace
+}  // namespace kar::routing

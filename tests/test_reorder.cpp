@@ -1,0 +1,61 @@
+#include "analysis/reorder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kar::analysis {
+namespace {
+
+TEST(Reorder, EmptySequence) {
+  const auto m = compute_reorder({});
+  EXPECT_EQ(m.arrivals, 0u);
+  EXPECT_EQ(m.reordered, 0u);
+  EXPECT_DOUBLE_EQ(m.reorder_fraction, 0.0);
+}
+
+TEST(Reorder, InOrderSequenceHasNoReordering) {
+  const auto m = compute_reorder({0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(m.arrivals, 6u);
+  EXPECT_EQ(m.reordered, 0u);
+  EXPECT_EQ(m.max_displacement, 0u);
+}
+
+TEST(Reorder, SingleLatePacket) {
+  // 3 arrives before 2: packet 2 is displaced by 1.
+  const auto m = compute_reorder({0, 1, 3, 2, 4});
+  EXPECT_EQ(m.reordered, 1u);
+  EXPECT_EQ(m.max_displacement, 1u);
+  EXPECT_DOUBLE_EQ(m.mean_displacement, 1.0);
+  EXPECT_DOUBLE_EQ(m.reorder_fraction, 0.2);
+}
+
+TEST(Reorder, DeepDisplacement) {
+  // 0 arrives after 9: displacement 9.
+  const auto m = compute_reorder({1, 2, 3, 4, 5, 6, 7, 8, 9, 0});
+  EXPECT_EQ(m.reordered, 1u);
+  EXPECT_EQ(m.max_displacement, 9u);
+}
+
+TEST(Reorder, MultipleReorderingsAverage) {
+  // 5 first, then 0..4 all late with displacements 5,4,3,2,1.
+  const auto m = compute_reorder({5, 0, 1, 2, 3, 4});
+  EXPECT_EQ(m.reordered, 5u);
+  EXPECT_EQ(m.max_displacement, 5u);
+  EXPECT_DOUBLE_EQ(m.mean_displacement, 3.0);
+}
+
+TEST(Reorder, DuplicateOfMaxIsCountedAsLate) {
+  // A retransmitted duplicate of an already-seen sequence arrives below
+  // max_seen and therefore counts as a late arrival.
+  const auto m = compute_reorder({0, 1, 2, 1});
+  EXPECT_EQ(m.reordered, 1u);
+  EXPECT_EQ(m.max_displacement, 1u);
+}
+
+TEST(Reorder, SingleElement) {
+  const auto m = compute_reorder({42});
+  EXPECT_EQ(m.arrivals, 1u);
+  EXPECT_EQ(m.reordered, 0u);
+}
+
+}  // namespace
+}  // namespace kar::analysis

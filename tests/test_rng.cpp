@@ -1,0 +1,123 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+namespace kar::common {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestoresStream) {
+  Rng rng(7);
+  std::array<std::uint64_t, 8> first{};
+  for (auto& v : first) v = rng();
+  rng.reseed(7);
+  for (const auto v : first) EXPECT_EQ(rng(), v);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+  EXPECT_EQ(rng.below(1), 0u);
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(5);
+  std::array<int, 5> counts{};
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.below(5)];
+  for (const int c : counts) {
+    EXPECT_GT(c, kSamples / 5 - 800);
+    EXPECT_LT(c, kSamples / 5 + 800);
+  }
+}
+
+TEST(Rng, BetweenInclusiveBounds) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+  EXPECT_EQ(rng.between(4, 4), 4);
+  EXPECT_THROW(rng.between(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+  EXPECT_FALSE(Rng(1).chance(0.0));
+  EXPECT_TRUE(Rng(1).chance(1.1));
+}
+
+TEST(Rng, PickSelectsExistingElements) {
+  Rng rng(17);
+  const std::vector<int> items = {10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.pick(items));
+  EXPECT_EQ(seen.size(), 3u);
+  const std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(19);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = items;
+  rng.shuffle(items);
+  std::vector<int> sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);  // same multiset
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.split();
+  // The child must not replay the parent's stream.
+  Rng parent2(21);
+  (void)parent2.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child() == parent()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace kar::common

@@ -1,0 +1,185 @@
+// Fine-grained simulator semantics: serialization/queueing timing,
+// per-direction link independence, wrong-edge bounce through the full
+// stack, and counter bookkeeping.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "routing/controller.hpp"
+#include "sim/network.hpp"
+#include "topology/builders.hpp"
+
+namespace kar::sim {
+namespace {
+
+using dataplane::Packet;
+using topo::ProtectionLevel;
+using topo::Scenario;
+
+Packet make_probe(Network& net, const routing::EncodedRoute& r,
+                  std::size_t wire_bytes) {
+  Packet p;
+  p.transport = dataplane::Datagram{0};
+  net.edge_at(r.src_edge).stamp(
+      p, r, wire_bytes - dataplane::kBaseHeaderBytes - r.route_id_bytes());
+  return p;
+}
+
+TEST(SimTiming, BackToBackPacketsSerializeOnTheLink) {
+  // Two equal packets injected at t=0 on a line: the second is delayed by
+  // exactly one serialization time per shared link.
+  Scenario s = topo::make_line(
+      1, topo::LinkParams{.rate_bps = 1e6, .delay_s = 1e-3, .queue_packets = 10});
+  const routing::Controller controller(s.topology);
+  NetworkConfig config;
+  config.switch_latency_s = 0.0;
+  Network net(s.topology, controller, config);
+  const auto route = *controller.route_between(s.topology.at("SRC"),
+                                               s.topology.at("DST"));
+  std::vector<double> arrivals;
+  net.set_delivery_handler(route.dst_edge,
+                           [&](const Packet&) { arrivals.push_back(net.now()); });
+  constexpr std::size_t kWire = 1000;  // 8 ms serialization at 1 Mb/s
+  net.inject(route.src_edge, make_probe(net, route, kWire));
+  net.inject(route.src_edge, make_probe(net, route, kWire));
+  net.events().run_all();
+  ASSERT_EQ(arrivals.size(), 2u);
+  const double tx = kWire * 8.0 / 1e6;
+  // First packet: 2 links, each tx + prop (store and forward).
+  EXPECT_NEAR(arrivals[0], 2 * (tx + 1e-3), 1e-12);
+  // Second packet queues behind the first on every link but pipelines:
+  // it finishes exactly one tx later.
+  EXPECT_NEAR(arrivals[1] - arrivals[0], tx, 1e-12);
+}
+
+TEST(SimTiming, DirectionsDoNotContend) {
+  // Saturate SRC->DST; a single DST->SRC probe must see an idle link.
+  Scenario s = topo::make_line(
+      1, topo::LinkParams{.rate_bps = 1e6, .delay_s = 1e-3, .queue_packets = 50});
+  const routing::Controller controller(s.topology);
+  NetworkConfig config;
+  config.switch_latency_s = 0.0;
+  Network net(s.topology, controller, config);
+  const auto fwd = *controller.route_between(s.topology.at("SRC"),
+                                             s.topology.at("DST"));
+  const auto rev = *controller.route_between(s.topology.at("DST"),
+                                             s.topology.at("SRC"));
+  for (int i = 0; i < 20; ++i) net.inject(fwd.src_edge, make_probe(net, fwd, 1000));
+  double reverse_arrival = -1;
+  net.set_delivery_handler(rev.dst_edge,
+                           [&](const Packet&) { reverse_arrival = net.now(); });
+  net.inject(rev.src_edge, make_probe(net, rev, 1000));
+  net.events().run_all();
+  const double tx = 1000 * 8.0 / 1e6;
+  EXPECT_NEAR(reverse_arrival, 2 * (tx + 1e-3), 1e-12);  // as if alone
+}
+
+TEST(SimTiming, SwitchLatencyAddsPerHop) {
+  Scenario s = topo::make_line(3);
+  const routing::Controller controller(s.topology);
+  NetworkConfig with_latency;
+  with_latency.switch_latency_s = 1e-3;
+  NetworkConfig without;
+  without.switch_latency_s = 0.0;
+  double t_with = 0;
+  double t_without = 0;
+  for (auto* cfg : {&with_latency, &without}) {
+    Scenario fresh = topo::make_line(3);
+    const routing::Controller ctrl(fresh.topology);
+    Network net(fresh.topology, ctrl, *cfg);
+    const auto route = *ctrl.route_between(fresh.topology.at("SRC"),
+                                           fresh.topology.at("DST"));
+    double arrival = 0;
+    net.set_delivery_handler(route.dst_edge,
+                             [&](const Packet&) { arrival = net.now(); });
+    net.inject(route.src_edge, make_probe(net, route, 500));
+    net.events().run_all();
+    (cfg == &with_latency ? t_with : t_without) = arrival;
+  }
+  EXPECT_NEAR(t_with - t_without, 3e-3, 1e-12);  // 3 switches x 1 ms
+}
+
+TEST(SimBounce, BouncePolicyKeepsPacketCirculatingUntilTtl) {
+  // Wrong-edge bounce-back with an impossible destination: the packet
+  // bounces between S and the core until the hop budget reaps it.
+  Scenario s = topo::make_fig1_network();
+  const routing::Controller controller(s.topology);
+  NetworkConfig config;
+  config.wrong_edge_policy = dataplane::WrongEdgePolicy::kBounceBack;
+  config.technique = dataplane::DeflectionTechnique::kAnyValidPort;
+  config.max_hops = 64;
+  Network net(s.topology, controller, config);
+  // Residue at SW4 points back to S; AVP follows it forever under bounce.
+  Packet p;
+  p.transport = dataplane::Datagram{0};
+  p.kar.route_id = rns::BigUint(1);  // 1 mod 4 = 1 -> port to S
+  p.src_edge = s.topology.at("S");
+  p.dst_edge = s.topology.at("D");
+  p.size_bytes = 100;
+  net.inject(s.topology.at("S"), std::move(p));
+  net.events().run_all();
+  EXPECT_EQ(net.counters().delivered, 0u);
+  EXPECT_EQ(net.counters().drop_ttl, 1u);
+  EXPECT_GT(net.counters().bounces, 0u);
+  EXPECT_EQ(net.counters().reencodes, 0u);
+}
+
+TEST(SimCounters, InjectedEqualsDeliveredPlusDrops) {
+  Scenario s = topo::make_experimental15();
+  const routing::Controller controller(s.topology);
+  NetworkConfig config;
+  config.technique = dataplane::DeflectionTechnique::kHotPotato;
+  config.seed = 5;
+  Network net(s.topology, controller, config);
+  const auto route =
+      controller.encode_scenario(s.route, ProtectionLevel::kUnprotected);
+  net.fail_link_at(0.0, "SW7", "SW13");
+  net.events().run_until(0.001);
+  for (int i = 0; i < 100; ++i) {
+    net.events().schedule_at(0.002 * (i + 1), [&net, &route, i] {
+      Packet p;
+      p.transport = dataplane::Datagram{static_cast<std::uint64_t>(i)};
+      net.edge_at(route.src_edge).stamp(p, route, 100);
+      net.inject(route.src_edge, std::move(p));
+    });
+  }
+  net.events().run_all();
+  EXPECT_EQ(net.counters().injected, 100u);
+  EXPECT_EQ(net.counters().delivered + net.counters().total_drops(), 100u);
+}
+
+TEST(EncodedRouteAccessors, BytesAndVectors) {
+  const Scenario s = topo::make_experimental15();
+  const routing::Controller controller(s.topology);
+  const auto route = controller.encode_scenario(s.route, ProtectionLevel::kFull);
+  EXPECT_EQ(route.route_id_bytes(), (route.bit_length + 7) / 8);
+  EXPECT_EQ(route.switch_ids().size(), route.assignments.size());
+  EXPECT_EQ(route.ports().size(), route.assignments.size());
+  EXPECT_EQ(route.switch_ids()[0], 10u);  // SW10 first (ingress order)
+}
+
+TEST(PathMetrics, InverseRatePrefersFatLinks) {
+  topo::Topology t;
+  const auto a = t.add_edge_node("A");
+  const auto b = t.add_edge_node("B");
+  const auto s1 = t.add_switch("SW5", 5);
+  const auto s2 = t.add_switch("SW7", 7);
+  const auto s3 = t.add_switch("SW11", 11);
+  topo::LinkParams thin;
+  thin.rate_bps = 10e6;
+  topo::LinkParams fat;
+  fat.rate_bps = 10e9;
+  t.add_link(a, s1, fat);
+  t.add_link(s1, b, thin);  // direct but thin
+  t.add_link(s1, s2, fat);
+  t.add_link(s2, s3, fat);
+  t.add_link(s3, b, fat);
+  routing::PathOptions options;
+  options.metric = routing::PathMetric::kInverseRate;
+  const auto path = routing::shortest_path(t, a, b, options);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->nodes.size(), 5u);  // takes the fat detour
+}
+
+}  // namespace
+}  // namespace kar::sim

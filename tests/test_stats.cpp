@@ -1,0 +1,117 @@
+#include "stats/summary.hpp"
+#include "stats/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kar::stats {
+namespace {
+
+TEST(Summary, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width, 0.0);
+}
+
+TEST(Summary, SingleSampleHasNoSpread) {
+  const Summary s = summarize({7.5});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 7.5);
+  EXPECT_DOUBLE_EQ(s.max, 7.5);
+}
+
+TEST(Summary, KnownValues) {
+  const Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.variance, 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summary, ConfidenceIntervalUsesStudentT) {
+  // n=2, dof=1: t = 12.706.
+  const Summary s = summarize({0.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.mean, 1.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(s.ci95_half_width, 12.706 * std::sqrt(2.0) / std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(s.ci_low(), 1.0 - 12.706 * 1.0, 1e-9);
+}
+
+TEST(Summary, PaperStyleThirtyRuns) {
+  // 30 runs like the paper's iperf methodology: dof=29 -> t = 2.045.
+  std::vector<double> samples;
+  for (int i = 0; i < 30; ++i) samples.push_back(100.0 + (i % 3));
+  const Summary s = summarize(samples);
+  EXPECT_EQ(s.n, 30u);
+  const double expected_hw = 2.045 * s.stddev / std::sqrt(30.0);
+  EXPECT_NEAR(s.ci95_half_width, expected_hw, 1e-12);
+}
+
+TEST(TQuantile, TableValues) {
+  EXPECT_DOUBLE_EQ(t_quantile_975(1), 12.706);
+  EXPECT_DOUBLE_EQ(t_quantile_975(29), 2.045);
+  EXPECT_DOUBLE_EQ(t_quantile_975(30), 2.042);
+  EXPECT_DOUBLE_EQ(t_quantile_975(1000), 1.96);
+  EXPECT_DOUBLE_EQ(t_quantile_975(0), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> data = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(data, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 10), 1.4);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101), std::invalid_argument);
+}
+
+TEST(BinnedSeries, AccumulatesIntoCorrectBins) {
+  BinnedSeries series(1.0);
+  series.add(0.5, 100);
+  series.add(0.9, 50);
+  series.add(1.0, 10);  // exactly on the boundary -> bin 1
+  series.add(3.2, 8);
+  EXPECT_EQ(series.bin_count(), 4u);
+  EXPECT_DOUBLE_EQ(series.bin_sum(0), 150.0);
+  EXPECT_DOUBLE_EQ(series.bin_sum(1), 10.0);
+  EXPECT_DOUBLE_EQ(series.bin_sum(2), 0.0);
+  EXPECT_DOUBLE_EQ(series.bin_sum(3), 8.0);
+  EXPECT_DOUBLE_EQ(series.bin_sum(99), 0.0);  // out of range reads as 0
+}
+
+TEST(BinnedSeries, RatesAndMbpsConversion) {
+  BinnedSeries series(2.0);  // 2-second bins
+  series.add(0.0, 1e6);      // 1 MB in bin 0
+  EXPECT_DOUBLE_EQ(series.bin_rate(0), 0.5e6);       // bytes/s
+  EXPECT_DOUBLE_EQ(series.bin_mbps(0), 4.0);         // 0.5 MB/s = 4 Mb/s
+  EXPECT_DOUBLE_EQ(series.bin_start(3), 6.0);
+}
+
+TEST(BinnedSeries, SumAndMeanBetween) {
+  BinnedSeries series(1.0);
+  for (int t = 0; t < 10; ++t) series.add(t + 0.5, 1000);
+  EXPECT_DOUBLE_EQ(series.sum_between(0.0, 5.0), 5000.0);
+  EXPECT_DOUBLE_EQ(series.sum_between(5.0, 10.0), 5000.0);
+  EXPECT_DOUBLE_EQ(series.mbps_between(0.0, 10.0), 10000.0 * 8 / 1e6 / 10.0);
+  EXPECT_DOUBLE_EQ(series.sum_between(5.0, 5.0), 0.0);
+}
+
+TEST(BinnedSeries, RejectsBadArguments) {
+  EXPECT_THROW(BinnedSeries(0.0), std::invalid_argument);
+  EXPECT_THROW(BinnedSeries(-1.0), std::invalid_argument);
+  BinnedSeries series(1.0);
+  EXPECT_THROW(series.add(-0.1, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kar::stats

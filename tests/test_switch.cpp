@@ -1,0 +1,184 @@
+#include "dataplane/switch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "routing/controller.hpp"
+#include "topology/builders.hpp"
+
+namespace kar::dataplane {
+namespace {
+
+using common::Rng;
+using topo::Scenario;
+
+struct Fig1Fixture : public ::testing::Test {
+  Fig1Fixture()
+      : scenario(topo::make_fig1_network()), controller(scenario.topology) {}
+
+  Packet make_packet(std::uint64_t route_id) {
+    Packet p;
+    p.kar.route_id = rns::BigUint(route_id);
+    p.dst_edge = scenario.topology.at("D");
+    p.src_edge = scenario.topology.at("S");
+    return p;
+  }
+
+  Scenario scenario;
+  routing::Controller controller;
+  Rng rng{7};
+};
+
+TEST_F(Fig1Fixture, ModuloForwardingFollowsPaperSteps) {
+  // R = 44: SW4 -> port 0, SW7 -> port 2, SW11 -> port 0.
+  const topo::Topology& t = scenario.topology;
+  const Packet p = make_packet(44);
+  for (const auto& [name, id, expected] :
+       {std::tuple{"SW4", 4u, 0u}, {"SW7", 7u, 2u}, {"SW11", 11u, 0u}}) {
+    const KarSwitch sw(t, t.at(name), DeflectionTechnique::kNone);
+    EXPECT_EQ(sw.switch_id(), id);
+    const auto decision = sw.forward(p, std::nullopt, rng);
+    EXPECT_EQ(decision.action, ForwardDecision::Action::kForward) << name;
+    EXPECT_EQ(decision.out_port, expected) << name;
+    EXPECT_FALSE(decision.deflected);
+  }
+}
+
+TEST_F(Fig1Fixture, ConstructionRejectsEdgeNodes) {
+  EXPECT_THROW(KarSwitch(scenario.topology, scenario.topology.at("S"),
+                         DeflectionTechnique::kNone),
+               std::logic_error);
+}
+
+TEST_F(Fig1Fixture, NoDeflectionDropsOnFailedResiduePort) {
+  topo::Topology& t = scenario.topology;
+  t.fail_link("SW7", "SW11");
+  const KarSwitch sw(t, t.at("SW7"), DeflectionTechnique::kNone);
+  const auto decision = sw.forward(make_packet(44), 0, rng);
+  EXPECT_EQ(decision.action, ForwardDecision::Action::kDrop);
+  EXPECT_EQ(decision.drop_reason, DropReason::kNoViablePort);
+}
+
+TEST_F(Fig1Fixture, AvpDeflectsUniformlyOverAvailablePorts) {
+  topo::Topology& t = scenario.topology;
+  t.fail_link("SW7", "SW11");
+  const KarSwitch sw(t, t.at("SW7"), DeflectionTechnique::kAnyValidPort);
+  // Paper: "SW7 chooses between port 0 (SW4) or port 1 (SW5)".
+  std::map<topo::PortIndex, int> counts;
+  const Packet p = make_packet(660);
+  for (int i = 0; i < 4000; ++i) {
+    const auto decision = sw.forward(p, 0, rng);
+    ASSERT_EQ(decision.action, ForwardDecision::Action::kForward);
+    ASSERT_TRUE(decision.deflected);
+    ++counts[decision.out_port];
+  }
+  ASSERT_EQ(counts.size(), 2u);      // ports 0 and 1 only (2 is down)
+  EXPECT_GT(counts[0], 1800);        // ~50/50 split, generous tolerance
+  EXPECT_GT(counts[1], 1800);
+}
+
+TEST_F(Fig1Fixture, NipNeverReturnsToInputPort) {
+  topo::Topology& t = scenario.topology;
+  t.fail_link("SW7", "SW11");
+  const KarSwitch sw(t, t.at("SW7"), DeflectionTechnique::kNotInputPort);
+  const Packet p = make_packet(660);
+  for (int i = 0; i < 1000; ++i) {
+    const auto decision = sw.forward(p, /*in_port=*/0, rng);
+    ASSERT_EQ(decision.action, ForwardDecision::Action::kForward);
+    EXPECT_EQ(decision.out_port, 1u);  // only SW5 remains
+  }
+}
+
+TEST_F(Fig1Fixture, NipRejectsResidueEqualToInputPort) {
+  // Craft a route ID whose residue at SW7 is the input port: residue 0 with
+  // input port 0 must be rejected even though port 0 is healthy
+  // (Algorithm 1: "or output = in_port").
+  const topo::Topology& t = scenario.topology;
+  const KarSwitch sw(t, t.at("SW7"), DeflectionTechnique::kNotInputPort);
+  Packet p = make_packet(0);  // 0 mod 7 = 0
+  std::map<topo::PortIndex, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    const auto decision = sw.forward(p, 0, rng);
+    ASSERT_EQ(decision.action, ForwardDecision::Action::kForward);
+    EXPECT_NE(decision.out_port, 0u);
+    EXPECT_TRUE(decision.deflected);
+    ++counts[decision.out_port];
+  }
+  EXPECT_EQ(counts.size(), 2u);  // ports 1 and 2
+}
+
+TEST_F(Fig1Fixture, AvpAcceptsResidueEqualToInputPort) {
+  const topo::Topology& t = scenario.topology;
+  const KarSwitch sw(t, t.at("SW7"), DeflectionTechnique::kAnyValidPort);
+  const Packet p = make_packet(0);
+  const auto decision = sw.forward(p, 0, rng);
+  EXPECT_EQ(decision.action, ForwardDecision::Action::kForward);
+  EXPECT_EQ(decision.out_port, 0u);  // AVP may bounce straight back
+  EXPECT_FALSE(decision.deflected);
+}
+
+TEST_F(Fig1Fixture, HotPotatoMarksAndRandomWalks) {
+  topo::Topology& t = scenario.topology;
+  t.fail_link("SW7", "SW11");
+  const KarSwitch sw(t, t.at("SW7"), DeflectionTechnique::kHotPotato);
+  Packet p = make_packet(44);
+  const auto first = sw.forward(p, 0, rng);
+  ASSERT_EQ(first.action, ForwardDecision::Action::kForward);
+  EXPECT_TRUE(first.deflected);
+  EXPECT_TRUE(first.marked_hot_potato);
+  // Once marked, the residue is ignored — even on a healthy switch whose
+  // residue port is up.
+  p.kar.deflected = true;
+  t.repair_all();
+  std::map<topo::PortIndex, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    const auto decision = sw.forward(p, 0, rng);
+    ASSERT_EQ(decision.action, ForwardDecision::Action::kForward);
+    EXPECT_TRUE(decision.deflected);
+    ++counts[decision.out_port];
+  }
+  EXPECT_EQ(counts.size(), 3u);  // uniform over all three ports
+}
+
+TEST_F(Fig1Fixture, UnmarkedHotPotatoFollowsResidue) {
+  const topo::Topology& t = scenario.topology;
+  const KarSwitch sw(t, t.at("SW7"), DeflectionTechnique::kHotPotato);
+  const auto decision = sw.forward(make_packet(44), 0, rng);
+  EXPECT_EQ(decision.action, ForwardDecision::Action::kForward);
+  EXPECT_EQ(decision.out_port, 2u);
+  EXPECT_FALSE(decision.deflected);
+}
+
+TEST_F(Fig1Fixture, NipDropsWhenOnlyInputPortRemains) {
+  // Isolate SW4 so its only healthy port is the input port.
+  topo::Topology& t = scenario.topology;
+  t.fail_link("SW4", "SW7");
+  const KarSwitch sw(t, t.at("SW4"), DeflectionTechnique::kNotInputPort);
+  // Input = port 1 (to S); the only other port (0, to SW7) is down.
+  const auto decision = sw.forward(make_packet(44), 1, rng);
+  EXPECT_EQ(decision.action, ForwardDecision::Action::kDrop);
+  EXPECT_EQ(decision.drop_reason, DropReason::kNoViablePort);
+}
+
+TEST_F(Fig1Fixture, ResidueLargerThanPortCountDeflects) {
+  // At SW11 (3 ports), residue 44 mod 11 = 0 is valid, but a route ID of
+  // 7 gives 7 mod 11 = 7: not a port; AVP must deflect.
+  const topo::Topology& t = scenario.topology;
+  const KarSwitch sw(t, t.at("SW11"), DeflectionTechnique::kAnyValidPort);
+  const auto decision = sw.forward(make_packet(7), 2, rng);
+  EXPECT_EQ(decision.action, ForwardDecision::Action::kForward);
+  EXPECT_TRUE(decision.deflected);
+}
+
+TEST(DeflectionTechnique, StringRoundTrip) {
+  for (const auto technique :
+       {DeflectionTechnique::kNone, DeflectionTechnique::kHotPotato,
+        DeflectionTechnique::kAnyValidPort, DeflectionTechnique::kNotInputPort}) {
+    EXPECT_EQ(technique_from_string(to_string(technique)), technique);
+  }
+  EXPECT_THROW(technique_from_string("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kar::dataplane

@@ -1,0 +1,165 @@
+#include "analysis/walks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/controller.hpp"
+#include "topology/builders.hpp"
+
+namespace kar::analysis {
+namespace {
+
+using dataplane::DeflectionTechnique;
+using topo::ProtectionLevel;
+using topo::Scenario;
+
+struct WalkFixture : public ::testing::Test {
+  WalkFixture()
+      : scenario(topo::make_fig1_network()), controller(scenario.topology) {}
+
+  routing::EncodedRoute route(ProtectionLevel level) {
+    return controller.encode_scenario(scenario.route, level);
+  }
+
+  Scenario scenario;
+  routing::Controller controller;
+  common::Rng rng{11};
+};
+
+TEST_F(WalkFixture, HealthyRouteWalksExactPath) {
+  WalkConfig config;
+  config.record_trace = true;
+  const auto result =
+      walk_packet(scenario.topology, controller, route(ProtectionLevel::kUnprotected),
+                  config, rng);
+  EXPECT_TRUE(result.delivered);
+  EXPECT_EQ(result.hops, 3u);
+  EXPECT_EQ(result.deflections, 0u);
+  std::vector<std::string> names;
+  for (const auto n : result.trace) names.push_back(scenario.topology.name(n));
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"S", "SW4", "SW7", "SW11", "D"}));
+}
+
+TEST_F(WalkFixture, ProtectedRouteSurvivesFailureViaDrivenDeflection) {
+  scenario.topology.fail_link("SW7", "SW11");
+  WalkConfig config;
+  config.technique = DeflectionTechnique::kNotInputPort;
+  const auto stats = sample_walks(scenario.topology, controller,
+                                  route(ProtectionLevel::kPartial), config,
+                                  500, /*seed=*/3);
+  EXPECT_EQ(stats.delivered, 500u);
+  // NIP at SW7 always picks SW5 (SW4 is the input port): 4 hops for all.
+  EXPECT_DOUBLE_EQ(stats.hops.mean, 4.0);
+  EXPECT_DOUBLE_EQ(stats.hops.stddev, 0.0);
+}
+
+TEST_F(WalkFixture, UnprotectedNoDeflectionDropsDuringFailure) {
+  scenario.topology.fail_link("SW7", "SW11");
+  WalkConfig config;
+  config.technique = DeflectionTechnique::kNone;
+  const auto stats = sample_walks(scenario.topology, controller,
+                                  route(ProtectionLevel::kUnprotected), config,
+                                  100, 3);
+  EXPECT_EQ(stats.delivered, 0u);
+  EXPECT_DOUBLE_EQ(stats.delivery_rate, 0.0);
+}
+
+TEST_F(WalkFixture, AvpWithoutProtectionSplitsFiftyFifty) {
+  // Paper §2.1: without protection, a packet deflected at SW7 that lands
+  // on SW5 has a 50% chance of going to SW11 (and 50% back to SW7).
+  scenario.topology.fail_link("SW7", "SW11");
+  WalkConfig config;
+  config.technique = DeflectionTechnique::kAnyValidPort;
+  const auto stats = sample_walks(scenario.topology, controller,
+                                  route(ProtectionLevel::kUnprotected), config,
+                                  2000, 17);
+  // AVP eventually delivers every packet (random walk on a connected
+  // residual graph with re-encode at wrong edges).
+  EXPECT_GT(stats.delivery_rate, 0.99);
+  // Hop counts vary (sometimes > 4): bouncing happened.
+  EXPECT_GT(stats.hops.stddev, 0.1);
+  EXPECT_GT(stats.hops.mean, 4.0);
+}
+
+TEST_F(WalkFixture, DrivenDeflectionEliminatesTheCoinFlip) {
+  // With SW5 in the route ID (R = 660), every deflected packet is driven
+  // SW5 -> SW11: constant 4 hops, no revisits.
+  scenario.topology.fail_link("SW7", "SW11");
+  WalkConfig config;
+  config.technique = DeflectionTechnique::kNotInputPort;
+  const auto protected_stats = sample_walks(scenario.topology, controller,
+                                            route(ProtectionLevel::kPartial),
+                                            config, 2000, 17);
+  EXPECT_DOUBLE_EQ(protected_stats.hops.mean, 4.0);
+  EXPECT_DOUBLE_EQ(protected_stats.hops.max, 4.0);
+}
+
+TEST_F(WalkFixture, HotPotatoIsTheWorstTechnique) {
+  scenario.topology.fail_link("SW7", "SW11");
+  WalkConfig config;
+  config.max_hops = 100000;
+  config.technique = DeflectionTechnique::kHotPotato;
+  const auto hp = sample_walks(scenario.topology, controller,
+                               route(ProtectionLevel::kPartial), config, 500, 5);
+  config.technique = DeflectionTechnique::kNotInputPort;
+  const auto nip = sample_walks(scenario.topology, controller,
+                                route(ProtectionLevel::kPartial), config, 500, 5);
+  EXPECT_GT(hp.hops.mean, nip.hops.mean);
+}
+
+TEST_F(WalkFixture, TtlBoundsWalks) {
+  scenario.topology.fail_link("SW7", "SW11");
+  scenario.topology.fail_link("SW5", "SW11");
+  WalkConfig config;
+  config.technique = DeflectionTechnique::kAnyValidPort;
+  config.wrong_edge_policy = dataplane::WrongEdgePolicy::kBounceBack;
+  config.max_hops = 32;
+  const auto result = walk_packet(scenario.topology, controller,
+                                  route(ProtectionLevel::kPartial), config, rng);
+  EXPECT_FALSE(result.delivered);
+  EXPECT_LE(result.hops, 33u);
+}
+
+TEST(WalkSplits, Sw10FailureSplitsTwoThirdsOneThird) {
+  // Paper §3.1: failure at SW10-SW7 with partial protection sends 2/3 of
+  // packets to SW17/SW37 (uncovered) and 1/3 to SW11 (covered).
+  Scenario s = topo::make_experimental15();
+  const routing::Controller controller(s.topology);
+  const auto route =
+      controller.encode_scenario(s.route, ProtectionLevel::kPartial);
+  s.topology.fail_link("SW10", "SW7");
+  WalkConfig config;
+  config.technique = DeflectionTechnique::kNotInputPort;
+  const auto split = first_hop_split(s.topology, controller, route,
+                                     s.topology.at("SW10"), config, 3000, 23);
+  EXPECT_EQ(split.walks_through_node, 3000u);
+  double to_protected = 0;
+  double to_uncovered = 0;
+  for (const auto& [node, share] : split.shares) {
+    const std::string& name = s.topology.name(node);
+    if (name == "SW11") to_protected += share;
+    if (name == "SW17" || name == "SW37") to_uncovered += share;
+  }
+  EXPECT_NEAR(to_protected, 1.0 / 3.0, 0.05);
+  EXPECT_NEAR(to_uncovered, 2.0 / 3.0, 0.05);
+}
+
+TEST(WalkSplits, DeliveredAnywayViaReencodeCounts) {
+  // In the 15-node net with HP, many walks surface at AS2 and get
+  // re-encoded; sample_walks must track that.
+  Scenario s = topo::make_experimental15();
+  const routing::Controller controller(s.topology);
+  const auto route =
+      controller.encode_scenario(s.route, ProtectionLevel::kUnprotected);
+  s.topology.fail_link("SW7", "SW13");
+  WalkConfig config;
+  config.technique = DeflectionTechnique::kHotPotato;
+  config.max_hops = 100000;
+  const auto stats =
+      sample_walks(s.topology, controller, route, config, 300, 31);
+  EXPECT_GT(stats.delivery_rate, 0.99);
+  EXPECT_GT(stats.reencoded_walks, 0u);
+}
+
+}  // namespace
+}  // namespace kar::analysis
