@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_reaction.dir/controller_reaction.cpp.o"
+  "CMakeFiles/controller_reaction.dir/controller_reaction.cpp.o.d"
+  "controller_reaction"
+  "controller_reaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_reaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deflection_analysis.dir/deflection_analysis.cpp.o"
+  "CMakeFiles/deflection_analysis.dir/deflection_analysis.cpp.o.d"
+  "deflection_analysis"
+  "deflection_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deflection_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_delay.dir/detection_delay.cpp.o"
+  "CMakeFiles/detection_delay.dir/detection_delay.cpp.o.d"
+  "detection_delay"
+  "detection_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_baseline.dir/failover_baseline.cpp.o"
+  "CMakeFiles/failover_baseline.dir/failover_baseline.cpp.o.d"
+  "failover_baseline"
+  "failover_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

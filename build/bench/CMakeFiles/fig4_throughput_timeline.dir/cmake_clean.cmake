@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_throughput_timeline.dir/fig4_throughput_timeline.cpp.o"
+  "CMakeFiles/fig4_throughput_timeline.dir/fig4_throughput_timeline.cpp.o.d"
+  "fig4_throughput_timeline"
+  "fig4_throughput_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_throughput_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_rnp_backbone.dir/fig7_rnp_backbone.cpp.o"
+  "CMakeFiles/fig7_rnp_backbone.dir/fig7_rnp_backbone.cpp.o.d"
+  "fig7_rnp_backbone"
+  "fig7_rnp_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_rnp_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

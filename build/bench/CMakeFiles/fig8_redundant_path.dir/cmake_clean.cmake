@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_redundant_path.dir/fig8_redundant_path.cpp.o"
+  "CMakeFiles/fig8_redundant_path.dir/fig8_redundant_path.cpp.o.d"
+  "fig8_redundant_path"
+  "fig8_redundant_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_redundant_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_jitter.dir/latency_jitter.cpp.o"
+  "CMakeFiles/latency_jitter.dir/latency_jitter.cpp.o.d"
+  "latency_jitter"
+  "latency_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

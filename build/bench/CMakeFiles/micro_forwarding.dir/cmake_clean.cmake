@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_forwarding.dir/micro_forwarding.cpp.o"
+  "CMakeFiles/micro_forwarding.dir/micro_forwarding.cpp.o.d"
+  "micro_forwarding"
+  "micro_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rns.dir/micro_rns.cpp.o"
+  "CMakeFiles/micro_rns.dir/micro_rns.cpp.o.d"
+  "micro_rns"
+  "micro_rns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

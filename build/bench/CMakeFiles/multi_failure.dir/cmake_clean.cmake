@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_failure.dir/multi_failure.cpp.o"
+  "CMakeFiles/multi_failure.dir/multi_failure.cpp.o.d"
+  "multi_failure"
+  "multi_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_comparison.dir/state_comparison.cpp.o"
+  "CMakeFiles/state_comparison.dir/state_comparison.cpp.o.d"
+  "state_comparison"
+  "state_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_bitlength.dir/table1_bitlength.cpp.o"
+  "CMakeFiles/table1_bitlength.dir/table1_bitlength.cpp.o.d"
+  "table1_bitlength"
+  "table1_bitlength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_bitlength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_table1 "/root/repo/build/bench/table1_bitlength")
+set_tests_properties(bench_smoke_table1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table2 "/root/repo/build/bench/table2_comparison")
+set_tests_properties(bench_smoke_table2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;35;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_state "/root/repo/build/bench/state_comparison")
+set_tests_properties(bench_smoke_state PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_multi_failure "/root/repo/build/bench/multi_failure" "--sets=3" "--walks=50")
+set_tests_properties(bench_smoke_multi_failure PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig5 "/root/repo/build/bench/fig5_protection_tradeoff" "--runs=1" "--seconds=2")
+set_tests_properties(bench_smoke_fig5 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig7 "/root/repo/build/bench/fig7_rnp_backbone" "--runs=1" "--seconds=2")
+set_tests_properties(bench_smoke_fig7 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig8 "/root/repo/build/bench/fig8_redundant_path" "--duration=6" "--runs=1")
+set_tests_properties(bench_smoke_fig8 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig4 "/root/repo/build/bench/fig4_throughput_timeline" "--duration=9")
+set_tests_properties(bench_smoke_fig4 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;41;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_deflection "/root/repo/build/bench/deflection_analysis" "--walks=500")
+set_tests_properties(bench_smoke_deflection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;42;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_latency "/root/repo/build/bench/latency_jitter" "--seconds=2")
+set_tests_properties(bench_smoke_latency PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;43;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_reaction "/root/repo/build/bench/controller_reaction" "--seconds=2")
+set_tests_properties(bench_smoke_reaction PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_detection "/root/repo/build/bench/detection_delay" "--seconds=2")
+set_tests_properties(bench_smoke_detection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_failover "/root/repo/build/bench/failover_baseline" "--probes=100")
+set_tests_properties(bench_smoke_failover PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;46;add_test;/root/repo/bench/CMakeLists.txt;0;")

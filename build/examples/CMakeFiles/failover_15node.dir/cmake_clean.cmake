@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_15node.dir/failover_15node.cpp.o"
+  "CMakeFiles/failover_15node.dir/failover_15node.cpp.o.d"
+  "failover_15node"
+  "failover_15node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_15node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

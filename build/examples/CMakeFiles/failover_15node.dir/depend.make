@@ -1,0 +1,2 @@
+# Empty dependencies file for failover_15node.
+# This may be replaced when dependencies are built.

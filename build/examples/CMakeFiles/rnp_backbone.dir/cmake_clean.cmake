@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnp_backbone.dir/rnp_backbone.cpp.o"
+  "CMakeFiles/rnp_backbone.dir/rnp_backbone.cpp.o.d"
+  "rnp_backbone"
+  "rnp_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnp_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/latency.cpp" "src/analysis/CMakeFiles/kar_analysis.dir/latency.cpp.o" "gcc" "src/analysis/CMakeFiles/kar_analysis.dir/latency.cpp.o.d"
+  "/root/repo/src/analysis/markov.cpp" "src/analysis/CMakeFiles/kar_analysis.dir/markov.cpp.o" "gcc" "src/analysis/CMakeFiles/kar_analysis.dir/markov.cpp.o.d"
+  "/root/repo/src/analysis/reorder.cpp" "src/analysis/CMakeFiles/kar_analysis.dir/reorder.cpp.o" "gcc" "src/analysis/CMakeFiles/kar_analysis.dir/reorder.cpp.o.d"
+  "/root/repo/src/analysis/state_model.cpp" "src/analysis/CMakeFiles/kar_analysis.dir/state_model.cpp.o" "gcc" "src/analysis/CMakeFiles/kar_analysis.dir/state_model.cpp.o.d"
+  "/root/repo/src/analysis/walks.cpp" "src/analysis/CMakeFiles/kar_analysis.dir/walks.cpp.o" "gcc" "src/analysis/CMakeFiles/kar_analysis.dir/walks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/kar_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/kar_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/kar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/kar_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/rns/CMakeFiles/kar_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kar_analysis.dir/latency.cpp.o"
+  "CMakeFiles/kar_analysis.dir/latency.cpp.o.d"
+  "CMakeFiles/kar_analysis.dir/markov.cpp.o"
+  "CMakeFiles/kar_analysis.dir/markov.cpp.o.d"
+  "CMakeFiles/kar_analysis.dir/reorder.cpp.o"
+  "CMakeFiles/kar_analysis.dir/reorder.cpp.o.d"
+  "CMakeFiles/kar_analysis.dir/state_model.cpp.o"
+  "CMakeFiles/kar_analysis.dir/state_model.cpp.o.d"
+  "CMakeFiles/kar_analysis.dir/walks.cpp.o"
+  "CMakeFiles/kar_analysis.dir/walks.cpp.o.d"
+  "libkar_analysis.a"
+  "libkar_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kar_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kar_common.dir/strings.cpp.o"
+  "CMakeFiles/kar_common.dir/strings.cpp.o.d"
+  "libkar_common.a"
+  "libkar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

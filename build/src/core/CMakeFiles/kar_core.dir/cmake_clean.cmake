@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kar_core.dir/fabric.cpp.o"
+  "CMakeFiles/kar_core.dir/fabric.cpp.o.d"
+  "libkar_core.a"
+  "libkar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

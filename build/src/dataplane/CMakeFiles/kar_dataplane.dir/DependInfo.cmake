@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/edge.cpp" "src/dataplane/CMakeFiles/kar_dataplane.dir/edge.cpp.o" "gcc" "src/dataplane/CMakeFiles/kar_dataplane.dir/edge.cpp.o.d"
+  "/root/repo/src/dataplane/switch.cpp" "src/dataplane/CMakeFiles/kar_dataplane.dir/switch.cpp.o" "gcc" "src/dataplane/CMakeFiles/kar_dataplane.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rns/CMakeFiles/kar_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/kar_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/kar_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kar_dataplane.dir/edge.cpp.o"
+  "CMakeFiles/kar_dataplane.dir/edge.cpp.o.d"
+  "CMakeFiles/kar_dataplane.dir/switch.cpp.o"
+  "CMakeFiles/kar_dataplane.dir/switch.cpp.o.d"
+  "libkar_dataplane.a"
+  "libkar_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kar_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

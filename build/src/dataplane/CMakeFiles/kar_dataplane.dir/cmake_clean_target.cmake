@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkar_dataplane.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kar_rns.dir/biguint.cpp.o"
+  "CMakeFiles/kar_rns.dir/biguint.cpp.o.d"
+  "CMakeFiles/kar_rns.dir/crt.cpp.o"
+  "CMakeFiles/kar_rns.dir/crt.cpp.o.d"
+  "CMakeFiles/kar_rns.dir/modular.cpp.o"
+  "CMakeFiles/kar_rns.dir/modular.cpp.o.d"
+  "libkar_rns.a"
+  "libkar_rns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kar_rns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

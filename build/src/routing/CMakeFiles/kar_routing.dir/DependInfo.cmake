@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/controller.cpp" "src/routing/CMakeFiles/kar_routing.dir/controller.cpp.o" "gcc" "src/routing/CMakeFiles/kar_routing.dir/controller.cpp.o.d"
+  "/root/repo/src/routing/encodings.cpp" "src/routing/CMakeFiles/kar_routing.dir/encodings.cpp.o" "gcc" "src/routing/CMakeFiles/kar_routing.dir/encodings.cpp.o.d"
+  "/root/repo/src/routing/failover_fib.cpp" "src/routing/CMakeFiles/kar_routing.dir/failover_fib.cpp.o" "gcc" "src/routing/CMakeFiles/kar_routing.dir/failover_fib.cpp.o.d"
+  "/root/repo/src/routing/failover_install.cpp" "src/routing/CMakeFiles/kar_routing.dir/failover_install.cpp.o" "gcc" "src/routing/CMakeFiles/kar_routing.dir/failover_install.cpp.o.d"
+  "/root/repo/src/routing/id_assign.cpp" "src/routing/CMakeFiles/kar_routing.dir/id_assign.cpp.o" "gcc" "src/routing/CMakeFiles/kar_routing.dir/id_assign.cpp.o.d"
+  "/root/repo/src/routing/paths.cpp" "src/routing/CMakeFiles/kar_routing.dir/paths.cpp.o" "gcc" "src/routing/CMakeFiles/kar_routing.dir/paths.cpp.o.d"
+  "/root/repo/src/routing/protection.cpp" "src/routing/CMakeFiles/kar_routing.dir/protection.cpp.o" "gcc" "src/routing/CMakeFiles/kar_routing.dir/protection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rns/CMakeFiles/kar_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/kar_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

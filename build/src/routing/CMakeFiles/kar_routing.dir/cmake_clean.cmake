@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kar_routing.dir/controller.cpp.o"
+  "CMakeFiles/kar_routing.dir/controller.cpp.o.d"
+  "CMakeFiles/kar_routing.dir/encodings.cpp.o"
+  "CMakeFiles/kar_routing.dir/encodings.cpp.o.d"
+  "CMakeFiles/kar_routing.dir/failover_fib.cpp.o"
+  "CMakeFiles/kar_routing.dir/failover_fib.cpp.o.d"
+  "CMakeFiles/kar_routing.dir/failover_install.cpp.o"
+  "CMakeFiles/kar_routing.dir/failover_install.cpp.o.d"
+  "CMakeFiles/kar_routing.dir/id_assign.cpp.o"
+  "CMakeFiles/kar_routing.dir/id_assign.cpp.o.d"
+  "CMakeFiles/kar_routing.dir/paths.cpp.o"
+  "CMakeFiles/kar_routing.dir/paths.cpp.o.d"
+  "CMakeFiles/kar_routing.dir/protection.cpp.o"
+  "CMakeFiles/kar_routing.dir/protection.cpp.o.d"
+  "libkar_routing.a"
+  "libkar_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kar_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/kar_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/kar_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/kar_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/kar_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/reactive_controller.cpp" "src/sim/CMakeFiles/kar_sim.dir/reactive_controller.cpp.o" "gcc" "src/sim/CMakeFiles/kar_sim.dir/reactive_controller.cpp.o.d"
+  "/root/repo/src/sim/trace_csv.cpp" "src/sim/CMakeFiles/kar_sim.dir/trace_csv.cpp.o" "gcc" "src/sim/CMakeFiles/kar_sim.dir/trace_csv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rns/CMakeFiles/kar_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/kar_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/kar_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/kar_dataplane.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

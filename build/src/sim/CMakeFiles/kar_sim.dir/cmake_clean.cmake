@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kar_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/kar_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/kar_sim.dir/network.cpp.o"
+  "CMakeFiles/kar_sim.dir/network.cpp.o.d"
+  "CMakeFiles/kar_sim.dir/reactive_controller.cpp.o"
+  "CMakeFiles/kar_sim.dir/reactive_controller.cpp.o.d"
+  "CMakeFiles/kar_sim.dir/trace_csv.cpp.o"
+  "CMakeFiles/kar_sim.dir/trace_csv.cpp.o.d"
+  "libkar_sim.a"
+  "libkar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

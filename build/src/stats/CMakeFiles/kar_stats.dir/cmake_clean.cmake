@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kar_stats.dir/summary.cpp.o"
+  "CMakeFiles/kar_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/kar_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/kar_stats.dir/timeseries.cpp.o.d"
+  "libkar_stats.a"
+  "libkar_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kar_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

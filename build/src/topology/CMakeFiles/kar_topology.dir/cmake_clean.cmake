@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kar_topology.dir/builders.cpp.o"
+  "CMakeFiles/kar_topology.dir/builders.cpp.o.d"
+  "CMakeFiles/kar_topology.dir/graph.cpp.o"
+  "CMakeFiles/kar_topology.dir/graph.cpp.o.d"
+  "CMakeFiles/kar_topology.dir/io.cpp.o"
+  "CMakeFiles/kar_topology.dir/io.cpp.o.d"
+  "CMakeFiles/kar_topology.dir/scenario.cpp.o"
+  "CMakeFiles/kar_topology.dir/scenario.cpp.o.d"
+  "libkar_topology.a"
+  "libkar_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kar_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kar_transport.dir/flows.cpp.o"
+  "CMakeFiles/kar_transport.dir/flows.cpp.o.d"
+  "CMakeFiles/kar_transport.dir/tcp.cpp.o"
+  "CMakeFiles/kar_transport.dir/tcp.cpp.o.d"
+  "CMakeFiles/kar_transport.dir/udp.cpp.o"
+  "CMakeFiles/kar_transport.dir/udp.cpp.o.d"
+  "libkar_transport.a"
+  "libkar_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kar_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_biguint.dir/test_biguint.cpp.o"
+  "CMakeFiles/test_biguint.dir/test_biguint.cpp.o.d"
+  "test_biguint"
+  "test_biguint.pdb"
+  "test_biguint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_biguint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_id_assign.dir/test_id_assign.cpp.o"
+  "CMakeFiles/test_id_assign.dir/test_id_assign.cpp.o.d"
+  "test_id_assign"
+  "test_id_assign.pdb"
+  "test_id_assign[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_id_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

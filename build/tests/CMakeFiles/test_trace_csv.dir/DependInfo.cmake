@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_trace_csv.cpp" "tests/CMakeFiles/test_trace_csv.dir/test_trace_csv.cpp.o" "gcc" "tests/CMakeFiles/test_trace_csv.dir/test_trace_csv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/kar_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/kar_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/kar_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/kar_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/kar_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/rns/CMakeFiles/kar_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/kar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_walks.dir/test_walks.cpp.o"
+  "CMakeFiles/test_walks.dir/test_walks.cpp.o.d"
+  "test_walks"
+  "test_walks.pdb"
+  "test_walks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_walks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
