@@ -1,0 +1,187 @@
+#include "faultgen/campaign.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "routing/controller.hpp"
+#include "topology/builders.hpp"
+
+namespace kar::faultgen {
+
+using dataplane::Packet;
+
+topo::Scenario make_campaign_scenario(const std::string& name) {
+  if (name == "fig1") return topo::make_fig1_network();
+  if (name == "fig2" || name == "exp15") return topo::make_experimental15();
+  if (name == "rnp28") return topo::make_rnp28();
+  if (name == "fig8") return topo::make_fig8_redundant();
+  if (name == "grid") return topo::make_grid(3, 4);
+  if (name == "line") return topo::make_line(5);
+  throw std::invalid_argument("make_campaign_scenario: unknown topology " +
+                              name);
+}
+
+CampaignEngine::CampaignEngine(CampaignConfig config)
+    : config_(std::move(config)) {
+  if (config_.runs == 0) {
+    throw std::invalid_argument("CampaignEngine: runs must be positive");
+  }
+}
+
+std::uint64_t CampaignEngine::run_seed_at(std::size_t index) const noexcept {
+  // SplitMix64 step over (campaign seed, index): adjacent campaign seeds
+  // share no run seeds.
+  std::uint64_t z = config_.seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+RunResult CampaignEngine::run_one(std::uint64_t run_seed,
+                                  const FailureSchedule* override_schedule) const {
+  topo::Scenario scenario = make_campaign_scenario(config_.topology);
+  const routing::Controller controller(scenario.topology);
+  // Routes are encoded before any failure, and the controller keeps them
+  // (the paper's evaluation policy): recovery is the data plane's job.
+  const routing::EncodedRoute route =
+      controller.encode_scenario(scenario.route, config_.protection);
+
+  sim::NetworkConfig net_config;
+  net_config.technique = config_.technique;
+  net_config.wrong_edge_policy = config_.wrong_edge_policy;
+  net_config.max_hops = config_.max_hops;
+  net_config.failure_detection_delay_s = config_.failure_detection_delay_s;
+  net_config.seed = run_seed;
+  sim::Network net(scenario.topology, controller, net_config);
+
+  InvariantConfig inv_config;
+  inv_config.max_hops = config_.max_hops;
+  inv_config.technique = config_.technique;
+  inv_config.check_residue = true;
+  inv_config.hop_budget_override = config_.hop_budget_override;
+  InvariantChecker checker(net, inv_config);
+  net.set_trace_hook([&checker](const sim::TraceEvent& e) { checker.observe(e); });
+
+  RunResult result;
+  result.run_seed = run_seed;
+  if (override_schedule != nullptr) {
+    result.schedule = *override_schedule;
+  } else {
+    common::Rng schedule_rng(run_seed ^ 0x5eedfa171c5c11edULL);
+    result.schedule =
+        generate_schedule(scenario.topology, config_.schedule, schedule_rng);
+  }
+  for (const LinkEvent& event : result.schedule.events) {
+    net.events().schedule_at(event.time, [&net, event] {
+      if (event.fail) {
+        net.fail_link_now(event.link);
+      } else {
+        net.repair_link_now(event.link);
+      }
+    });
+  }
+
+  net.set_delivery_handler(route.dst_edge, [&result](const Packet& p) {
+    result.delivered_hops += p.hop_count;
+  });
+
+  const double interval =
+      config_.inject_interval_s > 0.0
+          ? config_.inject_interval_s
+          : 0.6 * config_.schedule.horizon_s /
+                static_cast<double>(std::max<std::size_t>(config_.packets_per_run, 1));
+  common::Rng traffic_rng(run_seed ^ 0x7aff1c0de5eed000ULL);
+  for (std::size_t i = 0; i < config_.packets_per_run; ++i) {
+    const double at = static_cast<double>(i) * interval;
+    const std::size_t payload = 64 + traffic_rng.below(1137);  // 64..1200 B
+    net.events().schedule_at(at, [&net, &route, i, payload] {
+      Packet p;
+      p.transport = dataplane::Datagram{static_cast<std::uint64_t>(i)};
+      net.edge_at(route.src_edge).stamp(p, route, payload);
+      net.inject(route.src_edge, std::move(p));
+    });
+  }
+
+  const std::size_t processed = net.events().run_all(config_.max_events_per_run);
+  result.queue_drained = net.events().empty();
+  (void)processed;
+  checker.finish(result.queue_drained);
+  result.counters = net.counters();
+  result.violations = checker.violations();
+  return result;
+}
+
+FailureSchedule CampaignEngine::shrink_schedule(
+    std::uint64_t run_seed, const FailureSchedule& failing) const {
+  FailureSchedule current = failing;
+  std::size_t replays = 0;
+  bool improved = true;
+  while (improved && replays < config_.max_shrink_replays) {
+    improved = false;
+    for (std::size_t i = 0; i < current.events.size(); ++i) {
+      FailureSchedule candidate;
+      candidate.events.reserve(current.events.size() - 1);
+      for (std::size_t j = 0; j < current.events.size(); ++j) {
+        if (j != i) candidate.events.push_back(current.events[j]);
+      }
+      ++replays;
+      const RunResult replay = run_one(run_seed, &candidate);
+      if (!replay.violations.empty()) {
+        current = std::move(candidate);
+        improved = true;
+        break;  // restart the scan over the smaller schedule
+      }
+      if (replays >= config_.max_shrink_replays) break;
+    }
+  }
+  return current;
+}
+
+CampaignResult CampaignEngine::run() {
+  CampaignResult result;
+  std::vector<double> delivery_rates;
+  std::vector<double> mean_hops;
+  delivery_rates.reserve(config_.runs);
+  for (std::size_t i = 0; i < config_.runs; ++i) {
+    const std::uint64_t run_seed = run_seed_at(i);
+    RunResult run = run_one(run_seed);
+    ++result.runs;
+    result.schedule_events += run.schedule.size();
+    result.totals.injected += run.counters.injected;
+    result.totals.delivered += run.counters.delivered;
+    result.totals.delivered_bytes += run.counters.delivered_bytes;
+    result.totals.hops += run.counters.hops;
+    result.totals.deflections += run.counters.deflections;
+    result.totals.reencodes += run.counters.reencodes;
+    result.totals.bounces += run.counters.bounces;
+    result.totals.drop_no_viable_port += run.counters.drop_no_viable_port;
+    result.totals.drop_link_failed += run.counters.drop_link_failed;
+    result.totals.drop_queue_overflow += run.counters.drop_queue_overflow;
+    result.totals.drop_ttl += run.counters.drop_ttl;
+    if (run.counters.injected > 0) {
+      delivery_rates.push_back(static_cast<double>(run.counters.delivered) /
+                               static_cast<double>(run.counters.injected));
+    }
+    if (run.counters.delivered > 0) {
+      mean_hops.push_back(static_cast<double>(run.delivered_hops) /
+                          static_cast<double>(run.counters.delivered));
+    }
+    if (!run.violations.empty()) {
+      ViolationReport report;
+      report.run_seed = run_seed;
+      report.first = run.violations.front();
+      report.total_violations = run.violations.size();
+      report.original = run.schedule;
+      report.shrunk = config_.shrink ? shrink_schedule(run_seed, run.schedule)
+                                     : run.schedule;
+      const topo::Scenario scenario = make_campaign_scenario(config_.topology);
+      report.shrunk_description = report.shrunk.describe(scenario.topology);
+      result.reports.push_back(std::move(report));
+    }
+  }
+  result.delivery_rate = stats::summarize(delivery_rates);
+  result.hops_per_delivered = stats::summarize(mean_hops);
+  return result;
+}
+
+}  // namespace kar::faultgen

@@ -1,0 +1,123 @@
+// Fault-injection campaign engine: drives sim::Network through thousands
+// of seeded, reproducible failure schedules with the runtime invariant
+// checker attached, and reports every violation with its campaign seed and
+// a greedily shrunk, replayable failure schedule.
+//
+// A campaign is (scenario × technique × protection × schedule family) run
+// `runs` times; run i derives its own seed from the campaign seed, and that
+// run seed alone determines the topology, the traffic and the failure
+// schedule — so a reported seed replays the exact violating run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataplane/edge.hpp"
+#include "dataplane/switch.hpp"
+#include "faultgen/invariants.hpp"
+#include "faultgen/schedule.hpp"
+#include "sim/network.hpp"
+#include "stats/summary.hpp"
+#include "topology/scenario.hpp"
+
+namespace kar::faultgen {
+
+/// Everything one campaign needs; fully value-typed for reproducibility.
+struct CampaignConfig {
+  /// Scenario family: "fig1", "fig2" (the 15-node experimental network),
+  /// "rnp28", "fig8", "grid" (3x4), or "line" (5 switches).
+  std::string topology = "fig1";
+  dataplane::DeflectionTechnique technique =
+      dataplane::DeflectionTechnique::kNotInputPort;
+  topo::ProtectionLevel protection = topo::ProtectionLevel::kPartial;
+  dataplane::WrongEdgePolicy wrong_edge_policy =
+      dataplane::WrongEdgePolicy::kReencode;
+  ScheduleConfig schedule;
+  std::size_t runs = 100;
+  std::size_t packets_per_run = 20;
+  /// <= 0 derives an interval that spreads packets over 60% of the horizon,
+  /// so the failure schedule interleaves with live traffic.
+  double inject_interval_s = 0.0;
+  std::uint64_t seed = 1;
+  std::uint32_t max_hops = 256;
+  double failure_detection_delay_s = 0.0;
+  /// Shrink the failure schedule of violating runs (greedy event removal).
+  bool shrink = true;
+  /// Replay budget for the shrinker.
+  std::size_t max_shrink_replays = 200;
+  /// Mutation passthrough to InvariantConfig (self-test support).
+  std::optional<std::uint32_t> hop_budget_override;
+  /// Event-count guard per run against pathological schedules.
+  std::size_t max_events_per_run = 5'000'000;
+};
+
+/// Outcome of one simulated run.
+struct RunResult {
+  std::uint64_t run_seed = 0;
+  FailureSchedule schedule;
+  sim::NetworkCounters counters;
+  std::vector<Violation> violations;
+  bool queue_drained = true;
+  std::uint64_t delivered_hops = 0;  ///< Sum of hop counts over delivered packets.
+};
+
+/// A violating run, post-shrinking: everything needed to replay it.
+struct ViolationReport {
+  std::uint64_t run_seed = 0;
+  Violation first;
+  std::size_t total_violations = 0;
+  FailureSchedule original;
+  FailureSchedule shrunk;
+  /// Name-based rendering of `shrunk` (replayable without LinkId mapping).
+  std::string shrunk_description;
+};
+
+/// Aggregate campaign outcome.
+struct CampaignResult {
+  std::size_t runs = 0;
+  std::size_t schedule_events = 0;
+  sim::NetworkCounters totals;
+  stats::Summary delivery_rate;        ///< Per-run delivered / injected.
+  stats::Summary hops_per_delivered;   ///< Per-run mean hops of delivered packets.
+  std::vector<ViolationReport> reports;
+
+  [[nodiscard]] bool ok() const noexcept { return reports.empty(); }
+};
+
+/// Builds the scenario a campaign runs on. Throws std::invalid_argument
+/// for an unknown topology name.
+[[nodiscard]] topo::Scenario make_campaign_scenario(const std::string& name);
+
+/// The engine. Stateless between calls except for the config.
+class CampaignEngine {
+ public:
+  explicit CampaignEngine(CampaignConfig config);
+
+  [[nodiscard]] const CampaignConfig& config() const noexcept { return config_; }
+
+  /// Runs the whole campaign: `runs` seeded scenarios, shrinking and
+  /// reporting every violating run.
+  [[nodiscard]] CampaignResult run();
+
+  /// One seeded run. When `override_schedule` is set it replaces the
+  /// generated schedule (the shrinker's replay path); traffic and network
+  /// randomness still derive from `run_seed`.
+  [[nodiscard]] RunResult run_one(
+      std::uint64_t run_seed,
+      const FailureSchedule* override_schedule = nullptr) const;
+
+  /// Greedy schedule shrinking: repeatedly drops events whose removal
+  /// keeps the run violating, until a fixpoint (or the replay budget).
+  [[nodiscard]] FailureSchedule shrink_schedule(
+      std::uint64_t run_seed, const FailureSchedule& failing) const;
+
+  /// The seed of run `index` (derived from the campaign seed).
+  [[nodiscard]] std::uint64_t run_seed_at(std::size_t index) const noexcept;
+
+ private:
+  CampaignConfig config_;
+};
+
+}  // namespace kar::faultgen

@@ -1,0 +1,153 @@
+#include "faultgen/invariants.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace kar::faultgen {
+
+using dataplane::DeflectionTechnique;
+using sim::TraceEvent;
+
+std::string_view to_string(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::kHopBudgetExceeded: return "hop-budget-exceeded";
+    case Violation::Kind::kNipReturnedInputPort: return "nip-returned-input-port";
+    case Violation::Kind::kForwardOnDownPort: return "forward-on-down-port";
+    case Violation::Kind::kResidueMismatch: return "residue-mismatch";
+    case Violation::Kind::kLifecycle: return "lifecycle";
+    case Violation::Kind::kTimeNonMonotonic: return "time-non-monotonic";
+    case Violation::Kind::kConservation: return "conservation";
+  }
+  throw std::logic_error("to_string: bad Violation::Kind");
+}
+
+InvariantChecker::InvariantChecker(const sim::Network& network,
+                                   InvariantConfig config)
+    : net_(&network),
+      config_(config),
+      hop_budget_(config.hop_budget_override.value_or(config.max_hops)) {}
+
+void InvariantChecker::record(Violation::Kind kind, double time,
+                              std::uint64_t packet_id, std::string detail) {
+  if (violations_.size() >= config_.max_recorded) return;
+  violations_.push_back(Violation{kind, time, packet_id, std::move(detail)});
+}
+
+void InvariantChecker::check_hop(const TraceEvent& event) {
+  const topo::Topology& topo = net_->topology();
+  PacketState& state = live_[event.packet_id];
+  if (++state.hops > hop_budget_) {
+    record(Violation::Kind::kHopBudgetExceeded, event.time, event.packet_id,
+           "hop " + std::to_string(state.hops) + " at " +
+               topo.name(event.node) + " exceeds budget " +
+               std::to_string(hop_budget_));
+  }
+  // Port liveness: the forwarding decision just happened, so the detected
+  // link state at `event.time` is exactly what the switch saw.
+  if (!topo.port_available(event.node, event.out_port)) {
+    record(Violation::Kind::kForwardOnDownPort, event.time, event.packet_id,
+           topo.name(event.node) + " forwarded out detected-down port " +
+               std::to_string(event.out_port));
+  }
+  if (config_.technique == DeflectionTechnique::kNotInputPort &&
+      event.out_port == event.in_port) {
+    record(Violation::Kind::kNipReturnedInputPort, event.time, event.packet_id,
+           topo.name(event.node) + " returned packet out input port " +
+               std::to_string(event.in_port));
+  }
+  // Residue match on unfailed (non-deflected) segments: Eq. 3.
+  if (config_.check_residue && !event.deflected && event.packet != nullptr) {
+    const std::uint64_t residue =
+        event.packet->kar.route_id.mod_u64(topo.switch_id(event.node));
+    if (residue != event.out_port) {
+      std::ostringstream detail;
+      detail << topo.name(event.node) << " followed port " << event.out_port
+             << " but route ID " << event.packet->kar.route_id
+             << " decodes to residue " << residue;
+      record(Violation::Kind::kResidueMismatch, event.time, event.packet_id,
+             detail.str());
+    }
+  }
+}
+
+void InvariantChecker::observe(const TraceEvent& event) {
+  if (event.time < last_time_) {
+    record(Violation::Kind::kTimeNonMonotonic, event.time, event.packet_id,
+           "event at t=" + std::to_string(event.time) +
+               " after t=" + std::to_string(last_time_));
+  }
+  last_time_ = std::max(last_time_, event.time);
+
+  switch (event.kind) {
+    case TraceEvent::Kind::kInject:
+      if (live_.contains(event.packet_id)) {
+        record(Violation::Kind::kLifecycle, event.time, event.packet_id,
+               "packet injected twice");
+        return;
+      }
+      ++injected_;
+      live_.emplace(event.packet_id, PacketState{});
+      break;
+    case TraceEvent::Kind::kHop:
+      if (!live_.contains(event.packet_id)) {
+        record(Violation::Kind::kLifecycle, event.time, event.packet_id,
+               "hop for a packet that is not in flight");
+        return;
+      }
+      check_hop(event);
+      break;
+    case TraceEvent::Kind::kReencode:
+    case TraceEvent::Kind::kBounce:
+      if (!live_.contains(event.packet_id)) {
+        record(Violation::Kind::kLifecycle, event.time, event.packet_id,
+               "edge event for a packet that is not in flight");
+      }
+      break;
+    case TraceEvent::Kind::kDeliver:
+    case TraceEvent::Kind::kDrop: {
+      const auto it = live_.find(event.packet_id);
+      if (it == live_.end()) {
+        record(Violation::Kind::kLifecycle, event.time, event.packet_id,
+               "terminal event for a packet that is not in flight");
+        return;
+      }
+      live_.erase(it);
+      if (event.kind == TraceEvent::Kind::kDeliver) {
+        ++delivered_;
+      } else {
+        ++dropped_;
+      }
+      break;
+    }
+  }
+}
+
+void InvariantChecker::finish(bool queue_drained) {
+  const sim::NetworkCounters& counters = net_->counters();
+  const auto check_count = [&](std::uint64_t observed, std::uint64_t counted,
+                               const char* what) {
+    if (observed != counted) {
+      record(Violation::Kind::kConservation, last_time_, 0,
+             std::string(what) + " mismatch: traced " +
+                 std::to_string(observed) + ", network counted " +
+                 std::to_string(counted));
+    }
+  };
+  check_count(injected_, counters.injected, "injected");
+  check_count(delivered_, counters.delivered, "delivered");
+  check_count(dropped_, counters.total_drops(), "dropped");
+  if (injected_ != delivered_ + dropped_ + live_.size()) {
+    record(Violation::Kind::kConservation, last_time_, 0,
+           "injected " + std::to_string(injected_) + " != delivered " +
+               std::to_string(delivered_) + " + dropped " +
+               std::to_string(dropped_) + " + in-flight " +
+               std::to_string(live_.size()));
+  }
+  if (queue_drained && !live_.empty()) {
+    record(Violation::Kind::kConservation, last_time_, 0,
+           std::to_string(live_.size()) +
+               " packet(s) vanished: still tracked after the event queue drained");
+  }
+}
+
+}  // namespace kar::faultgen

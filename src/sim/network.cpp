@@ -55,7 +55,7 @@ void Network::drop(const Packet& packet, topo::NodeId at, DropReason reason) {
     case DropReason::kTtlExceeded: ++counters_.drop_ttl; break;
   }
   trace(TraceEvent{TraceEvent::Kind::kDrop, now(), packet.packet_id, at, 0,
-                   false, reason});
+                   false, reason, 0, &packet});
 }
 
 void Network::inject(topo::NodeId edge, Packet packet) {
@@ -69,7 +69,7 @@ void Network::inject(topo::NodeId edge, Packet packet) {
   packet.created_at = now();
   ++counters_.injected;
   trace(TraceEvent{TraceEvent::Kind::kInject, now(), packet.packet_id, edge, 0,
-                   false, DropReason::kNoViablePort});
+                   false, DropReason::kNoViablePort, 0, &packet});
   // Edge nodes use their (single) uplink, port 0.
   transmit(edge, 0, std::move(packet));
 }
@@ -129,7 +129,7 @@ void Network::arrive_at(topo::NodeId node, topo::PortIndex in_port,
         ++counters_.delivered;
         counters_.delivered_bytes += pkt.size_bytes;
         trace(TraceEvent{TraceEvent::Kind::kDeliver, now(), pkt.packet_id, node,
-                         0, false, DropReason::kNoViablePort});
+                         0, false, DropReason::kNoViablePort, 0, &pkt});
         const auto it = delivery_.find(node);
         if (it != delivery_.end() && it->second) it->second(pkt);
         return;
@@ -140,11 +140,11 @@ void Network::arrive_at(topo::NodeId node, topo::PortIndex in_port,
         if (reencoded) {
           ++counters_.reencodes;
           trace(TraceEvent{TraceEvent::Kind::kReencode, now(), pkt.packet_id,
-                           node, 0, false, DropReason::kNoViablePort});
+                           node, 0, false, DropReason::kNoViablePort, 0, &pkt});
         } else {
           ++counters_.bounces;
           trace(TraceEvent{TraceEvent::Kind::kBounce, now(), pkt.packet_id,
-                           node, 0, false, DropReason::kNoViablePort});
+                           node, 0, false, DropReason::kNoViablePort, 0, &pkt});
         }
         // Back out of the uplink after the edge's processing latency.
         events_.schedule_in(config_.switch_latency_s,
@@ -199,7 +199,7 @@ void Network::forward_from_switch(topo::NodeId node, topo::PortIndex in_port,
   if (decision.marked_hot_potato) packet.kar.deflected = true;
   trace(TraceEvent{TraceEvent::Kind::kHop, now(), packet.packet_id, node,
                    decision.out_port, decision.deflected,
-                   DropReason::kNoViablePort});
+                   DropReason::kNoViablePort, in_port, &packet});
   const topo::PortIndex out = decision.out_port;
   events_.schedule_in(config_.switch_latency_s,
                       [this, node, out, p = std::move(packet)]() mutable {

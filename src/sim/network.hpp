@@ -81,7 +81,8 @@ struct NetworkCounters {
   }
 };
 
-/// Optional per-packet trace events (tests, debugging, walk analysis).
+/// Optional per-packet trace events (tests, debugging, walk analysis,
+/// runtime invariant checking).
 struct TraceEvent {
   enum class Kind : std::uint8_t { kInject, kHop, kDeliver, kDrop, kReencode, kBounce };
   Kind kind;
@@ -91,6 +92,11 @@ struct TraceEvent {
   topo::PortIndex out_port;         ///< For kHop: chosen output port.
   bool deflected;                   ///< For kHop: deviated from the residue.
   dataplane::DropReason drop_reason;  ///< For kDrop.
+  /// For kHop at a core switch: the port the packet arrived on.
+  topo::PortIndex in_port = 0;
+  /// The packet at the moment of the event. Non-owning; valid only for the
+  /// duration of the hook call — copy what you need.
+  const dataplane::Packet* packet = nullptr;
 };
 
 /// The simulated KAR network.

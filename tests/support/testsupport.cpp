@@ -1,0 +1,63 @@
+#include "support/testsupport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kar::testsupport {
+
+namespace {
+
+std::optional<std::uint64_t>& override_slot() {
+  static std::optional<std::uint64_t> slot;
+  return slot;
+}
+
+/// (context, effective seed) pairs drawn by the currently running test.
+std::vector<std::pair<std::string, std::uint64_t>>& drawn_seeds() {
+  static std::vector<std::pair<std::string, std::uint64_t>> seeds;
+  return seeds;
+}
+
+class SeedReporter : public ::testing::EmptyTestEventListener {
+  void OnTestStart(const ::testing::TestInfo&) override { drawn_seeds().clear(); }
+
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    if (info.result() == nullptr || !info.result()->Failed()) return;
+    for (const auto& [context, seed] : drawn_seeds()) {
+      std::printf("[  SEED  ] %s: %llu (replay with --seed=%llu)\n",
+                  context.c_str(), static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(seed));
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<std::uint64_t> seed_override() { return override_slot(); }
+
+std::uint64_t seed_or(std::uint64_t fallback) {
+  return override_slot().value_or(fallback);
+}
+
+common::Rng make_rng(std::uint64_t fallback, std::string_view context) {
+  const std::uint64_t seed = seed_or(fallback);
+  drawn_seeds().emplace_back(std::string(context), seed);
+  return common::Rng(seed);
+}
+
+namespace internal {
+
+void set_seed_override(std::optional<std::uint64_t> seed) {
+  override_slot() = seed;
+}
+
+void install_seed_reporter() {
+  ::testing::UnitTest::GetInstance()->listeners().Append(new SeedReporter);
+}
+
+}  // namespace internal
+
+}  // namespace kar::testsupport

@@ -1,0 +1,41 @@
+// Shared gtest harness support: seeded-RNG plumbing for randomized tests.
+//
+// Every randomized test draws its generator through make_rng(), which
+//   * honors a global override (`--seed=N` on the test binary command line,
+//     or the KAR_SEED environment variable) so any randomized failure can
+//     be replayed exactly, and
+//   * records the effective seed, which the installed listener prints when
+//     the test fails — no more silent ad-hoc constants.
+//
+// The custom main in support/test_main.cpp wires this up; test targets
+// link kar_testsupport instead of GTest::gtest_main.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "common/rng.hpp"
+
+namespace kar::testsupport {
+
+/// The global seed override (--seed / KAR_SEED), if one was given.
+[[nodiscard]] std::optional<std::uint64_t> seed_override();
+
+/// `fallback` unless the run was started with --seed=N / KAR_SEED=N.
+[[nodiscard]] std::uint64_t seed_or(std::uint64_t fallback);
+
+/// An Rng seeded with seed_or(fallback). The effective seed and `context`
+/// are recorded for the current test and printed if it fails:
+///     [  SEED  ] CrtProperty: 42 (replay with --seed=42)
+[[nodiscard]] common::Rng make_rng(std::uint64_t fallback,
+                                   std::string_view context);
+
+namespace internal {
+/// Installs the override parsed by the custom main.
+void set_seed_override(std::optional<std::uint64_t> seed);
+/// Registers the gtest listener that prints recorded seeds on failure.
+void install_seed_reporter();
+}  // namespace internal
+
+}  // namespace kar::testsupport

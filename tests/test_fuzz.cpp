@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/rng.hpp"
+#include "support/testsupport.hpp"
 #include "routing/paths.hpp"
 #include "rns/biguint.hpp"
 #include "topology/builders.hpp"
@@ -28,7 +29,7 @@ unsigned __int128 to_u128(const BigUint& value) {
 class BigUintFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(BigUintFuzz, ArithmeticMatches128BitReference) {
-  common::Rng rng(GetParam());
+  auto rng = testsupport::make_rng(GetParam(), "BigUintFuzz.Arithmetic");
   for (int iter = 0; iter < 300; ++iter) {
     // Operands sized so that products stay within 128 bits.
     const std::uint64_t a64 = rng() >> static_cast<int>(rng.below(60));
@@ -56,7 +57,7 @@ TEST_P(BigUintFuzz, ArithmeticMatches128BitReference) {
 }
 
 TEST_P(BigUintFuzz, MultiLimbDivModReconstructs) {
-  common::Rng rng(GetParam() ^ 0xFACEULL);
+  auto rng = testsupport::make_rng(GetParam() ^ 0xFACEULL, "BigUintFuzz.DivMod");
   for (int iter = 0; iter < 40; ++iter) {
     // Build ~160-bit dividend and ~80-bit divisor from random pieces.
     BigUint n = (BigUint(rng()) << 96) + (BigUint(rng()) << 48) + BigUint(rng());

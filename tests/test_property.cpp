@@ -11,6 +11,7 @@
 #include "routing/protection.hpp"
 #include "rns/crt.hpp"
 #include "rns/modular.hpp"
+#include "support/testsupport.hpp"
 #include "topology/builders.hpp"
 
 namespace kar {
@@ -27,7 +28,7 @@ using topo::Scenario;
 class CrtProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(CrtProperty, EncodeDecodeRoundTripsAndStaysInRange) {
-  common::Rng rng(GetParam());
+  auto rng = testsupport::make_rng(GetParam(), "CrtProperty.RoundTrip");
   // Random pairwise-coprime basis of size 2..12.
   const std::size_t size = 2 + rng.below(11);
   const auto moduli =
@@ -44,7 +45,7 @@ TEST_P(CrtProperty, EncodeDecodeRoundTripsAndStaysInRange) {
 }
 
 TEST_P(CrtProperty, PermutationInvariance) {
-  common::Rng rng(GetParam() ^ 0xABCD);
+  auto rng = testsupport::make_rng(GetParam() ^ 0xABCD, "CrtProperty.Permutation");
   const std::size_t size = 3 + rng.below(6);
   auto moduli = rns::next_coprime_ids(size, 3, {});
   std::vector<std::uint64_t> residues;
@@ -88,7 +89,7 @@ TEST_P(RandomTopologyProperty, HealthyRouteWalksExactlyThePath) {
         DeflectionTechnique::kAnyValidPort, DeflectionTechnique::kNotInputPort}) {
     analysis::WalkConfig config;
     config.technique = technique;
-    common::Rng rng(GetParam());
+    auto rng = testsupport::make_rng(GetParam(), "WalkProperty.Delivers");
     const auto walk = analysis::walk_packet(scenario.topology, controller,
                                             *route, config, rng);
     EXPECT_TRUE(walk.delivered);
@@ -162,7 +163,7 @@ TEST_P(RandomTopologyProperty, NipNeverImmediatelyReversesThroughASwitch) {
   config.technique = DeflectionTechnique::kNotInputPort;
   config.record_trace = true;
   config.max_hops = 512;
-  common::Rng rng(GetParam() * 31 + 7);
+  auto rng = testsupport::make_rng(GetParam() * 31 + 7, "WalkProperty.Trace");
   for (int iter = 0; iter < 40; ++iter) {
     const auto walk = analysis::walk_packet(scenario.topology, controller,
                                             *route, config, rng);
@@ -298,7 +299,7 @@ TEST_P(FailoverProperty, DownhillOnlyFibsNeverLoop) {
   options.max_ports_per_entry = 4;
   const auto fib = routing::install_failover_fibs(s.topology, {}, options);
   const NodeId dst = s.topology.at("DST");
-  common::Rng rng(GetParam());
+  auto rng = testsupport::make_rng(GetParam(), "FailoverProperty.RandomFailure");
   // Fail one random core link.
   std::vector<topo::LinkId> core_links;
   for (topo::LinkId l = 0; l < s.topology.link_count(); ++l) {
