@@ -159,6 +159,24 @@ inline TcpRunResult run_tcp_experiment(TcpExperiment experiment) {
   return result;
 }
 
+/// One run of the paper's Fig.5/7 methodology: run `r` of an iperf-style
+/// measurement of `seconds` with the failure active throughout, returning
+/// the run's mean goodput. Each call copies `base` (fresh topology), so
+/// concurrent calls with distinct `r` are safe — the property the parallel
+/// benches (fig5 --jobs) rely on.
+inline double single_failure_run(const TcpExperiment& base, std::size_t r,
+                                 double seconds) {
+  TcpExperiment experiment = base;  // fresh topology per run
+  experiment.seed = base.seed + r * 7919;
+  experiment.t_fail = 0.0;              // failure active from the start
+  experiment.t_repair = seconds + 1.0;  // never repaired during the run
+  experiment.t_end = seconds;
+  const TcpRunResult result = run_tcp_experiment(std::move(experiment));
+  // iperf reports the whole-run average; skip the first second of slow
+  // start like the paper's 5-second steady-state runs effectively do.
+  return result.overall_mbps;
+}
+
 /// Repeats the paper's Fig.5/7 methodology: `runs` independent iperf-style
 /// measurements of `seconds` each with the failure active throughout,
 /// returning the per-run mean goodputs.
@@ -167,15 +185,7 @@ inline std::vector<double> repeated_failure_runs(
   std::vector<double> samples;
   samples.reserve(runs);
   for (std::size_t r = 0; r < runs; ++r) {
-    TcpExperiment experiment = base;  // fresh topology per run
-    experiment.seed = base.seed + r * 7919;
-    experiment.t_fail = 0.0;   // failure active from the start
-    experiment.t_repair = seconds + 1.0;  // never repaired during the run
-    experiment.t_end = seconds;
-    const TcpRunResult result = run_tcp_experiment(std::move(experiment));
-    // iperf reports the whole-run average; skip the first second of slow
-    // start like the paper's 5-second steady-state runs effectively do.
-    samples.push_back(result.overall_mbps);
+    samples.push_back(single_failure_run(base, r, seconds));
   }
   return samples;
 }

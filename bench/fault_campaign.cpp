@@ -9,17 +9,30 @@
 //                  [--packets=20] [--horizon=0.5] [--max-hops=256]
 //                  [--detection-delay=0] [--seed=1] [--no-shrink]
 //                  [--mutate-hop-budget=N] [--quiet]
+//                  [--jobs=N] [--timeout=S] [--progress] [--jsonl=PATH]
+//                  [--bench-json[=PATH]]
 //
 // --technique / --schedule also accept "all" to sweep HP, AVP and NIP (and
 // all four schedule families) in one invocation — the mode the CTest
 // `campaign` label runs.
+//
+// Runs execute on the parallel runner (src/runner/): --jobs=N runs N
+// simulations concurrently (default: hardware concurrency; --jobs=1 is the
+// serial in-line reference path). Aggregates are bit-identical for every
+// jobs count — see docs/runner.md for the determinism contract.
+// --jsonl=PATH appends one JSON record per run; --bench-json measures the
+// serial vs parallel wall clock of the whole grid and writes
+// BENCH_runner.json (runs/sec, speedup, per-run p50/p95).
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/flags.hpp"
 #include "common/strings.hpp"
 #include "faultgen/campaign.hpp"
+#include "runner/campaign_runner.hpp"
+#include "runner/jsonl.hpp"
 
 namespace {
 
@@ -30,22 +43,76 @@ struct CliOptions {
   std::vector<dataplane::DeflectionTechnique> techniques;
   std::vector<faultgen::ScheduleKind> schedules;
   bool quiet = false;
+  std::size_t jobs = 0;  // 0 => hardware concurrency
+  double timeout_s = 0.0;
+  bool progress = false;
+  std::string jsonl_path;
 };
 
-int run_campaigns(const CliOptions& options) {
+runner::CampaignJobOptions job_options(const CliOptions& options,
+                                       std::size_t jobs,
+                                       runner::JsonlWriter* jsonl) {
+  runner::CampaignJobOptions job;
+  job.runner.jobs = jobs;
+  job.runner.run_timeout_s = options.timeout_s;
+  job.runner.progress = options.progress;
+  job.runner.progress_label = "campaign j" + std::to_string(jobs);
+  job.jsonl = jsonl;
+  return job;
+}
+
+/// Outcome of one (technique x schedule) grid sweep.
+struct GridOutcome {
   std::size_t total_runs = 0;
-  std::size_t total_violating_runs = 0;
-  common::TextTable table({"technique", "schedule", "runs", "events",
-                           "delivery rate", "mean hops", "violations"});
+  std::size_t violating_runs = 0;
+  std::size_t timed_out = 0;
+  std::size_t errored = 0;
+  double wall_s = 0.0;
+  std::vector<double> run_wall_s;          // merged across sub-campaigns
+  std::string canonical;                   // concatenated aggregates
+  std::vector<faultgen::CampaignResult> results;  // grid order
+};
+
+GridOutcome run_grid(const CliOptions& options, std::size_t jobs,
+                     runner::JsonlWriter* jsonl) {
+  GridOutcome outcome;
   for (const auto technique : options.techniques) {
     for (const auto schedule_kind : options.schedules) {
       faultgen::CampaignConfig config = options.base;
       config.technique = technique;
       config.schedule.kind = schedule_kind;
       faultgen::CampaignEngine engine(config);
-      const faultgen::CampaignResult result = engine.run();
-      total_runs += result.runs;
-      total_violating_runs += result.reports.size();
+      runner::CampaignJobStats stats;
+      faultgen::CampaignResult result =
+          runner::run_campaign(engine, job_options(options, jobs, jsonl), &stats);
+      outcome.total_runs += result.runs;
+      outcome.violating_runs += result.reports.size();
+      outcome.timed_out += stats.timed_out;
+      outcome.errored += stats.errored;
+      outcome.wall_s += stats.wall_s;
+      outcome.run_wall_s.insert(outcome.run_wall_s.end(),
+                                stats.per_run_wall_s.begin(),
+                                stats.per_run_wall_s.end());
+      outcome.canonical += runner::canonical_aggregates(result);
+      outcome.results.push_back(std::move(result));
+    }
+  }
+  return outcome;
+}
+
+int run_campaigns(const CliOptions& options) {
+  std::unique_ptr<runner::JsonlWriter> jsonl;
+  if (!options.jsonl_path.empty()) {
+    jsonl = std::make_unique<runner::JsonlWriter>(options.jsonl_path);
+  }
+  const GridOutcome outcome = run_grid(options, options.jobs, jsonl.get());
+
+  common::TextTable table({"technique", "schedule", "runs", "events",
+                           "delivery rate", "mean hops", "violations"});
+  std::size_t cell = 0;
+  for (const auto technique : options.techniques) {
+    for (const auto schedule_kind : options.schedules) {
+      const faultgen::CampaignResult& result = outcome.results[cell++];
       table.add_row(
           {std::string(dataplane::to_string(technique)),
            std::string(faultgen::to_string(schedule_kind)),
@@ -56,7 +123,7 @@ int run_campaigns(const CliOptions& options) {
            std::to_string(result.reports.size())});
       for (const faultgen::ViolationReport& report : result.reports) {
         std::cerr << "INVARIANT VIOLATION [" << to_string(report.first.kind)
-                  << "] topology=" << config.topology
+                  << "] topology=" << options.base.topology
                   << " technique=" << dataplane::to_string(technique)
                   << " schedule=" << faultgen::to_string(schedule_kind)
                   << " seed=" << report.run_seed << '\n'
@@ -82,10 +149,73 @@ int run_campaigns(const CliOptions& options) {
               << ", " << options.base.packets_per_run << " packets/run, seed "
               << options.base.seed << " ===\n"
               << table.render() << '\n'
-              << total_runs << " seeded failure scenarios, "
-              << total_violating_runs << " with invariant violations\n";
+              << outcome.total_runs << " seeded failure scenarios, "
+              << outcome.violating_runs << " with invariant violations\n";
   }
-  return total_violating_runs == 0 ? 0 : 1;
+  if (outcome.timed_out > 0 || outcome.errored > 0) {
+    std::cerr << "fault_campaign: " << outcome.timed_out << " run(s) timed out, "
+              << outcome.errored << " run(s) errored\n";
+    return 1;
+  }
+  return outcome.violating_runs == 0 ? 0 : 1;
+}
+
+/// --bench-json: times the whole grid serially (--jobs=1) and in parallel,
+/// checks the aggregates are bit-identical, and writes the perf record.
+int run_bench_json(const CliOptions& options, const std::string& path) {
+  CliOptions quiet = options;
+  quiet.progress = options.progress;
+
+  const std::size_t parallel_jobs =
+      options.jobs != 0 ? options.jobs
+                        : runner::ThreadPool::default_threads();
+  const GridOutcome serial = run_grid(quiet, 1, nullptr);
+  const GridOutcome parallel = run_grid(quiet, parallel_jobs, nullptr);
+  const bool deterministic = serial.canonical == parallel.canonical;
+
+  const auto per_run = [](const GridOutcome& grid) {
+    runner::JsonObject side;
+    side.field("wall_s", grid.wall_s)
+        .field("runs_per_sec", grid.wall_s > 0.0
+                                   ? static_cast<double>(grid.total_runs) /
+                                         grid.wall_s
+                                   : 0.0)
+        .field("run_wall_p50_ms",
+               1e3 * stats::percentile(grid.run_wall_s, 50.0))
+        .field("run_wall_p95_ms",
+               1e3 * stats::percentile(grid.run_wall_s, 95.0))
+        .field("timed_out", static_cast<std::uint64_t>(grid.timed_out))
+        .field("errored", static_cast<std::uint64_t>(grid.errored));
+    return side.str();
+  };
+
+  runner::JsonObject record;
+  record.field("bench", "fault_campaign")
+      .field("topology", options.base.topology)
+      .field("total_runs", static_cast<std::uint64_t>(serial.total_runs))
+      .field("campaigns",
+             static_cast<std::uint64_t>(options.techniques.size() *
+                                        options.schedules.size()))
+      .field("hardware_concurrency",
+             static_cast<std::uint64_t>(runner::ThreadPool::default_threads()))
+      .field("jobs", static_cast<std::uint64_t>(parallel_jobs))
+      .raw("serial", per_run(serial))
+      .raw("parallel", per_run(parallel))
+      .field("speedup",
+             parallel.wall_s > 0.0 ? serial.wall_s / parallel.wall_s : 0.0)
+      .field("deterministic", deterministic)
+      .field("violating_runs",
+             static_cast<std::uint64_t>(serial.violating_runs));
+
+  runner::JsonlWriter out(path);
+  out.write(record);
+  std::cout << record.str() << '\n';
+  if (!deterministic) {
+    std::cerr << "fault_campaign: aggregates differ between --jobs=1 and "
+              << "--jobs=" << parallel_jobs << " (determinism bug)\n";
+    return 1;
+  }
+  return serial.violating_runs == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -110,6 +240,10 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("k-failures", 2));
   options.base.shrink = flags.get_bool("shrink", true);
   options.quiet = flags.get_bool("quiet", false);
+  options.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
+  options.timeout_s = flags.get_double("timeout", 0.0);
+  options.progress = flags.get_bool("progress", false);
+  options.jsonl_path = flags.get_string("jsonl", "");
   if (flags.has("mutate-hop-budget")) {
     options.base.hop_budget_override =
         static_cast<std::uint32_t>(flags.get_int("mutate-hop-budget", 0));
@@ -142,6 +276,11 @@ int main(int argc, char** argv) {
           faultgen::ScheduleKind::kFlapping, faultgen::ScheduleKind::kKFailureSweep};
     } else {
       options.schedules = {faultgen::schedule_kind_from_string(schedule)};
+    }
+    if (flags.has("bench-json")) {
+      std::string path = flags.get_string("bench-json", "BENCH_runner.json");
+      if (path == "true") path = "BENCH_runner.json";  // bare --bench-json
+      return run_bench_json(options, path);
     }
     return run_campaigns(options);
   } catch (const std::exception& error) {

@@ -11,12 +11,20 @@
 //   * partial loses ~2/3 of the deflected traffic for SW10-SW7 (paper:
 //     ~80 vs ~140 Mb/s).
 //
-// Usage: fig5_protection_tradeoff [--runs=10] [--seconds=5] [--seed=1] [--csv]
+// The 18 cells x `runs` TCP simulations execute as independent units on
+// the parallel runner (src/runner/): per-run seeds keep the historical
+// base.seed + r*7919 derivation and samples are folded in index order, so
+// the table is byte-identical for every --jobs count (--jobs=1 serial).
+//
+// Usage: fig5_protection_tradeoff [--runs=10] [--seconds=5] [--seed=1]
+//                                 [--csv] [--jobs=N] [--progress]
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/flags.hpp"
 #include "common/strings.hpp"
+#include "runner/runner.hpp"
 #include "stats/summary.hpp"
 
 namespace {
@@ -50,39 +58,78 @@ int main(int argc, char** argv) {
       {"avp", DeflectionTechnique::kAnyValidPort},
       {"nip", DeflectionTechnique::kNotInputPort}};
 
+  // Cell enumeration order is the historical loop nest:
+  // failure (outer) x level x technique (inner).
+  struct Cell {
+    const char* fail_a;
+    const char* fail_b;
+    const char* level_name;
+    ProtectionLevel level;
+    const char* tech_name;
+    DeflectionTechnique technique;
+  };
+  std::vector<Cell> cells;
+  for (const auto& [fail_a, fail_b] : kFailures) {
+    for (const auto& [level_name, level] : kLevels) {
+      for (const auto& [tech_name, technique] : kTechniques) {
+        cells.push_back({fail_a, fail_b, level_name, level, tech_name,
+                         technique});
+      }
+    }
+  }
+
+  std::vector<std::vector<double>> samples(cells.size());
+  for (auto& cell_samples : samples) cell_samples.reserve(runs);
+
+  kar::runner::RunnerConfig runner_config;
+  runner_config.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
+  runner_config.progress = flags.get_bool("progress", false);
+  runner_config.progress_label = "fig5";
+  kar::runner::run_indexed<double>(
+      cells.size() * runs, runner_config,
+      [&](std::size_t index, const kar::runner::CancelToken&) {
+        const Cell& cell = cells[index / runs];
+        const std::size_t r = index % runs;
+        TcpExperiment base;
+        base.scenario =
+            kar::topo::make_experimental15(kar::bench::paper_link_params());
+        base.reverse_route =
+            kar::bench::reverse_for_experimental15(base.scenario.route);
+        base.technique = cell.technique;
+        base.level = cell.level;
+        base.failed_link = {{cell.fail_a, cell.fail_b}};
+        base.seed = seed;
+        return kar::bench::single_failure_run(base, r, seconds);
+      },
+      [&](std::size_t index, kar::runner::IndexedOutcome<double>&& outcome) {
+        if (!outcome.status.ok) {
+          std::cerr << "fig5: run " << index
+                    << " failed: " << outcome.status.error << '\n';
+          std::exit(2);
+        }
+        samples[index / runs].push_back(*outcome.value);
+      });
+
   if (csv) {
     std::cout << "failure,protection,technique,mean_mbps,ci95_mbps,n\n";
   }
   TextTable table({"failed link", "protection", "technique", "mean (Mb/s)",
                    "95% CI (+/-)", "min", "max"});
-  for (const auto& [fail_a, fail_b] : kFailures) {
-    for (const auto& [level_name, level] : kLevels) {
-      for (const auto& [tech_name, technique] : kTechniques) {
-        TcpExperiment base;
-        base.scenario = kar::topo::make_experimental15(kar::bench::paper_link_params());
-        base.reverse_route =
-            kar::bench::reverse_for_experimental15(base.scenario.route);
-        base.technique = technique;
-        base.level = level;
-        base.failed_link = {{fail_a, fail_b}};
-        base.seed = seed;
-        const auto samples =
-            kar::bench::repeated_failure_runs(base, runs, seconds);
-        const auto summary = kar::stats::summarize(samples);
-        const std::string failure = std::string(fail_a) + "-" + fail_b;
-        if (csv) {
-          std::cout << failure << "," << level_name << "," << tech_name << ","
-                    << kar::common::fmt_double(summary.mean, 2) << ","
-                    << kar::common::fmt_double(summary.ci95_half_width, 2)
-                    << "," << runs << "\n";
-        }
-        table.add_row({failure, level_name, tech_name,
-                       kar::common::fmt_double(summary.mean, 1),
-                       kar::common::fmt_double(summary.ci95_half_width, 1),
-                       kar::common::fmt_double(summary.min, 1),
-                       kar::common::fmt_double(summary.max, 1)});
-      }
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const Cell& cell = cells[c];
+    const auto summary = kar::stats::summarize(samples[c]);
+    const std::string failure = std::string(cell.fail_a) + "-" + cell.fail_b;
+    if (csv) {
+      std::cout << failure << "," << cell.level_name << "," << cell.tech_name
+                << "," << kar::common::fmt_double(summary.mean, 2) << ","
+                << kar::common::fmt_double(summary.ci95_half_width, 2) << ","
+                << runs << "\n";
     }
+    table.add_row({failure, cell.level_name, cell.tech_name,
+                   kar::common::fmt_double(summary.mean, 1),
+                   kar::common::fmt_double(summary.ci95_half_width, 1),
+                   kar::common::fmt_double(summary.min, 1),
+                   kar::common::fmt_double(summary.max, 1)});
   }
   if (!csv) {
     std::cout << table.render()

@@ -9,8 +9,15 @@
 // walker for NIP x {unprotected, partial, planner-full}, plus the
 // no-deflection baseline.
 //
-// Usage: multi_failure [--sets=30] [--walks=300] [--max-failures=5] [--seed=1]
+// Every (k, configuration, failure set) cell is an independent unit on the
+// parallel runner (src/runner/): per-unit seeds derive from the master seed
+// via common::derive_seed, and units are folded in index order, so the
+// table is identical for every --jobs count (--jobs=1 runs serially).
+//
+// Usage: multi_failure [--sets=30] [--walks=300] [--max-failures=5]
+//                      [--seed=1] [--jobs=N] [--progress]
 #include <iostream>
+#include <vector>
 
 #include "analysis/walks.hpp"
 #include "common/flags.hpp"
@@ -18,6 +25,7 @@
 #include "common/strings.hpp"
 #include "routing/controller.hpp"
 #include "routing/protection.hpp"
+#include "runner/runner.hpp"
 #include "topology/builders.hpp"
 
 namespace {
@@ -35,6 +43,78 @@ struct Config {
   enum class Protection { kNone, kPartial, kPlannerFull } protection;
 };
 
+constexpr Config kConfigs[] = {
+    {"no-deflection / unprotected", DeflectionTechnique::kNone,
+     Config::Protection::kNone},
+    {"nip / unprotected", DeflectionTechnique::kNotInputPort,
+     Config::Protection::kNone},
+    {"nip / partial (paper's)", DeflectionTechnique::kNotInputPort,
+     Config::Protection::kPartial},
+    {"nip / full (planner)", DeflectionTechnique::kNotInputPort,
+     Config::Protection::kPlannerFull},
+};
+constexpr std::size_t kConfigCount = std::size(kConfigs);
+
+/// One (k, configuration, failure set) measurement.
+struct UnitResult {
+  double delivered = 0;
+  double walks = 0;
+  double hops_weighted = 0;
+};
+
+UnitResult run_unit(std::size_t k, const Config& config, std::size_t walks,
+                    std::uint64_t fail_seed, std::uint64_t walk_seed) {
+  Scenario s = kar::topo::make_rnp28();
+  const kar::routing::Controller controller(s.topology);
+  // Build the route under this configuration.
+  kar::routing::EncodedRoute route;
+  switch (config.protection) {
+    case Config::Protection::kNone:
+      route = controller.encode_scenario(
+          s.route, kar::topo::ProtectionLevel::kUnprotected);
+      break;
+    case Config::Protection::kPartial:
+      route = controller.encode_scenario(
+          s.route, kar::topo::ProtectionLevel::kPartial);
+      break;
+    case Config::Protection::kPlannerFull: {
+      std::vector<NodeId> core;
+      for (const auto& name : s.route.core_path) {
+        core.push_back(s.topology.at(name));
+      }
+      const auto plan = kar::routing::plan_driven_deflections(
+          s.topology, core, s.topology.at(s.route.dst_edge));
+      route = controller.encode_path(s.topology.at(s.route.src_edge), core,
+                                     s.topology.at(s.route.dst_edge), plan);
+      break;
+    }
+  }
+  // Fail k distinct random core-to-core links.
+  std::vector<kar::topo::LinkId> core_links;
+  for (kar::topo::LinkId l = 0; l < s.topology.link_count(); ++l) {
+    const auto& link = s.topology.link(l);
+    if (s.topology.kind(link.a.node) == kar::topo::NodeKind::kCoreSwitch &&
+        s.topology.kind(link.b.node) == kar::topo::NodeKind::kCoreSwitch) {
+      core_links.push_back(l);
+    }
+  }
+  kar::common::Rng fail_rng(fail_seed);
+  fail_rng.shuffle(core_links);
+  for (std::size_t i = 0; i < k && i < core_links.size(); ++i) {
+    s.topology.set_link_up(core_links[i], false);
+  }
+  WalkConfig walk_config;
+  walk_config.technique = config.technique;
+  walk_config.max_hops = 2048;
+  const auto stats = kar::analysis::sample_walks(s.topology, controller, route,
+                                                 walk_config, walks, walk_seed);
+  UnitResult unit;
+  unit.delivered = static_cast<double>(stats.delivered);
+  unit.walks = static_cast<double>(stats.walks);
+  unit.hops_weighted = stats.hops.mean * static_cast<double>(stats.delivered);
+  return unit;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -50,79 +130,51 @@ int main(int argc, char** argv) {
             << sets << " random failure sets x " << walks
             << " packet walks per configuration\n\n";
 
-  const Config kConfigs[] = {
-      {"no-deflection / unprotected", DeflectionTechnique::kNone,
-       Config::Protection::kNone},
-      {"nip / unprotected", DeflectionTechnique::kNotInputPort,
-       Config::Protection::kNone},
-      {"nip / partial (paper's)", DeflectionTechnique::kNotInputPort,
-       Config::Protection::kPartial},
-      {"nip / full (planner)", DeflectionTechnique::kNotInputPort,
-       Config::Protection::kPlannerFull},
-  };
+  // cells[k][config]: folded in unit-index order by the runner.
+  const std::size_t k_count = max_failures + 1;
+  std::vector<std::vector<UnitResult>> cells(
+      k_count, std::vector<UnitResult>(kConfigCount));
+  const std::size_t unit_count = k_count * kConfigCount * sets;
+
+  kar::runner::RunnerConfig runner_config;
+  runner_config.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
+  runner_config.progress = flags.get_bool("progress", false);
+  runner_config.progress_label = "multi_failure";
+  kar::runner::run_indexed<UnitResult>(
+      unit_count, runner_config,
+      [&](std::size_t index, const kar::runner::CancelToken&) {
+        const std::size_t set = index % sets;
+        const std::size_t cell = index / sets;
+        const std::size_t k = cell / kConfigCount;
+        const Config& config = kConfigs[cell % kConfigCount];
+        (void)set;  // the unit seed encodes the set via the index
+        return run_unit(k, config, walks,
+                        kar::common::derive_seed(seed, 2 * index),
+                        kar::common::derive_seed(seed, 2 * index + 1));
+      },
+      [&](std::size_t index,
+          kar::runner::IndexedOutcome<UnitResult>&& outcome) {
+        if (!outcome.status.ok) {
+          std::cerr << "multi_failure: unit " << index
+                    << " failed: " << outcome.status.error << '\n';
+          std::exit(2);
+        }
+        const std::size_t cell = index / sets;
+        UnitResult& into = cells[cell / kConfigCount][cell % kConfigCount];
+        into.delivered += outcome.value->delivered;
+        into.walks += outcome.value->walks;
+        into.hops_weighted += outcome.value->hops_weighted;
+      });
 
   TextTable table({"k failed links", "configuration", "delivery rate",
                    "mean hops (delivered)", "p(loss) vs k=0"});
   for (std::size_t k = 0; k <= max_failures; ++k) {
-    for (const Config& config : kConfigs) {
-      double delivered_total = 0;
-      double walks_total = 0;
-      double hops_weighted = 0;
-      kar::common::Rng set_rng(seed * 1000 + k);
-      for (std::size_t set = 0; set < sets; ++set) {
-        Scenario s = kar::topo::make_rnp28();
-        const kar::routing::Controller controller(s.topology);
-        // Build the route under this configuration.
-        kar::routing::EncodedRoute route;
-        switch (config.protection) {
-          case Config::Protection::kNone:
-            route = controller.encode_scenario(
-                s.route, kar::topo::ProtectionLevel::kUnprotected);
-            break;
-          case Config::Protection::kPartial:
-            route = controller.encode_scenario(
-                s.route, kar::topo::ProtectionLevel::kPartial);
-            break;
-          case Config::Protection::kPlannerFull: {
-            std::vector<NodeId> core;
-            for (const auto& name : s.route.core_path) {
-              core.push_back(s.topology.at(name));
-            }
-            const auto plan = kar::routing::plan_driven_deflections(
-                s.topology, core, s.topology.at(s.route.dst_edge));
-            route = controller.encode_path(s.topology.at(s.route.src_edge),
-                                           core, s.topology.at(s.route.dst_edge),
-                                           plan);
-            break;
-          }
-        }
-        // Fail k distinct random core-to-core links.
-        std::vector<kar::topo::LinkId> core_links;
-        for (kar::topo::LinkId l = 0; l < s.topology.link_count(); ++l) {
-          const auto& link = s.topology.link(l);
-          if (s.topology.kind(link.a.node) == kar::topo::NodeKind::kCoreSwitch &&
-              s.topology.kind(link.b.node) == kar::topo::NodeKind::kCoreSwitch) {
-            core_links.push_back(l);
-          }
-        }
-        set_rng.shuffle(core_links);
-        for (std::size_t i = 0; i < k && i < core_links.size(); ++i) {
-          s.topology.set_link_up(core_links[i], false);
-        }
-        WalkConfig walk_config;
-        walk_config.technique = config.technique;
-        walk_config.max_hops = 2048;
-        const auto stats = kar::analysis::sample_walks(
-            s.topology, controller, route, walk_config, walks,
-            seed + set * 97 + k);
-        delivered_total += static_cast<double>(stats.delivered);
-        walks_total += static_cast<double>(stats.walks);
-        hops_weighted += stats.hops.mean * static_cast<double>(stats.delivered);
-      }
-      const double rate = walks_total > 0 ? delivered_total / walks_total : 0;
+    for (std::size_t c = 0; c < kConfigCount; ++c) {
+      const UnitResult& cell = cells[k][c];
+      const double rate = cell.walks > 0 ? cell.delivered / cell.walks : 0;
       const double mean_hops =
-          delivered_total > 0 ? hops_weighted / delivered_total : 0;
-      table.add_row({std::to_string(k), config.name, fmt_double(rate, 4),
+          cell.delivered > 0 ? cell.hops_weighted / cell.delivered : 0;
+      table.add_row({std::to_string(k), kConfigs[c].name, fmt_double(rate, 4),
                      fmt_double(mean_hops, 2), fmt_double(1.0 - rate, 4)});
     }
   }

@@ -17,6 +17,25 @@
 
 namespace kar::common {
 
+/// SplitMix64 finalizer: avalanches all 64 input bits. The shared mixing
+/// core of Rng::reseed and derive_seed.
+[[nodiscard]] constexpr std::uint64_t splitmix64_mix(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic per-index seed stream: one SplitMix64 step over
+/// (master, index). Adjacent masters share no derived seeds, and the value
+/// depends only on (master, index) — never on scheduling or job count —
+/// which is what makes parallel campaigns bit-identical to serial ones.
+/// Used for campaign run seeds and every other "run i of master seed s"
+/// derivation in the repo.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t master,
+                                                  std::uint64_t index) noexcept {
+  return splitmix64_mix(master + 0x9e3779b97f4a7c15ULL * (index + 1));
+}
+
 /// Deterministic 64-bit PRNG (xoshiro256**), reproducible across platforms.
 class Rng {
  public:
@@ -29,10 +48,7 @@ class Rng {
   void reseed(std::uint64_t seed) noexcept {
     for (auto& word : state_) {
       seed += 0x9e3779b97f4a7c15ULL;
-      std::uint64_t z = seed;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      word = z ^ (z >> 31);
+      word = splitmix64_mix(seed);
     }
   }
 

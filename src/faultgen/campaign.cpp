@@ -1,8 +1,10 @@
 #include "faultgen/campaign.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
+#include "common/rng.hpp"
 #include "routing/controller.hpp"
 #include "topology/builders.hpp"
 
@@ -29,16 +31,12 @@ CampaignEngine::CampaignEngine(CampaignConfig config)
 }
 
 std::uint64_t CampaignEngine::run_seed_at(std::size_t index) const noexcept {
-  // SplitMix64 step over (campaign seed, index): adjacent campaign seeds
-  // share no run seeds.
-  std::uint64_t z = config_.seed + 0x9e3779b97f4a7c15ULL * (index + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  return common::derive_seed(config_.seed, index);
 }
 
 RunResult CampaignEngine::run_one(std::uint64_t run_seed,
-                                  const FailureSchedule* override_schedule) const {
+                                  const FailureSchedule* override_schedule,
+                                  const std::atomic<bool>* cancel) const {
   topo::Scenario scenario = make_campaign_scenario(config_.topology);
   const routing::Controller controller(scenario.topology);
   // Routes are encoded before any failure, and the controller keeps them
@@ -102,9 +100,17 @@ RunResult CampaignEngine::run_one(std::uint64_t run_seed,
     });
   }
 
-  const std::size_t processed = net.events().run_all(config_.max_events_per_run);
+  // Run in bounded slices, polling the cooperative cancel flag between
+  // them: slicing does not change event order, so a never-cancelled run is
+  // identical to one monolithic run_all().
+  constexpr std::size_t kEventSlice = 65'536;
+  std::size_t processed = 0;
+  while (!net.events().empty() && processed < config_.max_events_per_run) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) break;
+    processed += net.events().run_all(
+        std::min(kEventSlice, config_.max_events_per_run - processed));
+  }
   result.queue_drained = net.events().empty();
-  (void)processed;
   checker.finish(result.queue_drained);
   result.counters = net.counters();
   result.violations = checker.violations();
@@ -137,51 +143,62 @@ FailureSchedule CampaignEngine::shrink_schedule(
   return current;
 }
 
-CampaignResult CampaignEngine::run() {
-  CampaignResult result;
-  std::vector<double> delivery_rates;
-  std::vector<double> mean_hops;
-  delivery_rates.reserve(config_.runs);
+CampaignResult CampaignEngine::run() const {
+  CampaignAccumulator accumulator(*this);
   for (std::size_t i = 0; i < config_.runs; ++i) {
-    const std::uint64_t run_seed = run_seed_at(i);
-    RunResult run = run_one(run_seed);
-    ++result.runs;
-    result.schedule_events += run.schedule.size();
-    result.totals.injected += run.counters.injected;
-    result.totals.delivered += run.counters.delivered;
-    result.totals.delivered_bytes += run.counters.delivered_bytes;
-    result.totals.hops += run.counters.hops;
-    result.totals.deflections += run.counters.deflections;
-    result.totals.reencodes += run.counters.reencodes;
-    result.totals.bounces += run.counters.bounces;
-    result.totals.drop_no_viable_port += run.counters.drop_no_viable_port;
-    result.totals.drop_link_failed += run.counters.drop_link_failed;
-    result.totals.drop_queue_overflow += run.counters.drop_queue_overflow;
-    result.totals.drop_ttl += run.counters.drop_ttl;
-    if (run.counters.injected > 0) {
-      delivery_rates.push_back(static_cast<double>(run.counters.delivered) /
-                               static_cast<double>(run.counters.injected));
-    }
-    if (run.counters.delivered > 0) {
-      mean_hops.push_back(static_cast<double>(run.delivered_hops) /
-                          static_cast<double>(run.counters.delivered));
-    }
-    if (!run.violations.empty()) {
-      ViolationReport report;
-      report.run_seed = run_seed;
-      report.first = run.violations.front();
-      report.total_violations = run.violations.size();
-      report.original = run.schedule;
-      report.shrunk = config_.shrink ? shrink_schedule(run_seed, run.schedule)
-                                     : run.schedule;
-      const topo::Scenario scenario = make_campaign_scenario(config_.topology);
-      report.shrunk_description = report.shrunk.describe(scenario.topology);
-      result.reports.push_back(std::move(report));
-    }
+    accumulator.add(run_one(run_seed_at(i)));
   }
-  result.delivery_rate = stats::summarize(delivery_rates);
-  result.hops_per_delivered = stats::summarize(mean_hops);
-  return result;
+  return accumulator.take();
+}
+
+CampaignAccumulator::CampaignAccumulator(const CampaignEngine& engine)
+    : engine_(&engine) {
+  delivery_rates_.reserve(engine.config().runs);
+  mean_hops_.reserve(engine.config().runs);
+}
+
+void CampaignAccumulator::add(const RunResult& run) {
+  const CampaignConfig& config = engine_->config();
+  ++result_.runs;
+  result_.schedule_events += run.schedule.size();
+  result_.totals.injected += run.counters.injected;
+  result_.totals.delivered += run.counters.delivered;
+  result_.totals.delivered_bytes += run.counters.delivered_bytes;
+  result_.totals.hops += run.counters.hops;
+  result_.totals.deflections += run.counters.deflections;
+  result_.totals.reencodes += run.counters.reencodes;
+  result_.totals.bounces += run.counters.bounces;
+  result_.totals.drop_no_viable_port += run.counters.drop_no_viable_port;
+  result_.totals.drop_link_failed += run.counters.drop_link_failed;
+  result_.totals.drop_queue_overflow += run.counters.drop_queue_overflow;
+  result_.totals.drop_ttl += run.counters.drop_ttl;
+  if (run.counters.injected > 0) {
+    delivery_rates_.push_back(static_cast<double>(run.counters.delivered) /
+                              static_cast<double>(run.counters.injected));
+  }
+  if (run.counters.delivered > 0) {
+    mean_hops_.push_back(static_cast<double>(run.delivered_hops) /
+                         static_cast<double>(run.counters.delivered));
+  }
+  if (!run.violations.empty()) {
+    ViolationReport report;
+    report.run_seed = run.run_seed;
+    report.first = run.violations.front();
+    report.total_violations = run.violations.size();
+    report.original = run.schedule;
+    report.shrunk = config.shrink
+                        ? engine_->shrink_schedule(run.run_seed, run.schedule)
+                        : run.schedule;
+    const topo::Scenario scenario = make_campaign_scenario(config.topology);
+    report.shrunk_description = report.shrunk.describe(scenario.topology);
+    result_.reports.push_back(std::move(report));
+  }
+}
+
+CampaignResult CampaignAccumulator::take() {
+  result_.delivery_rate = stats::summarize(delivery_rates_);
+  result_.hops_per_delivered = stats::summarize(mean_hops_);
+  return std::move(result_);
 }
 
 }  // namespace kar::faultgen

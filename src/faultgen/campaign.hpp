@@ -9,6 +9,7 @@
 // schedule — so a reported seed replays the exact violating run.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -99,14 +100,22 @@ class CampaignEngine {
 
   /// Runs the whole campaign: `runs` seeded scenarios, shrinking and
   /// reporting every violating run.
-  [[nodiscard]] CampaignResult run();
+  [[nodiscard]] CampaignResult run() const;
 
   /// One seeded run. When `override_schedule` is set it replaces the
   /// generated schedule (the shrinker's replay path); traffic and network
-  /// randomness still derive from `run_seed`.
+  /// randomness still derive from `run_seed`. `cancel`, when set, is a
+  /// cooperative stop flag polled between event-queue slices (the runner's
+  /// per-run timeout): a cancelled run returns early with
+  /// `queue_drained == false` and partial counters.
+  ///
+  /// Thread safety: const and self-contained (each call builds its own
+  /// scenario, controller and network), so concurrent calls with distinct
+  /// seeds are safe — the property the parallel runner relies on.
   [[nodiscard]] RunResult run_one(
       std::uint64_t run_seed,
-      const FailureSchedule* override_schedule = nullptr) const;
+      const FailureSchedule* override_schedule = nullptr,
+      const std::atomic<bool>* cancel = nullptr) const;
 
   /// Greedy schedule shrinking: repeatedly drops events whose removal
   /// keeps the run violating, until a fixpoint (or the replay budget).
@@ -118,6 +127,30 @@ class CampaignEngine {
 
  private:
   CampaignConfig config_;
+};
+
+/// Order-sensitive fold of RunResults into a CampaignResult: the single
+/// aggregation path shared by CampaignEngine::run() and the parallel
+/// runner (src/runner/campaign_runner.hpp). Feeding runs in run-index
+/// order yields bit-identical aggregates regardless of how (or on how many
+/// threads) the runs were produced — floating-point accumulation order is
+/// fixed here, nowhere else.
+class CampaignAccumulator {
+ public:
+  explicit CampaignAccumulator(const CampaignEngine& engine);
+
+  /// Folds one run in; for violating runs this shrinks the schedule via
+  /// the engine (serial replays on the calling thread).
+  void add(const RunResult& run);
+
+  /// Finalizes the summaries and surrenders the result.
+  [[nodiscard]] CampaignResult take();
+
+ private:
+  const CampaignEngine* engine_;
+  CampaignResult result_;
+  std::vector<double> delivery_rates_;
+  std::vector<double> mean_hops_;
 };
 
 }  // namespace kar::faultgen

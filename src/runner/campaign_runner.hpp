@@ -1,0 +1,63 @@
+// Parallel execution of fault-injection campaigns (faultgen::CampaignEngine)
+// on the runner.
+//
+// run_campaign() produces a CampaignResult bit-identical to
+// CampaignEngine::run() for every jobs count: runs execute concurrently,
+// but their results are folded through the same CampaignAccumulator in
+// strict run-index order (see runner.hpp). On top of the engine it adds
+// per-run JSONL records, per-run timeout + crash isolation, and wall-time
+// statistics (p50/p95, runs/sec) for the perf trajectory.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "faultgen/campaign.hpp"
+#include "runner/jsonl.hpp"
+#include "runner/runner.hpp"
+#include "stats/summary.hpp"
+
+namespace kar::runner {
+
+struct CampaignJobOptions {
+  RunnerConfig runner;
+  /// When set, one JSONL record per run (spec, seed, wall time, invariant
+  /// verdict, goodput counters), written in run-index order.
+  JsonlWriter* jsonl = nullptr;
+};
+
+/// Wall-clock accounting for one campaign execution.
+struct CampaignJobStats {
+  std::size_t jobs = 1;
+  double wall_s = 0.0;
+  double runs_per_sec = 0.0;
+  stats::Summary run_wall_s;  ///< Per-run wall time.
+  double run_wall_p50_s = 0.0;
+  double run_wall_p95_s = 0.0;
+  std::size_t timed_out = 0;
+  std::size_t errored = 0;
+  /// Raw per-run wall times, indexed by run (for cross-campaign merges).
+  std::vector<double> per_run_wall_s;
+};
+
+/// Runs the engine's whole campaign under `options`. Timed-out and errored
+/// runs are excluded from the aggregates (their partial counters would be
+/// scheduling-dependent) and surfaced via `stats` and the JSONL verdicts;
+/// with no timeouts/errors the result is bit-identical to engine.run().
+[[nodiscard]] faultgen::CampaignResult run_campaign(
+    const faultgen::CampaignEngine& engine, const CampaignJobOptions& options,
+    CampaignJobStats* stats = nullptr);
+
+/// One per-run JSONL record (the schema documented in docs/runner.md).
+/// `run` may be null for runs that threw before producing a result.
+[[nodiscard]] std::string campaign_run_record(
+    const faultgen::CampaignEngine& engine, const faultgen::RunResult* run,
+    const RunStatus& status);
+
+/// Canonical byte-exact rendering of a CampaignResult (counters in decimal,
+/// floating-point aggregates in hexfloat), for determinism comparisons:
+/// equal strings iff equal aggregates, bit for bit.
+[[nodiscard]] std::string canonical_aggregates(
+    const faultgen::CampaignResult& result);
+
+}  // namespace kar::runner

@@ -1,0 +1,120 @@
+#include "runner/jsonl.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace kar::runner {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 continuation bytes included
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double value) {
+  if (!std::isfinite(value)) return "null";
+  // std::to_chars emits the shortest string that round-trips: value-equal
+  // doubles always get byte-equal text, independent of locale and platform
+  // printf quirks.
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc()) return "null";
+  return std::string(buf, end);
+}
+
+void JsonObject::begin_field(std::string_view key) {
+  if (body_.size() > 1) body_ += ',';
+  body_ += '"';
+  body_ += json_escape(key);
+  body_ += "\":";
+}
+
+JsonObject& JsonObject::field(std::string_view key, std::string_view value) {
+  begin_field(key);
+  body_ += '"';
+  body_ += json_escape(value);
+  body_ += '"';
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view key, double number) {
+  begin_field(key);
+  body_ += json_double(number);
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view key, std::uint64_t number) {
+  begin_field(key);
+  body_ += std::to_string(number);
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view key, std::int64_t number) {
+  begin_field(key);
+  body_ += std::to_string(number);
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view key, bool boolean) {
+  begin_field(key);
+  body_ += boolean ? "true" : "false";
+  return *this;
+}
+
+JsonObject& JsonObject::raw(std::string_view key, std::string_view json) {
+  begin_field(key);
+  body_ += json;
+  return *this;
+}
+
+JsonlWriter::JsonlWriter(std::ostream& out) : out_(&out) {}
+
+JsonlWriter::JsonlWriter(const std::string& path, bool append)
+    : owned_(std::make_unique<std::ofstream>(
+          path, append ? std::ios::app : std::ios::trunc)),
+      out_(owned_.get()) {
+  if (!*owned_) {
+    throw std::runtime_error("JsonlWriter: cannot open " + path);
+  }
+}
+
+void JsonlWriter::write(std::string_view json) {
+  // Compose the full line first so the stream sees exactly one write per
+  // record; the lock makes the append + flush atomic w.r.t. other writers.
+  std::string line;
+  line.reserve(json.size() + 1);
+  line.append(json);
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_->write(line.data(), static_cast<std::streamsize>(line.size()));
+  out_->flush();
+  ++lines_;
+}
+
+std::size_t JsonlWriter::lines_written() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+}  // namespace kar::runner

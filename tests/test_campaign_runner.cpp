@@ -1,0 +1,149 @@
+// The determinism contract of the parallel campaign runner: a campaign's
+// aggregates are bit-identical whether its runs execute serially
+// (CampaignEngine::run or --jobs=1) or on a work-stealing pool, JSONL
+// records land one per run in run-index order, and a run that throws is
+// isolated instead of killing the campaign.
+#include "runner/campaign_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "support/testsupport.hpp"
+
+namespace kar::runner {
+namespace {
+
+faultgen::CampaignConfig small_campaign(std::size_t runs, std::uint64_t seed) {
+  faultgen::CampaignConfig config;
+  config.topology = "fig1";
+  config.technique = dataplane::DeflectionTechnique::kNotInputPort;
+  config.schedule.kind = faultgen::ScheduleKind::kRandomUpDown;
+  config.runs = runs;
+  config.packets_per_run = 10;
+  config.seed = seed;
+  return config;
+}
+
+TEST(CampaignRunner, RunSeedsComeFromDeriveSeed) {
+  const faultgen::CampaignEngine engine(small_campaign(4, 77));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(engine.run_seed_at(i), common::derive_seed(77, i));
+  }
+}
+
+// The acceptance-criterion test: byte-identical aggregates for a
+// 64-scenario campaign at -j1 vs -j8 (and vs the engine's own serial
+// path). The canonical rendering is hexfloat — equal strings iff equal
+// doubles, bit for bit.
+TEST(CampaignRunner, AggregatesAreBitIdenticalAcrossJobCounts) {
+  const faultgen::CampaignEngine engine(
+      small_campaign(64, testsupport::seed_or(4242)));
+  const std::string reference = canonical_aggregates(engine.run());
+  ASSERT_FALSE(reference.empty());
+
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+    CampaignJobOptions options;
+    options.runner.jobs = jobs;
+    CampaignJobStats stats;
+    const faultgen::CampaignResult result =
+        run_campaign(engine, options, &stats);
+    EXPECT_EQ(canonical_aggregates(result), reference) << "jobs=" << jobs;
+    EXPECT_EQ(stats.jobs, jobs);
+    EXPECT_EQ(stats.errored, 0u);
+    EXPECT_EQ(stats.timed_out, 0u);
+    EXPECT_EQ(stats.per_run_wall_s.size(), 64u);
+  }
+}
+
+TEST(CampaignRunner, DifferentSeedsProduceDifferentCanonicalAggregates) {
+  const faultgen::CampaignEngine a(small_campaign(16, 1));
+  const faultgen::CampaignEngine b(small_campaign(16, 2));
+  EXPECT_NE(canonical_aggregates(a.run()), canonical_aggregates(b.run()));
+}
+
+TEST(CampaignRunner, WritesOneJsonlRecordPerRunInIndexOrder) {
+  const faultgen::CampaignEngine engine(small_campaign(8, 99));
+  std::ostringstream sink;
+  JsonlWriter jsonl(sink);
+  CampaignJobOptions options;
+  options.runner.jobs = 4;
+  options.jsonl = &jsonl;
+  const faultgen::CampaignResult result = run_campaign(engine, options);
+  EXPECT_EQ(result.runs, 8u);
+  ASSERT_EQ(jsonl.lines_written(), 8u);
+
+  const auto lines = common::split(sink.str(), '\n', false);
+  ASSERT_EQ(lines.size(), 8u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    unsigned long long run_index = 0;
+    unsigned long long seed = 0;
+    ASSERT_EQ(std::sscanf(lines[i].c_str(), "{\"run\":%llu,\"seed\":%llu,",
+                          &run_index, &seed),
+              2)
+        << lines[i];
+    EXPECT_EQ(run_index, i) << "records out of order";
+    EXPECT_EQ(seed, engine.run_seed_at(i));
+    EXPECT_NE(lines[i].find("\"topology\":\"fig1\""), std::string::npos);
+    EXPECT_NE(lines[i].find("\"verdict\":\"ok\""), std::string::npos);
+    EXPECT_NE(lines[i].find("\"injected\":10"), std::string::npos);
+  }
+}
+
+TEST(CampaignRunner, IsolatesRunsThatThrow) {
+  // An unknown topology makes every run_one throw (the engine constructor
+  // itself does not resolve the topology): the campaign must survive with
+  // every run reported as errored rather than crash or hang.
+  faultgen::CampaignConfig config = small_campaign(6, 5);
+  config.topology = "no-such-topology";
+  const faultgen::CampaignEngine engine(config);
+  std::ostringstream sink;
+  JsonlWriter jsonl(sink);
+  CampaignJobOptions options;
+  options.runner.jobs = 2;
+  options.jsonl = &jsonl;
+  CampaignJobStats stats;
+  const faultgen::CampaignResult result = run_campaign(engine, options, &stats);
+  EXPECT_EQ(result.runs, 0u);  // nothing aggregated
+  EXPECT_EQ(stats.errored, 6u);
+  EXPECT_EQ(jsonl.lines_written(), 6u);
+  const auto lines = common::split(sink.str(), '\n', false);
+  for (const std::string& line : lines) {
+    EXPECT_NE(line.find("\"verdict\":\"error\""), std::string::npos) << line;
+    EXPECT_NE(line.find("no-such-topology"), std::string::npos) << line;
+  }
+}
+
+TEST(CampaignRunner, ParallelRunStillDetectsPlantedViolations) {
+  // The mutation self-test from test_faultgen, through the parallel path:
+  // a hop budget below the NIP recovery path must still be caught, with
+  // the violating run's seed preserved in the report and the JSONL verdict.
+  faultgen::CampaignConfig config = small_campaign(30, 1234);
+  config.hop_budget_override = 3;
+  config.schedule.per_link_failure_probability = 0.8;
+  config.packets_per_run = 20;
+  const faultgen::CampaignEngine engine(config);
+
+  const faultgen::CampaignResult serial = engine.run();
+  ASSERT_FALSE(serial.ok()) << "planted hop-budget bug was not detected";
+
+  std::ostringstream sink;
+  JsonlWriter jsonl(sink);
+  CampaignJobOptions options;
+  options.runner.jobs = 4;
+  options.jsonl = &jsonl;
+  const faultgen::CampaignResult parallel = run_campaign(engine, options);
+  EXPECT_EQ(canonical_aggregates(parallel), canonical_aggregates(serial));
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_EQ(parallel.reports.front().run_seed, serial.reports.front().run_seed);
+  EXPECT_NE(sink.str().find("\"verdict\":\"violation\""), std::string::npos);
+  EXPECT_NE(sink.str().find("\"first_violation\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kar::runner
