@@ -4,12 +4,14 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "dataplane/switch.hpp"
+#include "obs/instrument.hpp"
 #include "routing/controller.hpp"
 #include "sim/network.hpp"
 #include "stats/summary.hpp"
@@ -83,6 +85,19 @@ struct TcpExperiment {
   std::uint64_t seed = 1;
   transport::TcpParams tcp = window_limited_defaults();
 
+  // Observability sinks (src/obs/), all optional. With a registry the run
+  // records the NetworkObserver + TCP metric families under `obs_labels`;
+  // with a recorder it also records deflection/drop/link/TCP trace events
+  // (tid = obs_tid) and, when cwnd_sample_interval_s > 0, periodic cwnd
+  // counter samples. `event_profile`, when set, collects the per-event-kind
+  // wall-time breakdown.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
+  obs::Labels obs_labels;
+  std::uint32_t obs_tid = 0;
+  double cwnd_sample_interval_s = 0.0;
+  sim::EventLoopProfile* event_profile = nullptr;
+
   /// The paper's emulation used era-default socket buffers and a
   /// mid-2010s kernel stack: the flow is window-limited (~187 KB = 128
   /// segments, ~200 Mb/s at the topologies' RTT) and reorder tolerance is
@@ -119,6 +134,21 @@ inline TcpRunResult run_tcp_experiment(TcpExperiment experiment) {
   config.technique = experiment.technique;
   config.seed = experiment.seed;
   sim::Network net(experiment.scenario.topology, controller, config);
+
+  std::optional<obs::NetworkObserver> observer;
+  if (experiment.metrics != nullptr || experiment.trace != nullptr) {
+    obs::NetworkObserverOptions observer_options;
+    observer_options.metrics = experiment.metrics;
+    observer_options.trace = experiment.trace;
+    observer_options.labels = experiment.obs_labels;
+    observer_options.tid = experiment.obs_tid;
+    observer.emplace(net, observer_options);
+    observer->install();
+  }
+  if (experiment.event_profile != nullptr) {
+    net.events().set_profile(experiment.event_profile);
+  }
+
   transport::FlowDispatcher dispatcher(net);
   const auto forward =
       controller.encode_scenario(experiment.scenario.route, experiment.level);
@@ -127,6 +157,39 @@ inline TcpRunResult run_tcp_experiment(TcpExperiment experiment) {
   transport::BulkTransferFlow flow(net, dispatcher, forward, reverse,
                                    /*flow_id=*/1, experiment.tcp,
                                    experiment.bin_s);
+  if (experiment.metrics != nullptr || experiment.trace != nullptr) {
+    transport::TcpObservability sinks;
+    sinks.metrics = experiment.metrics;
+    sinks.trace = experiment.trace;
+    sinks.labels = experiment.obs_labels;
+    flow.sender().set_observability(sinks);
+  }
+  if (experiment.trace != nullptr && experiment.cwnd_sample_interval_s > 0.0) {
+    // Periodic cwnd counter samples: read-only observers of the sender, so
+    // they cannot perturb the simulation.
+    obs::TraceRecorder* trace = experiment.trace;
+    const std::uint32_t tid = experiment.obs_tid;
+    for (double t = experiment.cwnd_sample_interval_s; t < experiment.t_end;
+         t += experiment.cwnd_sample_interval_s) {
+      net.events().schedule_at(t, [&net, &flow, trace, tid] {
+        const auto fmt = [](double v) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.6g", v);
+          return std::string(buf);
+        };
+        obs::TraceRecord record;
+        record.cat = obs::TraceCategory::kTcp;
+        record.name = "tcp cwnd flow 1";
+        record.ts_s = net.now();
+        record.counter = true;
+        record.tid = tid;
+        record.id = 1;
+        record.args = {{"cwnd", fmt(flow.sender().cwnd_segments())},
+                       {"ssthresh", fmt(flow.sender().ssthresh_segments())}};
+        trace->record(record);
+      });
+    }
+  }
   flow.start_at(0.0);
   if (experiment.failed_link) {
     net.fail_link_at(experiment.t_fail, experiment.failed_link->first,

@@ -11,6 +11,14 @@
 //                  [--mutate-hop-budget=N] [--quiet]
 //                  [--jobs=N] [--timeout=S] [--progress] [--jsonl=PATH]
 //                  [--bench-json[=PATH]]
+//                  [--metrics-out=PATH] [--trace-out=PATH] [--trace-runs=N]
+//                  [--profile]
+//
+// Observability (docs/observability.md): --metrics-out writes the folded
+// campaign metrics as Prometheus text (and embeds a per-run snapshot in
+// each --jsonl record); --trace-out writes a Chrome trace_event JSON
+// (chrome://tracing, Perfetto) of the first --trace-runs runs per grid
+// cell; --profile prints per-phase wall time and the event-kind breakdown.
 //
 // --technique / --schedule also accept "all" to sweep HP, AVP and NIP (and
 // all four schedule families) in one invocation — the mode the CTest
@@ -31,6 +39,7 @@
 #include "common/flags.hpp"
 #include "common/strings.hpp"
 #include "faultgen/campaign.hpp"
+#include "obs/export.hpp"
 #include "runner/campaign_runner.hpp"
 #include "runner/jsonl.hpp"
 
@@ -47,6 +56,8 @@ struct CliOptions {
   double timeout_s = 0.0;
   bool progress = false;
   std::string jsonl_path;
+  std::string metrics_path;
+  std::string trace_path;
 };
 
 runner::CampaignJobOptions job_options(const CliOptions& options,
@@ -106,6 +117,50 @@ int run_campaigns(const CliOptions& options) {
     jsonl = std::make_unique<runner::JsonlWriter>(options.jsonl_path);
   }
   const GridOutcome outcome = run_grid(options, options.jobs, jsonl.get());
+
+  // Observability exports: the folded grid metrics as Prometheus text, the
+  // traced runs as one Chrome-trace process per grid cell.
+  if (!options.metrics_path.empty()) {
+    obs::MetricsSnapshot merged;
+    for (const faultgen::CampaignResult& result : outcome.results) {
+      merged.merge(result.metrics);
+    }
+    obs::write_prometheus_file(options.metrics_path, merged);
+  }
+  if (!options.trace_path.empty()) {
+    std::vector<obs::ChromeTraceProcess> processes;
+    std::size_t trace_cell = 0;
+    for (const auto technique : options.techniques) {
+      for (const auto schedule_kind : options.schedules) {
+        const faultgen::CampaignResult& result = outcome.results[trace_cell++];
+        if (result.trace.empty()) continue;
+        processes.push_back(
+            {std::string(dataplane::to_string(technique)) + "/" +
+                 std::string(faultgen::to_string(schedule_kind)),
+             result.trace});
+      }
+    }
+    obs::write_chrome_trace_file(options.trace_path, processes);
+  }
+  if (options.base.profile && !options.quiet) {
+    faultgen::RunProfile profile;
+    for (const faultgen::CampaignResult& result : outcome.results) {
+      profile.merge(result.profile);
+    }
+    std::cout << "--- profile (" << profile.phases.runs << " runs) ---\n";
+    for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+      std::cout << "  " << to_string(static_cast<obs::Phase>(i)) << ": "
+                << common::fmt_double(1e3 * profile.phases.wall_s[i], 2)
+                << " ms\n";
+    }
+    for (std::size_t i = 0; i < sim::kEventKindCount; ++i) {
+      const auto& kind = profile.events.kinds[i];
+      if (kind.count == 0) continue;
+      std::cout << "  event " << to_string(static_cast<sim::EventKind>(i))
+                << ": " << kind.count << " events, "
+                << common::fmt_double(1e3 * kind.wall_s, 2) << " ms\n";
+    }
+  }
 
   common::TextTable table({"technique", "schedule", "runs", "events",
                            "delivery rate", "mean hops", "violations"});
@@ -244,6 +299,12 @@ int main(int argc, char** argv) {
   options.timeout_s = flags.get_double("timeout", 0.0);
   options.progress = flags.get_bool("progress", false);
   options.jsonl_path = flags.get_string("jsonl", "");
+  options.metrics_path = flags.get_string("metrics-out", "");
+  options.trace_path = flags.get_string("trace-out", "");
+  options.base.collect_metrics = !options.metrics_path.empty();
+  options.base.profile = flags.get_bool("profile", false);
+  options.base.trace_runs = static_cast<std::size_t>(
+      flags.get_int("trace-runs", options.trace_path.empty() ? 0 : 1));
   if (flags.has("mutate-hop-budget")) {
     options.base.hop_budget_override =
         static_cast<std::uint32_t>(flags.get_int("mutate-hop-budget", 0));

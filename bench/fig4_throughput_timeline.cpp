@@ -10,11 +10,20 @@
 //
 // Usage: fig4_throughput_timeline [--duration=90] [--fail=30] [--repair=60]
 //                                 [--seed=1] [--csv]
+//                                 [--metrics-out=PATH] [--trace-out=PATH]
+//                                 [--profile]
+//
+// Observability (docs/observability.md): --metrics-out writes all four
+// curves' metrics as Prometheus text (per-curve `technique` label);
+// --trace-out writes a Chrome trace with one process per curve, including
+// TCP fast-retransmit/RTO instants and 1 Hz cwnd counter samples;
+// --profile prints the per-event-kind wall-time breakdown.
 #include <iostream>
 
 #include "bench_util.hpp"
 #include "common/flags.hpp"
 #include "common/strings.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
@@ -32,6 +41,9 @@ int main(int argc, char** argv) {
   const double t_repair = flags.get_double("repair", 2.0 * duration / 3.0);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const bool csv = flags.get_bool("csv", false);
+  const std::string metrics_path = flags.get_string("metrics-out", "");
+  const std::string trace_path = flags.get_string("trace-out", "");
+  const bool profile = flags.get_bool("profile", false);
 
   std::cout << "=== Paper Fig. 4: TCP throughput timeline, failed link "
                "SW7-SW13 (15-node network, partial protection) ===\n"
@@ -50,8 +62,14 @@ int main(int argc, char** argv) {
       {"nip", DeflectionTechnique::kNotInputPort},
   };
 
+  kar::obs::MetricsRegistry registry(!metrics_path.empty());
+  std::vector<kar::obs::ChromeTraceProcess> processes;
+  kar::sim::EventLoopProfile event_profile;
+
   std::vector<TcpRunResult> results;
-  for (const auto& curve : kCurves) {
+  for (std::size_t i = 0; i < std::size(kCurves); ++i) {
+    const auto& curve = kCurves[i];
+    kar::obs::TraceRecorder recorder(1 << 16);
     TcpExperiment experiment;
     experiment.scenario = kar::topo::make_experimental15(kar::bench::paper_link_params());
     experiment.reverse_route =
@@ -63,7 +81,36 @@ int main(int argc, char** argv) {
     experiment.t_repair = t_repair;
     experiment.t_end = duration;
     experiment.seed = seed;
+    if (!metrics_path.empty()) experiment.metrics = &registry;
+    if (!trace_path.empty()) {
+      experiment.trace = &recorder;
+      experiment.cwnd_sample_interval_s = 1.0;
+    }
+    experiment.obs_labels = {{"technique", curve.name}};
+    experiment.obs_tid = static_cast<std::uint32_t>(i);
+    if (profile) experiment.event_profile = &event_profile;
     results.push_back(kar::bench::run_tcp_experiment(std::move(experiment)));
+    if (!trace_path.empty()) {
+      processes.push_back({curve.name, recorder.snapshot()});
+    }
+  }
+
+  if (!metrics_path.empty()) {
+    kar::obs::write_prometheus_file(metrics_path, registry.snapshot());
+  }
+  if (!trace_path.empty()) {
+    kar::obs::write_chrome_trace_file(trace_path, processes);
+  }
+  if (profile) {
+    std::cout << "--- event loop profile (all curves) ---\n";
+    for (std::size_t i = 0; i < kar::sim::kEventKindCount; ++i) {
+      const auto& kind = event_profile.kinds[i];
+      if (kind.count == 0) continue;
+      std::cout << "  " << to_string(static_cast<kar::sim::EventKind>(i))
+                << ": " << kind.count << " events, "
+                << kar::common::fmt_double(1e3 * kind.wall_s, 2) << " ms\n";
+    }
+    std::cout << '\n';
   }
 
   if (csv) {

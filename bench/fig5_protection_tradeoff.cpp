@@ -18,12 +18,19 @@
 //
 // Usage: fig5_protection_tradeoff [--runs=10] [--seconds=5] [--seed=1]
 //                                 [--csv] [--jobs=N] [--progress]
+//                                 [--metrics-out=PATH]
+//
+// --metrics-out collects a per-run metrics snapshot (labelled with the
+// cell's failure/protection/technique) and writes the fold of all runs —
+// in unit-index order, so the file is byte-identical for every --jobs
+// count — as Prometheus text (docs/observability.md).
 #include <iostream>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/flags.hpp"
 #include "common/strings.hpp"
+#include "obs/export.hpp"
 #include "runner/runner.hpp"
 #include "stats/summary.hpp"
 
@@ -42,6 +49,8 @@ int main(int argc, char** argv) {
   const double seconds = flags.get_double("seconds", 5.0);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const bool csv = flags.get_bool("csv", false);
+  const std::string metrics_path = flags.get_string("metrics-out", "");
+  const bool collect_metrics = !metrics_path.empty();
 
   std::cout << "=== Paper Fig. 5: protection level vs deflection technique "
                "(15-node network) ===\n"
@@ -81,15 +90,24 @@ int main(int argc, char** argv) {
   std::vector<std::vector<double>> samples(cells.size());
   for (auto& cell_samples : samples) cell_samples.reserve(runs);
 
+  /// Per-unit payload: the goodput sample plus (optionally) the run's
+  /// metrics snapshot, folded on the consume side in index order.
+  struct UnitSample {
+    double mbps = 0.0;
+    kar::obs::MetricsSnapshot metrics;
+  };
+  kar::obs::MetricsSnapshot merged_metrics;
+
   kar::runner::RunnerConfig runner_config;
   runner_config.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
   runner_config.progress = flags.get_bool("progress", false);
   runner_config.progress_label = "fig5";
-  kar::runner::run_indexed<double>(
+  kar::runner::run_indexed<UnitSample>(
       cells.size() * runs, runner_config,
       [&](std::size_t index, const kar::runner::CancelToken&) {
         const Cell& cell = cells[index / runs];
         const std::size_t r = index % runs;
+        kar::obs::MetricsRegistry registry(collect_metrics);
         TcpExperiment base;
         base.scenario =
             kar::topo::make_experimental15(kar::bench::paper_link_params());
@@ -99,16 +117,32 @@ int main(int argc, char** argv) {
         base.level = cell.level;
         base.failed_link = {{cell.fail_a, cell.fail_b}};
         base.seed = seed;
-        return kar::bench::single_failure_run(base, r, seconds);
+        if (collect_metrics) {
+          base.metrics = &registry;
+          base.obs_labels = {
+              {"failure", std::string(cell.fail_a) + "-" + cell.fail_b},
+              {"protection", cell.level_name},
+              {"technique", cell.tech_name}};
+        }
+        UnitSample sample;
+        sample.mbps = kar::bench::single_failure_run(base, r, seconds);
+        if (collect_metrics) sample.metrics = registry.snapshot();
+        return sample;
       },
-      [&](std::size_t index, kar::runner::IndexedOutcome<double>&& outcome) {
+      [&](std::size_t index,
+          kar::runner::IndexedOutcome<UnitSample>&& outcome) {
         if (!outcome.status.ok) {
           std::cerr << "fig5: run " << index
                     << " failed: " << outcome.status.error << '\n';
           std::exit(2);
         }
-        samples[index / runs].push_back(*outcome.value);
+        samples[index / runs].push_back(outcome.value->mbps);
+        if (collect_metrics) merged_metrics.merge(outcome.value->metrics);
       });
+
+  if (collect_metrics) {
+    kar::obs::write_prometheus_file(metrics_path, merged_metrics);
+  }
 
   if (csv) {
     std::cout << "failure,protection,technique,mean_mbps,ci95_mbps,n\n";

@@ -16,6 +16,11 @@
 //
 // Usage: multi_failure [--sets=30] [--walks=300] [--max-failures=5]
 //                      [--seed=1] [--jobs=N] [--progress]
+//                      [--metrics-out=PATH]
+//
+// --metrics-out writes per-cell walk/delivery counters (labelled with k and
+// the configuration) as Prometheus text, folded in unit-index order so the
+// file is byte-identical for every --jobs count (docs/observability.md).
 #include <iostream>
 #include <vector>
 
@@ -23,6 +28,8 @@
 #include "common/flags.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "routing/controller.hpp"
 #include "routing/protection.hpp"
 #include "runner/runner.hpp"
@@ -60,10 +67,12 @@ struct UnitResult {
   double delivered = 0;
   double walks = 0;
   double hops_weighted = 0;
+  kar::obs::MetricsSnapshot metrics;  ///< Empty unless --metrics-out.
 };
 
 UnitResult run_unit(std::size_t k, const Config& config, std::size_t walks,
-                    std::uint64_t fail_seed, std::uint64_t walk_seed) {
+                    std::uint64_t fail_seed, std::uint64_t walk_seed,
+                    bool collect_metrics) {
   Scenario s = kar::topo::make_rnp28();
   const kar::routing::Controller controller(s.topology);
   // Build the route under this configuration.
@@ -112,6 +121,19 @@ UnitResult run_unit(std::size_t k, const Config& config, std::size_t walks,
   unit.delivered = static_cast<double>(stats.delivered);
   unit.walks = static_cast<double>(stats.walks);
   unit.hops_weighted = stats.hops.mean * static_cast<double>(stats.delivered);
+  if (collect_metrics) {
+    kar::obs::MetricsRegistry registry(true);
+    const kar::obs::Labels labels = {{"k", std::to_string(k)},
+                                     {"config", config.name}};
+    registry
+        .counter("kar_walks_total", "Monte-Carlo packet walks sampled", labels)
+        .inc(stats.walks);
+    registry
+        .counter("kar_walks_delivered_total", "Walks that reached the egress",
+                 labels)
+        .inc(stats.delivered);
+    unit.metrics = registry.snapshot();
+  }
   return unit;
 }
 
@@ -124,6 +146,9 @@ int main(int argc, char** argv) {
   const auto max_failures =
       static_cast<std::size_t>(flags.get_int("max-failures", 5));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string metrics_path = flags.get_string("metrics-out", "");
+  const bool collect_metrics = !metrics_path.empty();
+  kar::obs::MetricsSnapshot merged_metrics;
 
   std::cout << "=== Multiple simultaneous link failures (RNP backbone, "
                "route SW7->SW73) ===\n"
@@ -150,7 +175,8 @@ int main(int argc, char** argv) {
         (void)set;  // the unit seed encodes the set via the index
         return run_unit(k, config, walks,
                         kar::common::derive_seed(seed, 2 * index),
-                        kar::common::derive_seed(seed, 2 * index + 1));
+                        kar::common::derive_seed(seed, 2 * index + 1),
+                        collect_metrics);
       },
       [&](std::size_t index,
           kar::runner::IndexedOutcome<UnitResult>&& outcome) {
@@ -164,7 +190,12 @@ int main(int argc, char** argv) {
         into.delivered += outcome.value->delivered;
         into.walks += outcome.value->walks;
         into.hops_weighted += outcome.value->hops_weighted;
+        if (collect_metrics) merged_metrics.merge(outcome.value->metrics);
       });
+
+  if (collect_metrics) {
+    kar::obs::write_prometheus_file(metrics_path, merged_metrics);
+  }
 
   TextTable table({"k failed links", "configuration", "delivery rate",
                    "mean hops (delivered)", "p(loss) vs k=0"});

@@ -20,6 +20,71 @@ std::vector<std::string> split(std::string_view text, char sep, bool keep_empty)
   return out;
 }
 
+std::string csv_escape(std::string_view field, char sep) {
+  const bool needs_quoting =
+      field.find(sep) != std::string_view::npos ||
+      field.find('"') != std::string_view::npos ||
+      field.find('\n') != std::string_view::npos ||
+      field.find('\r') != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::string> split_csv_row(std::string_view line, char sep) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';  // doubled quote -> literal quote
+          i += 2;
+          continue;
+        }
+        quoted = false;
+        ++i;
+        continue;
+      }
+      current += c;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!current.empty()) {
+        throw std::invalid_argument(
+            "split_csv_row: quote inside unquoted field");
+      }
+      quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == sep) {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+      continue;
+    }
+    current += c;
+    ++i;
+  }
+  if (quoted) {
+    throw std::invalid_argument("split_csv_row: unterminated quoted field");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
 std::string_view trim(std::string_view text) {
   const auto is_space = [](char c) {
     return c == ' ' || c == '\t' || c == '\r' || c == '\n';

@@ -15,6 +15,18 @@ namespace kar::common {
 [[nodiscard]] std::vector<std::string> split(std::string_view text, char sep,
                                              bool keep_empty = false);
 
+/// RFC 4180 CSV field quoting: returns `field` unchanged unless it contains
+/// the separator, a double quote, or a newline, in which case it is wrapped
+/// in double quotes with embedded quotes doubled.
+[[nodiscard]] std::string csv_escape(std::string_view field, char sep = ',');
+
+/// Splits one CSV row into fields, honouring RFC 4180 quoting (the inverse
+/// of writing csv_escape()d fields joined by `sep`). Quoted fields may
+/// contain the separator and doubled quotes; a lone quote inside a quoted
+/// field or an unterminated quote throws std::invalid_argument.
+[[nodiscard]] std::vector<std::string> split_csv_row(std::string_view line,
+                                                     char sep = ',');
+
 /// Removes leading/trailing ASCII whitespace.
 [[nodiscard]] std::string_view trim(std::string_view text);
 

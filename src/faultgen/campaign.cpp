@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/rng.hpp"
+#include "obs/instrument.hpp"
 #include "routing/controller.hpp"
 #include "topology/builders.hpp"
 
@@ -36,7 +37,16 @@ std::uint64_t CampaignEngine::run_seed_at(std::size_t index) const noexcept {
 
 RunResult CampaignEngine::run_one(std::uint64_t run_seed,
                                   const FailureSchedule* override_schedule,
-                                  const std::atomic<bool>* cancel) const {
+                                  const std::atomic<bool>* cancel,
+                                  bool traced) const {
+  RunResult result;
+  result.run_seed = run_seed;
+  obs::SpanTimer setup_timer(
+      config_.profile
+          ? &result.profile.phases.wall_s[static_cast<std::size_t>(
+                obs::Phase::kSetup)]
+          : nullptr);
+
   topo::Scenario scenario = make_campaign_scenario(config_.topology);
   const routing::Controller controller(scenario.topology);
   // Routes are encoded before any failure, and the controller keeps them
@@ -58,10 +68,35 @@ RunResult CampaignEngine::run_one(std::uint64_t run_seed,
   inv_config.check_residue = true;
   inv_config.hop_budget_override = config_.hop_budget_override;
   InvariantChecker checker(net, inv_config);
-  net.set_trace_hook([&checker](const sim::TraceEvent& e) { checker.observe(e); });
 
-  RunResult result;
-  result.run_seed = run_seed;
+  // Observability: per-run registry + optional bounded trace ring. The
+  // observer composes with the invariant checker on the single trace hook;
+  // neither consumes randomness nor alters event order, so determinism is
+  // untouched.
+  obs::MetricsRegistry registry(config_.collect_metrics);
+  obs::TraceRecorder recorder(config_.trace_ring_capacity);
+  obs::NetworkObserverOptions observer_options;
+  observer_options.metrics = config_.collect_metrics ? &registry : nullptr;
+  observer_options.trace = traced ? &recorder : nullptr;
+  observer_options.labels = {
+      {"technique", std::string(dataplane::to_string(config_.technique))},
+      {"topology", config_.topology}};
+  const bool observe = config_.collect_metrics || traced;
+  std::optional<obs::NetworkObserver> observer;
+  if (observe) observer.emplace(net, observer_options);
+  net.set_trace_hook([&checker, &observer](const sim::TraceEvent& e) {
+    checker.observe(e);
+    if (observer.has_value()) observer->on_trace(e);
+  });
+  if (observe) {
+    net.set_link_state_hook([&observer](topo::LinkId link, bool up) {
+      observer->on_link_state(link, up);
+    });
+  }
+  sim::EventLoopProfile* event_profile =
+      config_.profile ? &result.profile.events : nullptr;
+  net.events().set_profile(event_profile);
+
   if (override_schedule != nullptr) {
     result.schedule = *override_schedule;
   } else {
@@ -100,20 +135,39 @@ RunResult CampaignEngine::run_one(std::uint64_t run_seed,
     });
   }
 
+  setup_timer.stop();
+
   // Run in bounded slices, polling the cooperative cancel flag between
   // them: slicing does not change event order, so a never-cancelled run is
   // identical to one monolithic run_all().
-  constexpr std::size_t kEventSlice = 65'536;
-  std::size_t processed = 0;
-  while (!net.events().empty() && processed < config_.max_events_per_run) {
-    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) break;
-    processed += net.events().run_all(
-        std::min(kEventSlice, config_.max_events_per_run - processed));
+  {
+    obs::SpanTimer loop_timer(
+        config_.profile
+            ? &result.profile.phases.wall_s[static_cast<std::size_t>(
+                  obs::Phase::kEventLoop)]
+            : nullptr);
+    constexpr std::size_t kEventSlice = 65'536;
+    std::size_t processed = 0;
+    while (!net.events().empty() && processed < config_.max_events_per_run) {
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) break;
+      processed += net.events().run_all(
+          std::min(kEventSlice, config_.max_events_per_run - processed));
+    }
   }
+
+  obs::SpanTimer teardown_timer(
+      config_.profile
+          ? &result.profile.phases.wall_s[static_cast<std::size_t>(
+                obs::Phase::kTeardown)]
+          : nullptr);
+  net.events().set_profile(nullptr);
   result.queue_drained = net.events().empty();
   checker.finish(result.queue_drained);
   result.counters = net.counters();
   result.violations = checker.violations();
+  if (config_.profile) result.profile.phases.runs = 1;
+  if (config_.collect_metrics) result.metrics = registry.snapshot();
+  if (traced) result.trace = recorder.snapshot();
   return result;
 }
 
@@ -146,7 +200,8 @@ FailureSchedule CampaignEngine::shrink_schedule(
 CampaignResult CampaignEngine::run() const {
   CampaignAccumulator accumulator(*this);
   for (std::size_t i = 0; i < config_.runs; ++i) {
-    accumulator.add(run_one(run_seed_at(i)));
+    accumulator.add(run_one(run_seed_at(i), nullptr, nullptr,
+                            /*traced=*/i < config_.trace_runs));
   }
   return accumulator.take();
 }
@@ -159,8 +214,20 @@ CampaignAccumulator::CampaignAccumulator(const CampaignEngine& engine)
 
 void CampaignAccumulator::add(const RunResult& run) {
   const CampaignConfig& config = engine_->config();
+  const auto run_index = static_cast<std::uint32_t>(result_.runs);
   ++result_.runs;
   result_.schedule_events += run.schedule.size();
+  // Observability folds: add() is called in run-index order (the runner's
+  // reorder buffer guarantees it), so these are as deterministic as the
+  // counter totals above.
+  if (!run.metrics.empty()) result_.metrics.merge(run.metrics);
+  if (!run.trace.empty()) {
+    for (obs::TraceRecord record : run.trace) {
+      record.tid = run_index;
+      result_.trace.push_back(std::move(record));
+    }
+  }
+  if (!run.profile.empty()) result_.profile.merge(run.profile);
   result_.totals.injected += run.counters.injected;
   result_.totals.delivered += run.counters.delivered;
   result_.totals.delivered_bytes += run.counters.delivered_bytes;

@@ -19,6 +19,9 @@
 #include "dataplane/switch.hpp"
 #include "faultgen/invariants.hpp"
 #include "faultgen/schedule.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "sim/network.hpp"
 #include "stats/summary.hpp"
 #include "topology/scenario.hpp"
@@ -52,6 +55,34 @@ struct CampaignConfig {
   std::optional<std::uint32_t> hop_budget_override;
   /// Event-count guard per run against pathological schedules.
   std::size_t max_events_per_run = 5'000'000;
+
+  // --- Observability (src/obs/) ---------------------------------------
+  /// Build a per-run MetricsRegistry (NetworkObserver) and carry its
+  /// snapshot on RunResult; snapshots fold into CampaignResult::metrics in
+  /// run-index order, so they are deterministic at any jobs count.
+  bool collect_metrics = false;
+  /// Record packet/link trace events for the first `trace_runs` runs into a
+  /// bounded ring (`trace_ring_capacity` records per traced run).
+  std::size_t trace_runs = 0;
+  std::size_t trace_ring_capacity = 8192;
+  /// Collect per-phase wall time and the event-kind breakdown. Wall times
+  /// are non-deterministic by nature and excluded from canonical
+  /// aggregates.
+  bool profile = false;
+};
+
+/// Wall-time profile of one run (or the merge of many): the three
+/// setup/event-loop/teardown phases plus the per-event-kind breakdown
+/// measured inside sim::EventQueue.
+struct RunProfile {
+  obs::PhaseProfile phases;
+  sim::EventLoopProfile events;
+
+  void merge(const RunProfile& other) noexcept {
+    phases.merge(other.phases);
+    events.merge(other.events);
+  }
+  [[nodiscard]] bool empty() const noexcept { return phases.empty(); }
 };
 
 /// Outcome of one simulated run.
@@ -62,6 +93,10 @@ struct RunResult {
   std::vector<Violation> violations;
   bool queue_drained = true;
   std::uint64_t delivered_hops = 0;  ///< Sum of hop counts over delivered packets.
+  /// Observability payloads; empty unless the matching config knobs are on.
+  obs::MetricsSnapshot metrics;
+  std::vector<obs::TraceRecord> trace;
+  RunProfile profile;
 };
 
 /// A violating run, post-shrinking: everything needed to replay it.
@@ -83,6 +118,13 @@ struct CampaignResult {
   stats::Summary delivery_rate;        ///< Per-run delivered / injected.
   stats::Summary hops_per_delivered;   ///< Per-run mean hops of delivered packets.
   std::vector<ViolationReport> reports;
+  /// Fold of per-run metrics snapshots, in run-index order (deterministic).
+  obs::MetricsSnapshot metrics;
+  /// Concatenated trace records of the traced runs; TraceRecord::tid is
+  /// rewritten to the run index.
+  std::vector<obs::TraceRecord> trace;
+  /// Merged wall-time profile (non-deterministic; reporting only).
+  RunProfile profile;
 
   [[nodiscard]] bool ok() const noexcept { return reports.empty(); }
 };
@@ -112,10 +154,13 @@ class CampaignEngine {
   /// Thread safety: const and self-contained (each call builds its own
   /// scenario, controller and network), so concurrent calls with distinct
   /// seeds are safe — the property the parallel runner relies on.
+  ///
+  /// `traced` opts this run into trace recording (the caller decides by run
+  /// index; shrinker replays never trace).
   [[nodiscard]] RunResult run_one(
       std::uint64_t run_seed,
       const FailureSchedule* override_schedule = nullptr,
-      const std::atomic<bool>* cancel = nullptr) const;
+      const std::atomic<bool>* cancel = nullptr, bool traced = false) const;
 
   /// Greedy schedule shrinking: repeatedly drops events whose removal
   /// keeps the run violating, until a fixpoint (or the replay budget).

@@ -1,0 +1,192 @@
+#include "obs/export.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+
+namespace kar::obs {
+
+namespace {
+
+// Minimal JSON helpers, duplicated from runner/jsonl on purpose: obs sits
+// below the runner in the dependency graph (runner -> faultgen -> obs), so
+// it cannot link kar_runner. Same contracts: escaped strings, shortest
+// round-trip doubles.
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc()) return "null";
+  return std::string(buf, end);
+}
+
+/// `{"k":"v",...}` from the record's args; values that parse as plain
+/// numbers are emitted unquoted so Perfetto shows them as numbers.
+std::string args_json(const TraceRecord& record) {
+  std::string out = "{";
+  bool first = true;
+  const auto is_number = [](const std::string& text) {
+    if (text.empty()) return false;
+    double parsed = 0;
+    const auto [end, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), parsed);
+    return ec == std::errc() && end == text.data() + text.size();
+  };
+  if (!record.node.empty()) {
+    out += "\"node\":\"" + json_escape(record.node) + '"';
+    first = false;
+  }
+  if (record.id != 0) {
+    if (!first) out += ',';
+    out += "\"id\":" + std::to_string(record.id);
+    first = false;
+  }
+  for (const auto& [key, value] : record.args) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(key) + "\":";
+    if (is_number(value)) {
+      out += value;
+    } else {
+      out += '"' + json_escape(value) + '"';
+    }
+  }
+  out += '}';
+  return out;
+}
+
+/// One trace_event object. `ph` is "X" for spans, "C" for counter samples,
+/// "i" for instants; `ts`/`dur` are microseconds.
+std::string chrome_event_json(const TraceRecord& record, int pid) {
+  std::string out = "{";
+  out += "\"name\":\"" + json_escape(record.name) + "\"";
+  out += ",\"cat\":\"" + std::string(to_string(record.cat)) + "\"";
+  const char* ph = record.counter ? "C" : (record.dur_s > 0.0 ? "X" : "i");
+  out += ",\"ph\":\"";
+  out += ph;
+  out += "\"";
+  out += ",\"ts\":" + json_double(record.ts_s * 1e6);
+  if (record.dur_s > 0.0 && !record.counter) {
+    out += ",\"dur\":" + json_double(record.dur_s * 1e6);
+  }
+  out += ",\"pid\":" + std::to_string(pid);
+  out += ",\"tid\":" + std::to_string(record.tid);
+  if (!record.counter && record.dur_s <= 0.0) {
+    out += ",\"s\":\"t\"";  // instant scope: thread (only meaningful on "i")
+  }
+  out += ",\"args\":" + args_json(record);
+  out += '}';
+  return out;
+}
+
+std::string metadata_event(const char* name, int pid, std::uint32_t tid,
+                           const std::string& value) {
+  std::string out = "{\"name\":\"";
+  out += name;
+  out += "\",\"ph\":\"M\",\"pid\":" + std::to_string(pid);
+  out += ",\"tid\":" + std::to_string(tid);
+  out += ",\"args\":{\"name\":\"" + json_escape(value) + "\"}}";
+  return out;
+}
+
+}  // namespace
+
+std::string trace_record_json(const TraceRecord& record) {
+  std::string out = "{";
+  out += "\"cat\":\"" + std::string(to_string(record.cat)) + "\"";
+  out += ",\"name\":\"" + json_escape(record.name) + "\"";
+  if (!record.node.empty()) {
+    out += ",\"node\":\"" + json_escape(record.node) + "\"";
+  }
+  out += ",\"ts_s\":" + json_double(record.ts_s);
+  if (record.dur_s > 0.0) out += ",\"dur_s\":" + json_double(record.dur_s);
+  out += ",\"tid\":" + std::to_string(record.tid);
+  if (record.id != 0) out += ",\"id\":" + std::to_string(record.id);
+  for (const auto& [key, value] : record.args) {
+    out += ",\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+void write_trace_jsonl(std::ostream& out,
+                       const std::vector<TraceRecord>& records) {
+  for (const TraceRecord& record : records) {
+    out << trace_record_json(record) << '\n';
+  }
+}
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<ChromeTraceProcess>& processes) {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&out, &first](const std::string& event) {
+    if (!first) out << ",\n";
+    first = false;
+    out << event;
+  };
+  int pid = 1;
+  for (const ChromeTraceProcess& process : processes) {
+    emit(metadata_event("process_name", pid, 0, process.name));
+    std::set<std::uint32_t> named_tids;
+    for (const TraceRecord& record : process.records) {
+      if (named_tids.insert(record.tid).second) {
+        emit(metadata_event("thread_name", pid, record.tid,
+                            "run " + std::to_string(record.tid)));
+      }
+      emit(chrome_event_json(record, pid));
+    }
+    ++pid;
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceRecord>& records) {
+  write_chrome_trace(out, std::vector<ChromeTraceProcess>{{"kar", records}});
+}
+
+void write_prometheus_file(const std::string& path,
+                           const MetricsSnapshot& snapshot) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("write_prometheus_file: cannot open " + path);
+  out << snapshot.prometheus_text();
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<ChromeTraceProcess>& processes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("write_chrome_trace_file: cannot open " + path);
+  write_chrome_trace(out, processes);
+}
+
+}  // namespace kar::obs

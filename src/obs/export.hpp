@@ -1,0 +1,57 @@
+// Exporters for the observability layer:
+//   * Prometheus text exposition — MetricsSnapshot::prometheus_text() plus
+//     a file-writing convenience here;
+//   * JSONL — one JSON object per TraceRecord per line (jq/pandas-ready);
+//   * Chrome trace_event JSON — loads in chrome://tracing and Perfetto
+//     (https://ui.perfetto.dev): instants as ph:"i", spans as ph:"X",
+//     counter samples as ph:"C", with process/thread metadata so campaign
+//     cells appear as processes and runs as threads.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace kar::obs {
+
+/// One Chrome-trace process: a named group of records. The campaign layer
+/// maps each grid cell (technique x schedule) to a process and each traced
+/// run to a thread (TraceRecord::tid).
+struct ChromeTraceProcess {
+  std::string name;
+  std::vector<TraceRecord> records;
+};
+
+/// Renders one record as a single-line JSON object (no trailing newline).
+/// Fields: cat, name, node, ts_s, dur_s, tid, id, plus args verbatim.
+[[nodiscard]] std::string trace_record_json(const TraceRecord& record);
+
+/// Writes records as JSON Lines, one per record.
+void write_trace_jsonl(std::ostream& out,
+                       const std::vector<TraceRecord>& records);
+
+/// Writes `{"traceEvents":[...],"displayTimeUnit":"ms"}`. Timestamps are
+/// simulation time converted to microseconds (the trace_event unit);
+/// process/thread name metadata events precede the data. Deterministic:
+/// equal inputs produce equal bytes.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<ChromeTraceProcess>& processes);
+
+/// Convenience single-process overload (pid 1, name "kar").
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceRecord>& records);
+
+/// Writes a snapshot's Prometheus text to `path` (truncating). Throws
+/// std::runtime_error when the file cannot be opened.
+void write_prometheus_file(const std::string& path,
+                           const MetricsSnapshot& snapshot);
+
+/// Writes a Chrome trace to `path` (truncating). Throws std::runtime_error
+/// when the file cannot be opened.
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<ChromeTraceProcess>& processes);
+
+}  // namespace kar::obs

@@ -1,0 +1,14 @@
+#include "obs/profile.hpp"
+
+namespace kar::obs {
+
+std::string_view to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kSetup: return "setup";
+    case Phase::kEventLoop: return "event-loop";
+    case Phase::kTeardown: return "teardown";
+  }
+  return "unknown";
+}
+
+}  // namespace kar::obs

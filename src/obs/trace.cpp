@@ -1,0 +1,59 @@
+#include "obs/trace.hpp"
+
+#include <stdexcept>
+
+namespace kar::obs {
+
+std::string_view to_string(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kPacket: return "packet";
+    case TraceCategory::kDeflection: return "deflection";
+    case TraceCategory::kLink: return "link";
+    case TraceCategory::kController: return "controller";
+    case TraceCategory::kTcp: return "tcp";
+    case TraceCategory::kPhase: return "phase";
+    case TraceCategory::kOther: return "other";
+  }
+  return "other";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("TraceRecorder: capacity must be positive");
+  }
+  ring_.reserve(capacity);
+}
+
+void TraceRecorder::record(TraceRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  ring_[next_] = std::move(record);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<TraceRecord> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  // next_ is the oldest slot once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_ - ring_.size();
+}
+
+}  // namespace kar::obs

@@ -1,0 +1,79 @@
+// Bounded ring-buffer trace recorder: structured events beyond the packet
+// CSV of sim/trace_csv — deflection decisions (with chosen out-port and
+// residue), link up/down transitions, controller reactions, TCP
+// retransmit/cwnd samples, phase spans. Exporters (obs/export.hpp) render
+// the same records as JSONL or Chrome trace_event JSON (chrome://tracing,
+// Perfetto).
+//
+// The ring holds the most recent `capacity` records; older records are
+// overwritten and counted as dropped, so a recorder attached to a hot loop
+// has bounded memory whatever the run length. Recording is mutex-guarded
+// (recorders may be shared by hooks firing from different layers); code
+// that wants zero overhead simply holds a null recorder pointer.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace kar::obs {
+
+enum class TraceCategory : std::uint8_t {
+  kPacket,      ///< Inject / deliver / drop.
+  kDeflection,  ///< HP/AVP/NIP decisions that deviated from the residue.
+  kLink,        ///< Link up/down transitions.
+  kController,  ///< Controller reactions (wrong-edge re-encodes, recompute).
+  kTcp,         ///< Retransmits, RTOs, cwnd samples.
+  kPhase,       ///< Wall-time spans (setup / event loop / teardown).
+  kOther,
+};
+
+[[nodiscard]] std::string_view to_string(TraceCategory category);
+
+/// One recorded event. `ts_s` is simulation time (wall time for kPhase
+/// spans); `dur_s > 0` makes it a complete span (Chrome "X"), `counter`
+/// makes it a counter sample (Chrome "C"), otherwise it is an instant
+/// (Chrome "i"). `tid` groups records into tracks (the campaign layer sets
+/// it to the run index); args are small pre-rendered key/value pairs.
+struct TraceRecord {
+  TraceCategory cat = TraceCategory::kOther;
+  std::string name;
+  std::string node;  ///< Where it happened (empty when not tied to a node).
+  double ts_s = 0.0;
+  double dur_s = 0.0;
+  bool counter = false;
+  std::uint32_t tid = 0;
+  std::uint64_t id = 0;  ///< Packet / link / flow id; 0 when unused.
+  std::vector<std::pair<std::string, std::string>> args;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// Fixed-capacity ring of TraceRecords, oldest-overwritten.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 8192);
+
+  void record(TraceRecord record);
+
+  /// The retained records, oldest first.
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Records ever offered, including overwritten ones.
+  [[nodiscard]] std::uint64_t recorded() const;
+  /// Records lost to overwriting (recorded() - retained).
+  [[nodiscard]] std::uint64_t dropped() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceRecord> ring_;  // guarded by mutex_
+  std::size_t next_ = 0;           // ring write position once full
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace kar::obs

@@ -50,6 +50,12 @@ std::string canonical_aggregates(const faultgen::CampaignResult& result) {
         << " original=" << report.original.size()
         << " shrunk=" << report.shrunk.size() << '\n';
   }
+  // Metrics are run-index-order folds of per-run snapshots, so they share
+  // the counters' determinism guarantee (wall-time profiles do not and are
+  // deliberately absent here).
+  if (!result.metrics.empty()) {
+    out << "metrics=" << result.metrics.json() << '\n';
+  }
   return out.str();
 }
 
@@ -95,6 +101,9 @@ std::string campaign_run_record(const faultgen::CampaignEngine& engine,
     if (!run->violations.empty()) {
       record.field("first_violation", to_string(run->violations.front().kind));
     }
+    if (!run->metrics.empty()) {
+      record.raw("metrics", run->metrics.json());
+    }
   }
   if (!status.ok) {
     record.field("error", status.error);
@@ -107,7 +116,8 @@ faultgen::CampaignResult run_campaign(const faultgen::CampaignEngine& engine,
                                       CampaignJobStats* stats) {
   faultgen::CampaignAccumulator accumulator(engine);
   const auto fn = [&engine](std::size_t index, const CancelToken& token) {
-    return engine.run_one(engine.run_seed_at(index), nullptr, token.raw());
+    return engine.run_one(engine.run_seed_at(index), nullptr, token.raw(),
+                          /*traced=*/index < engine.config().trace_runs);
   };
   const auto consume = [&](std::size_t index,
                            IndexedOutcome<faultgen::RunResult>&& outcome) {

@@ -1,14 +1,28 @@
 #include "sim/event_queue.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 namespace kar::sim {
 
-void EventQueue::schedule_at(double time, Handler fn) {
+std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kGeneric: return "generic";
+    case EventKind::kLinkArrival: return "link-arrival";
+    case EventKind::kSwitchProcess: return "switch-process";
+    case EventKind::kEdgeProcess: return "edge-process";
+    case EventKind::kLinkState: return "link-state";
+    case EventKind::kTraffic: return "traffic";
+    case EventKind::kTransportTimer: return "transport-timer";
+  }
+  return "generic";
+}
+
+void EventQueue::schedule_at(double time, EventKind kind, Handler fn) {
   if (!fn) throw std::invalid_argument("EventQueue: null handler");
   if (time < now_) time = now_;  // no scheduling into the past
-  heap_.push(Entry{time, next_seq_++, std::move(fn)});
+  heap_.push(Entry{time, next_seq_++, kind, std::move(fn)});
 }
 
 bool EventQueue::step() {
@@ -18,7 +32,18 @@ bool EventQueue::step() {
   Entry entry = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
   now_ = entry.time;
+  if (profile_ == nullptr) {
+    entry.fn();
+    return true;
+  }
+  const auto start = std::chrono::steady_clock::now();
   entry.fn();
+  EventLoopProfile::KindStats& stats =
+      profile_->kinds[static_cast<std::size_t>(entry.kind)];
+  ++stats.count;
+  stats.wall_s +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   return true;
 }
 

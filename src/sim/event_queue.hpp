@@ -1,13 +1,62 @@
 // Discrete-event scheduler. Events fire in timestamp order; ties fire in
 // scheduling order (FIFO), which keeps simulations deterministic.
+//
+// Observability: every event carries a coarse EventKind tag; attaching an
+// EventLoopProfile makes step() account each fired event's count and wall
+// time per kind (the event-kind breakdown behind `--profile`). With no
+// profile attached the only cost is the one-byte tag.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string_view>
 #include <vector>
 
 namespace kar::sim {
+
+/// Coarse classification of scheduled events, for the observability
+/// profile. kGeneric is the untagged default.
+enum class EventKind : std::uint8_t {
+  kGeneric = 0,
+  kLinkArrival,     ///< Packet arriving at the far end of a link.
+  kSwitchProcess,   ///< Core switch processing latency before transmit.
+  kEdgeProcess,     ///< Edge node re-injection (re-encode / bounce).
+  kLinkState,       ///< Link failure / repair / detection firing.
+  kTraffic,         ///< Traffic-source injections and flow start/stop.
+  kTransportTimer,  ///< Transport-layer timers (TCP RTO).
+};
+inline constexpr std::size_t kEventKindCount = 7;
+
+[[nodiscard]] std::string_view to_string(EventKind kind);
+
+/// Per-kind count + wall-time accounting for an event loop; merges by
+/// addition (a campaign profile is the fold of its runs' profiles).
+struct EventLoopProfile {
+  struct KindStats {
+    std::uint64_t count = 0;
+    double wall_s = 0.0;
+  };
+  std::array<KindStats, kEventKindCount> kinds{};
+
+  [[nodiscard]] std::uint64_t total_events() const noexcept {
+    std::uint64_t total = 0;
+    for (const KindStats& k : kinds) total += k.count;
+    return total;
+  }
+  [[nodiscard]] double total_wall_s() const noexcept {
+    double total = 0.0;
+    for (const KindStats& k : kinds) total += k.wall_s;
+    return total;
+  }
+  void merge(const EventLoopProfile& other) noexcept {
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+      kinds[i].count += other.kinds[i].count;
+      kinds[i].wall_s += other.kinds[i].wall_s;
+    }
+  }
+};
 
 /// A minimal deterministic event queue.
 class EventQueue {
@@ -21,10 +70,21 @@ class EventQueue {
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
 
   /// Schedules `fn` at absolute time `time` (>= now, else clamped to now).
-  void schedule_at(double time, Handler fn);
+  void schedule_at(double time, Handler fn) {
+    schedule_at(time, EventKind::kGeneric, std::move(fn));
+  }
+  void schedule_at(double time, EventKind kind, Handler fn);
 
   /// Schedules `fn` after `delay` seconds (>= 0).
   void schedule_in(double delay, Handler fn) { schedule_at(now_ + delay, std::move(fn)); }
+  void schedule_in(double delay, EventKind kind, Handler fn) {
+    schedule_at(now_ + delay, kind, std::move(fn));
+  }
+
+  /// Attaches (or detaches, with nullptr) per-kind event accounting. The
+  /// profile must outlive its attachment; timing costs two clock reads per
+  /// event, so attach only when profiling is wanted.
+  void set_profile(EventLoopProfile* profile) noexcept { profile_ = profile; }
 
   /// Runs the next event. Returns false when the queue is empty.
   bool step();
@@ -41,6 +101,7 @@ class EventQueue {
   struct Entry {
     double time;
     std::uint64_t seq;  // tiebreak: FIFO among same-time events
+    EventKind kind;
     Handler fn;
   };
   struct Later {
@@ -52,6 +113,7 @@ class EventQueue {
 
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  EventLoopProfile* profile_ = nullptr;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
 };
 

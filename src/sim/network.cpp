@@ -104,8 +104,9 @@ void Network::transmit(topo::NodeId from, topo::PortIndex out_port,
   const topo::NodeId far_node = far.node;
   const topo::PortIndex far_port = far.port;
   events_.schedule_at(
-      arrival, [this, link_id, dir, epoch, far_node, far_port,
-                pkt = std::move(packet)]() mutable {
+      arrival, EventKind::kLinkArrival,
+      [this, link_id, dir, epoch, far_node, far_port,
+       pkt = std::move(packet)]() mutable {
         DirectionState& st = link_state_[link_id][static_cast<std::size_t>(dir)];
         if (st.queued > 0) --st.queued;
         // The link failed while the packet was queued or on the wire — or
@@ -147,7 +148,7 @@ void Network::arrive_at(topo::NodeId node, topo::PortIndex in_port,
                            node, 0, false, DropReason::kNoViablePort, 0, &pkt});
         }
         // Back out of the uplink after the edge's processing latency.
-        events_.schedule_in(config_.switch_latency_s,
+        events_.schedule_in(config_.switch_latency_s, EventKind::kEdgeProcess,
                             [this, node, p = std::move(pkt)]() mutable {
                               transmit(node, 0, std::move(p));
                             });
@@ -201,7 +202,7 @@ void Network::forward_from_switch(topo::NodeId node, topo::PortIndex in_port,
                    decision.out_port, decision.deflected,
                    DropReason::kNoViablePort, in_port, &packet});
   const topo::PortIndex out = decision.out_port;
-  events_.schedule_in(config_.switch_latency_s,
+  events_.schedule_in(config_.switch_latency_s, EventKind::kSwitchProcess,
                       [this, node, out, p = std::move(packet)]() mutable {
                         transmit(node, out, std::move(p));
                       });
@@ -221,7 +222,8 @@ void Network::fail_link_now(topo::LinkId link) {
     // kick in. A repair that races the detection bumps the epoch and
     // cancels it.
     const std::uint64_t epoch = link_state_[link][0].epoch;
-    events_.schedule_in(config_.failure_detection_delay_s, [this, link, epoch] {
+    events_.schedule_in(config_.failure_detection_delay_s, EventKind::kLinkState,
+                        [this, link, epoch] {
       if (link_state_[link][0].epoch != epoch) return;  // repaired meanwhile
       topo_->set_link_up(link, false);
       if (link_state_hook_) link_state_hook_(link, /*up=*/false);
@@ -249,7 +251,8 @@ void Network::fail_link_at(double time, const std::string& node_a,
     throw std::invalid_argument("Network::fail_link_at: " + node_a + " and " +
                                 node_b + " are not adjacent");
   }
-  events_.schedule_at(time, [this, id = *link] { fail_link_now(id); });
+  events_.schedule_at(time, EventKind::kLinkState,
+                      [this, id = *link] { fail_link_now(id); });
 }
 
 void Network::repair_link_at(double time, const std::string& node_a,
@@ -259,7 +262,8 @@ void Network::repair_link_at(double time, const std::string& node_a,
     throw std::invalid_argument("Network::repair_link_at: " + node_a + " and " +
                                 node_b + " are not adjacent");
   }
-  events_.schedule_at(time, [this, id = *link] { repair_link_now(id); });
+  events_.schedule_at(time, EventKind::kLinkState,
+                      [this, id = *link] { repair_link_now(id); });
 }
 
 }  // namespace kar::sim

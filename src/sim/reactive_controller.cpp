@@ -16,7 +16,7 @@ void ReactiveController::on_link_event() {
   // A burst of simultaneous link events produces one reaction after the
   // delay (the controller batches what it learned).
   const std::uint64_t epoch = ++pending_epoch_;
-  net_->events().schedule_in(delay_, [this, epoch] {
+  net_->events().schedule_in(delay_, EventKind::kLinkState, [this, epoch] {
     if (epoch == pending_epoch_) react();
   });
 }

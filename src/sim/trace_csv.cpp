@@ -41,14 +41,25 @@ TraceCsvWriter::TraceCsvWriter(std::ostream& out) : out_(&out) {
 }
 
 void TraceCsvWriter::write(const TraceEvent& event, const topo::Topology& topo) {
+  // String fields go through csv_escape so commas/quotes in node names or
+  // drop reasons cannot corrupt the row structure.
   *out_ << to_string(event.kind) << ','
         << std::setprecision(12) << event.time << ',' << event.packet_id << ','
-        << topo.name(event.node) << ',' << event.out_port << ','
-        << (event.deflected ? 1 : 0) << ',';
+        << common::csv_escape(topo.name(event.node)) << ',' << event.out_port
+        << ',' << (event.deflected ? 1 : 0) << ',';
   if (event.kind == TraceEvent::Kind::kDrop) {
-    *out_ << dataplane::to_string(event.drop_reason);
+    *out_ << common::csv_escape(dataplane::to_string(event.drop_reason));
   }
   *out_ << '\n';
+  ++rows_;
+}
+
+void TraceCsvWriter::write(const TraceRecord& record) {
+  *out_ << to_string(record.kind) << ','
+        << std::setprecision(12) << record.time << ',' << record.packet_id
+        << ',' << common::csv_escape(record.node) << ',' << record.out_port
+        << ',' << (record.deflected ? 1 : 0) << ','
+        << common::csv_escape(record.drop_reason) << '\n';
   ++rows_;
 }
 
@@ -65,7 +76,13 @@ std::vector<TraceRecord> parse_trace_csv(std::istream& in) {
     ++line_no;
     if (line.empty()) continue;
     if (line_no == 1 && line == TraceCsvWriter::kHeader) continue;
-    const auto fields = common::split(line, ',', /*keep_empty=*/true);
+    std::vector<std::string> fields;
+    try {
+      fields = common::split_csv_row(line);
+    } catch (const std::invalid_argument& error) {
+      throw std::invalid_argument("trace csv line " + std::to_string(line_no) +
+                                  ": " + error.what());
+    }
     if (fields.size() != 7) {
       throw std::invalid_argument("trace csv line " + std::to_string(line_no) +
                                   ": expected 7 fields, got " +

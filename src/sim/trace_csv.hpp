@@ -41,6 +41,10 @@ class TraceCsvWriter {
   /// Writes one event directly.
   void write(const TraceEvent& event, const topo::Topology& topo);
 
+  /// Writes one already-resolved record (round-trip companion of
+  /// parse_trace_csv; lets tests exercise arbitrary field contents).
+  void write(const TraceRecord& record);
+
   [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
 
   static constexpr const char* kHeader =
@@ -51,7 +55,9 @@ class TraceCsvWriter {
   std::size_t rows_ = 0;
 };
 
-/// Parses a CSV trace produced by TraceCsvWriter. Throws
+/// Parses a CSV trace produced by TraceCsvWriter. String fields (node,
+/// drop_reason) follow RFC 4180 quoting, so values containing commas,
+/// quotes, or newlines-escaped-on-write round-trip intact. Throws
 /// std::invalid_argument with a line number on malformed input.
 [[nodiscard]] std::vector<TraceRecord> parse_trace_csv(std::istream& in);
 

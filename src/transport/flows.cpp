@@ -76,11 +76,13 @@ void BulkTransferFlow::set_reverse_route(routing::EncodedRoute route) {
 }
 
 void BulkTransferFlow::start_at(double time) {
-  net_->events().schedule_at(time, [this] { sender_->start(); });
+  net_->events().schedule_at(time, sim::EventKind::kTraffic,
+                             [this] { sender_->start(); });
 }
 
 void BulkTransferFlow::stop_at(double time) {
-  net_->events().schedule_at(time, [this] { sender_->stop(); });
+  net_->events().schedule_at(time, sim::EventKind::kTraffic,
+                             [this] { sender_->stop(); });
 }
 
 }  // namespace kar::transport

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace kar::transport {
 
@@ -23,6 +24,55 @@ TcpSender::TcpSender(sim::Network& network, const routing::EncodedRoute& data_ro
       ssthresh_(static_cast<double>(params.receiver_window_segments)),
       dupthresh_(params.dupack_threshold),
       rto_(params.initial_rto_s) {}
+
+void TcpSender::set_observability(const TcpObservability& sinks) {
+  trace_ = sinks.trace;
+  if (sinks.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *sinks.metrics;
+    m_retransmits_ = reg.counter("kar_tcp_retransmits_total",
+                                 "Retransmitted TCP segments", sinks.labels);
+    m_fast_retransmits_ =
+        reg.counter("kar_tcp_fast_retransmits_total",
+                    "Fast-retransmit (dupack/SACK loss) entries", sinks.labels);
+    m_timeouts_ = reg.counter("kar_tcp_timeouts_total", "RTO expirations",
+                              sinks.labels);
+    m_reorder_events_ = reg.counter(
+        "kar_tcp_reorder_events_total",
+        "Segments detected late (reordered), not lost", sinks.labels);
+    m_rtt_ = reg.histogram(
+        "kar_tcp_rtt_seconds", "Smoothed per-ACK RTT samples",
+        {0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0},
+        sinks.labels);
+  }
+}
+
+void TcpSender::trace_tcp(const char* what) {
+  if (trace_ == nullptr) return;
+  const auto fmt = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return std::string(buf);
+  };
+  obs::TraceRecord instant;
+  instant.cat = obs::TraceCategory::kTcp;
+  instant.name = what;
+  instant.ts_s = net_->now();
+  instant.id = flow_id_;
+  instant.args = {{"cwnd", fmt(cwnd_)},
+                  {"ssthresh", fmt(ssthresh_)},
+                  {"snd_una", std::to_string(snd_una_)},
+                  {"dupthresh", std::to_string(dupthresh_)}};
+  trace_->record(instant);
+  // Counter sample so Perfetto/chrome://tracing draw cwnd as a track.
+  obs::TraceRecord counter;
+  counter.cat = obs::TraceCategory::kTcp;
+  counter.name = "tcp cwnd flow " + std::to_string(flow_id_);
+  counter.ts_s = net_->now();
+  counter.counter = true;
+  counter.id = flow_id_;
+  counter.args = {{"cwnd", fmt(cwnd_)}, {"ssthresh", fmt(ssthresh_)}};
+  trace_->record(counter);
+}
 
 void TcpSender::start() {
   running_ = true;
@@ -47,6 +97,7 @@ void TcpSender::send_segment(std::uint64_t seq, bool is_retransmit) {
   stats_.bytes_sent += params_.mss_bytes;
   if (is_retransmit) {
     ++stats_.retransmits;
+    m_retransmits_.inc();
     send_time_.erase(seq);  // Karn: never sample RTT from retransmits
     retransmitted_.insert(seq);
   } else {
@@ -78,9 +129,10 @@ void TcpSender::restart_rto() {
   ++rto_epoch_;
   rto_armed_ = true;
   const std::uint64_t epoch = rto_epoch_;
-  net_->events().schedule_in(rto_, [this, epoch] {
-    if (rto_armed_ && epoch == rto_epoch_) on_rto();
-  });
+  net_->events().schedule_in(rto_, sim::EventKind::kTransportTimer,
+                             [this, epoch] {
+                               if (rto_armed_ && epoch == rto_epoch_) on_rto();
+                             });
 }
 
 void TcpSender::cancel_rto() {
@@ -92,11 +144,13 @@ void TcpSender::on_rto() {
   // RFC 6298 §5: collapse to one segment, back off the timer, retransmit
   // the oldest outstanding segment, and restart slow start.
   ++stats_.timeouts;
+  m_timeouts_.inc();
   const double flight = static_cast<double>(snd_nxt_ - snd_una_);
   ssthresh_ = std::max(flight / 2.0, 2.0);
   cwnd_ = 1.0;
   dup_acks_ = 0;
   in_recovery_ = false;
+  trace_tcp("rto");
   rto_ = std::min(rto_ * 2.0, params_.max_rto_s);
   send_time_.clear();  // Karn: outstanding samples are invalid now
   if (snd_una_ < highest_sent_) {
@@ -123,6 +177,7 @@ void TcpSender::sample_rtt(std::uint64_t acked_up_to) {
     }
   }
   if (sample < 0.0) return;
+  m_rtt_.observe(sample);
   if (!have_rtt_) {
     srtt_ = sample;
     rttvar_ = sample / 2.0;
@@ -136,6 +191,7 @@ void TcpSender::sample_rtt(std::uint64_t acked_up_to) {
 
 void TcpSender::note_reordering(std::uint64_t distance) {
   ++stats_.reorder_events;
+  m_reorder_events_.inc();
   stats_.max_reorder_distance = std::max(stats_.max_reorder_distance, distance);
   if (!params_.adaptive_reordering) return;
   // Linux tcp_reordering: the dupack threshold follows the largest
@@ -212,11 +268,13 @@ void TcpSender::recovery_send() {
 void TcpSender::enter_fast_retransmit() {
   // RFC 5681 fast retransmit + NewReno/SACK recovery entry.
   ++stats_.fast_retransmits;
+  m_fast_retransmits_.inc();
   const double flight = static_cast<double>(snd_nxt_ - snd_una_);
   ssthresh_ = std::max(flight / 2.0, 2.0);
   cwnd_ = ssthresh_ + static_cast<double>(params_.dupack_threshold);
   in_recovery_ = true;
   recover_ = snd_nxt_;
+  trace_tcp("fast-retransmit");
   send_segment(snd_una_, /*is_retransmit=*/true);
   if (params_.enable_sack) recovery_send();
   restart_rto();

@@ -31,11 +31,23 @@
 #include <unordered_map>
 
 #include "dataplane/packet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/encoded_route.hpp"
 #include "sim/network.hpp"
 #include "stats/timeseries.hpp"
 
 namespace kar::transport {
+
+/// Optional observability sinks for a TCP sender (src/obs/). Both are
+/// nullable; with neither attached the hot path pays a single branch.
+/// Counters land in `metrics` (kar_tcp_* families, tagged with `labels`);
+/// retransmit/RTO instants and cwnd counter samples land in `trace`.
+struct TcpObservability {
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
+  obs::Labels labels;  ///< Constant labels, e.g. {{"flow", "1"}}.
+};
 
 /// Connection tuning knobs.
 struct TcpParams {
@@ -83,6 +95,9 @@ class TcpSender {
   /// Feeds an arriving (pure) ACK to the sender. Wired up by BulkTransferFlow.
   void on_ack(const dataplane::TcpSegment& segment);
 
+  /// Attaches observability sinks (idempotent; call before start()).
+  void set_observability(const TcpObservability& sinks);
+
   [[nodiscard]] const TcpSenderStats& stats() const noexcept { return stats_; }
   [[nodiscard]] double cwnd_segments() const noexcept { return cwnd_; }
   [[nodiscard]] double ssthresh_segments() const noexcept { return ssthresh_; }
@@ -115,6 +130,8 @@ class TcpSender {
   void cancel_rto();
   void on_rto();
   void sample_rtt(std::uint64_t acked_up_to);
+  /// Records a kTcp instant named `what` plus a cwnd counter sample.
+  void trace_tcp(const char* what);
 
   sim::Network* net_;
   const routing::EncodedRoute* route_;
@@ -148,6 +165,14 @@ class TcpSender {
 
   /// Send timestamps of unretransmitted segments (Karn's rule).
   std::unordered_map<std::uint64_t, double> send_time_;
+
+  // Observability (all inert until set_observability).
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::Counter m_retransmits_;
+  obs::Counter m_fast_retransmits_;
+  obs::Counter m_timeouts_;
+  obs::Counter m_reorder_events_;
+  obs::Histogram m_rtt_;
 
   TcpSenderStats stats_;
 };

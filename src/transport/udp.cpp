@@ -43,11 +43,12 @@ void CbrProbe::tick() {
   // Drift-free schedule: the k-th datagram goes out at exactly
   // start + k * interval, regardless of floating-point accumulation.
   net_->events().schedule_at(started_at_ + static_cast<double>(sent_) * interval_s_,
+                             sim::EventKind::kTraffic,
                              [this] { tick(); });
 }
 
 void CbrProbe::start_at(double time) {
-  net_->events().schedule_at(time, [this] {
+  net_->events().schedule_at(time, sim::EventKind::kTraffic, [this] {
     if (!running_) {
       running_ = true;
       started_at_ = net_->now();
@@ -57,7 +58,8 @@ void CbrProbe::start_at(double time) {
 }
 
 void CbrProbe::stop_at(double time) {
-  net_->events().schedule_at(time, [this] { running_ = false; });
+  net_->events().schedule_at(time, sim::EventKind::kTraffic,
+                             [this] { running_ = false; });
 }
 
 void CbrProbe::set_route(routing::EncodedRoute route) {

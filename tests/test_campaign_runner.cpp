@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <regex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -93,6 +94,67 @@ TEST(CampaignRunner, WritesOneJsonlRecordPerRunInIndexOrder) {
     EXPECT_NE(lines[i].find("\"verdict\":\"ok\""), std::string::npos);
     EXPECT_NE(lines[i].find("\"injected\":10"), std::string::npos);
   }
+}
+
+// The observability extension of the determinism contract: with metrics
+// collection on, the per-run snapshots embedded in the JSONL records and
+// the campaign-level fold are byte-identical whether the runs execute
+// serially or on an 8-worker pool. Only wall_ms (real time) may differ.
+TEST(CampaignRunner, MetricsFoldAndJsonlAreBitIdenticalAcrossJobCounts) {
+  faultgen::CampaignConfig config =
+      small_campaign(24, testsupport::seed_or(505));
+  config.collect_metrics = true;
+  const faultgen::CampaignEngine engine(config);
+
+  const std::string reference = canonical_aggregates(engine.run());
+  ASSERT_NE(reference.find("metrics="), std::string::npos)
+      << "collect_metrics did not reach the canonical aggregates";
+  ASSERT_NE(reference.find("kar_packets_injected_total"), std::string::npos);
+
+  const auto scrub_wall_ms = [](const std::string& text) {
+    // wall_ms is real elapsed time — the only field allowed to differ.
+    static const std::regex wall("\"wall_ms\":[^,}]*");
+    return std::regex_replace(text, wall, "\"wall_ms\":0");
+  };
+
+  std::string jsonl_reference;
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+    std::ostringstream sink;
+    JsonlWriter jsonl(sink);
+    CampaignJobOptions options;
+    options.runner.jobs = jobs;
+    options.jsonl = &jsonl;
+    const faultgen::CampaignResult result = run_campaign(engine, options);
+    EXPECT_EQ(canonical_aggregates(result), reference) << "jobs=" << jobs;
+
+    ASSERT_EQ(jsonl.lines_written(), 24u);
+    const auto lines = common::split(sink.str(), '\n', false);
+    for (const std::string& line : lines) {
+      EXPECT_NE(line.find("\"metrics\":{"), std::string::npos)
+          << "record without embedded metrics snapshot: " << line;
+      EXPECT_NE(line.find("technique=\\\"nip\\\""), std::string::npos) << line;
+    }
+    const std::string scrubbed = scrub_wall_ms(sink.str());
+    if (jobs == 1) {
+      jsonl_reference = scrubbed;
+    } else {
+      EXPECT_EQ(scrubbed, jsonl_reference)
+          << "JSONL records (metrics included) differ between job counts";
+    }
+  }
+}
+
+// Campaigns that do not opt in pay nothing: no metrics key anywhere.
+TEST(CampaignRunner, MetricsAreAbsentUnlessRequested) {
+  const faultgen::CampaignEngine engine(small_campaign(4, 7));
+  std::ostringstream sink;
+  JsonlWriter jsonl(sink);
+  CampaignJobOptions options;
+  options.jsonl = &jsonl;
+  const faultgen::CampaignResult result = run_campaign(engine, options);
+  EXPECT_TRUE(result.metrics.empty());
+  EXPECT_EQ(canonical_aggregates(result).find("metrics="), std::string::npos);
+  EXPECT_EQ(sink.str().find("\"metrics\""), std::string::npos);
 }
 
 TEST(CampaignRunner, IsolatesRunsThatThrow) {

@@ -1,0 +1,609 @@
+// The observability layer (src/obs/): registry semantics, histogram bucket
+// boundaries, deterministic snapshot folding, exporter golden files
+// (Prometheus text + Chrome trace_event JSON), the bounded trace ring, span
+// timers, the event-loop kind profile, and — the acceptance criterion — the
+// NetworkObserver's per-switch deflection counters reconciling exactly with
+// the committed golden packet trace.
+//
+// Regenerate the exporter goldens after an intentional format change with:
+//   KAR_UPDATE_GOLDEN=1 ./build/tests/test_obs
+// and review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/instrument.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+#include "routing/controller.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "sim/trace_csv.hpp"
+#include "topology/builders.hpp"
+
+namespace kar::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry semantics.
+
+TEST(MetricsRegistry, CounterHandlesForSameSeriesShareOneCell) {
+  MetricsRegistry registry(true);
+  Counter a = registry.counter("kar_test_total", "help", {{"k", "v"}});
+  Counter b = registry.counter("kar_test_total", "other help ignored",
+                               {{"k", "v"}});
+  a.inc();
+  b.inc(4);
+  const MetricsSnapshot snap = registry.snapshot();
+  const auto& family = snap.families.at("kar_test_total");
+  EXPECT_EQ(family.help, "help");  // first registration wins
+  EXPECT_EQ(family.series.at(canonical_labels({{"k", "v"}})).count, 5u);
+  EXPECT_EQ(family.series.size(), 1u);
+}
+
+TEST(MetricsRegistry, DistinctLabelsAreDistinctSeries) {
+  MetricsRegistry registry(true);
+  registry.counter("kar_test_total", "help", {{"switch", "SW7"}}).inc(2);
+  registry.counter("kar_test_total", "help", {{"switch", "SW10"}}).inc(3);
+  const MetricsSnapshot snap = registry.snapshot();
+  const auto& family = snap.families.at("kar_test_total");
+  EXPECT_EQ(family.series.at("switch=\"SW7\"").count, 2u);
+  EXPECT_EQ(family.series.at("switch=\"SW10\"").count, 3u);
+}
+
+TEST(MetricsRegistry, CanonicalLabelsSortKeysAndEscapeValues) {
+  EXPECT_EQ(canonical_labels({{"b", "2"}, {"a", "1"}}), "a=\"1\",b=\"2\"");
+  EXPECT_EQ(canonical_labels({{"k", "a\"b\\c\nd"}}), "k=\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(canonical_labels({}), "");
+}
+
+TEST(MetricsRegistry, DisabledRegistryHandsOutInertHandles) {
+  MetricsRegistry registry(false);
+  Counter counter = registry.counter("kar_test_total", "help");
+  Gauge gauge = registry.gauge("kar_test_gauge", "help");
+  Histogram histogram =
+      registry.histogram("kar_test_seconds", "help", {1.0, 2.0});
+  EXPECT_FALSE(counter.enabled());
+  EXPECT_FALSE(gauge.enabled());
+  EXPECT_FALSE(histogram.enabled());
+  counter.inc();
+  gauge.set(3.0);
+  histogram.observe(1.5);
+  EXPECT_TRUE(registry.snapshot().empty());
+}
+
+TEST(MetricsRegistry, DefaultConstructedHandlesAreInert) {
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+  counter.inc();
+  gauge.add(1.0);
+  histogram.observe(0.5);  // must not crash
+  EXPECT_FALSE(counter.enabled());
+}
+
+TEST(MetricsRegistry, DisableFamilySilencesOnlyThatFamily) {
+  MetricsRegistry registry(true);
+  registry.disable_family("kar_noisy_total");
+  Counter noisy = registry.counter("kar_noisy_total", "help");
+  Counter kept = registry.counter("kar_kept_total", "help");
+  noisy.inc(100);
+  kept.inc(1);
+  EXPECT_FALSE(noisy.enabled());
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.families.count("kar_noisy_total"), 0u);
+  EXPECT_EQ(snap.families.at("kar_kept_total").series.at("").count, 1u);
+}
+
+TEST(MetricsRegistry, FamilyTypeConflictThrows) {
+  MetricsRegistry registry(true);
+  (void)registry.counter("kar_test_total", "help");
+  EXPECT_THROW((void)registry.gauge("kar_test_total", "help"),
+               std::invalid_argument);
+  EXPECT_THROW((void)registry.histogram("kar_test_total", "help", {1.0}),
+               std::invalid_argument);
+}
+
+TEST(MetricsRegistry, GaugeSetAddMax) {
+  MetricsRegistry registry(true);
+  Gauge gauge = registry.gauge("kar_depth", "help");
+  gauge.set(2.5);
+  gauge.add(1.0);
+  gauge.max(1.0);  // below current value: no effect
+  gauge.max(7.25);
+  EXPECT_DOUBLE_EQ(registry.snapshot().families.at("kar_depth").series.at("").value,
+                   7.25);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry(true);
+  Counter counter = registry.counter("kar_test_total", "help");
+  Histogram histogram =
+      registry.histogram("kar_test_seconds", "help", {0.5});
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter, histogram]() mutable {
+      for (int i = 0; i < kIncrements; ++i) {
+        counter.inc();
+        histogram.observe(0.25);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.families.at("kar_test_total").series.at("").count,
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  const auto& hist = snap.families.at("kar_test_seconds").series.at("");
+  EXPECT_EQ(hist.count, static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_DOUBLE_EQ(hist.value, 0.25 * kThreads * kIncrements);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket boundaries (Prometheus semantics: inclusive upper
+// bounds, +Inf bucket last).
+
+TEST(Histogram, UpperBoundsAreInclusive) {
+  MetricsRegistry registry(true);
+  Histogram histogram =
+      registry.histogram("kar_test_seconds", "help", {1.0, 2.0});
+  histogram.observe(-5.0);  // below everything: first bucket
+  histogram.observe(1.0);   // exactly on a bound: that bucket (inclusive)
+  histogram.observe(std::nextafter(1.0, 2.0));  // just above: next bucket
+  histogram.observe(2.0);
+  histogram.observe(std::nextafter(2.0, 3.0));  // above every bound: +Inf
+  const MetricsSnapshot snap = registry.snapshot();
+  const auto& series = snap.families.at("kar_test_seconds").series.at("");
+  ASSERT_EQ(series.buckets.size(), 3u);  // bounds + the +Inf bucket
+  EXPECT_EQ(series.buckets[0], 2u);
+  EXPECT_EQ(series.buckets[1], 2u);
+  EXPECT_EQ(series.buckets[2], 1u);
+  EXPECT_EQ(series.count, 5u);
+}
+
+TEST(Histogram, RejectsUnsortedBounds) {
+  MetricsRegistry registry(true);
+  EXPECT_THROW(
+      (void)registry.histogram("kar_test_seconds", "help", {2.0, 1.0}),
+      std::invalid_argument);
+}
+
+TEST(Histogram, PrometheusBucketsAreCumulativeWithInf) {
+  MetricsRegistry registry(true);
+  Histogram histogram =
+      registry.histogram("kar_test_seconds", "help", {1.0, 2.0});
+  histogram.observe(0.5);
+  histogram.observe(1.5);
+  histogram.observe(9.0);
+  const std::string text = registry.snapshot().prometheus_text();
+  EXPECT_NE(text.find("kar_test_seconds_bucket{le=\"1\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("kar_test_seconds_bucket{le=\"2\"} 2\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("kar_test_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("kar_test_seconds_sum 11\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("kar_test_seconds_count 3\n"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot folding.
+
+MetricsSnapshot snapshot_with(std::uint64_t count, double gauge_peak,
+                              double observation) {
+  MetricsRegistry registry(true);
+  registry.counter("kar_c_total", "counter help").inc(count);
+  registry.gauge("kar_g", "gauge help").set(gauge_peak);
+  registry.histogram("kar_h_seconds", "histogram help", {1.0})
+      .observe(observation);
+  return registry.snapshot();
+}
+
+TEST(MetricsSnapshot, MergeAddsCountersFoldsHistogramsMaxesGauges) {
+  MetricsSnapshot merged;
+  merged.merge(snapshot_with(2, 5.0, 0.5));
+  merged.merge(snapshot_with(3, 1.0, 4.0));
+  EXPECT_EQ(merged.families.at("kar_c_total").series.at("").count, 5u);
+  EXPECT_DOUBLE_EQ(merged.families.at("kar_g").series.at("").value, 5.0);
+  const auto& hist = merged.families.at("kar_h_seconds").series.at("");
+  EXPECT_EQ(hist.count, 2u);
+  EXPECT_DOUBLE_EQ(hist.value, 4.5);
+  ASSERT_EQ(hist.buckets.size(), 2u);
+  EXPECT_EQ(hist.buckets[0], 1u);
+  EXPECT_EQ(hist.buckets[1], 1u);
+}
+
+TEST(MetricsSnapshot, MergeOrderProducesByteStableText) {
+  // The determinism contract: folding value-equal snapshots in the same
+  // order always renders to the same bytes (both exposition formats).
+  MetricsSnapshot a;
+  a.merge(snapshot_with(2, 5.0, 0.5));
+  a.merge(snapshot_with(3, 1.0, 4.0));
+  MetricsSnapshot b;
+  b.merge(snapshot_with(2, 5.0, 0.5));
+  b.merge(snapshot_with(3, 1.0, 4.0));
+  EXPECT_EQ(a.prometheus_text(), b.prometheus_text());
+  EXPECT_EQ(a.json(), b.json());
+}
+
+TEST(MetricsSnapshot, JsonIsOneLineWithHistogramObjects) {
+  const MetricsSnapshot snap = snapshot_with(7, 2.5, 0.5);
+  const std::string json = snap.json();
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\"kar_c_total\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kar_g\":2.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kar_h_seconds\":{\"buckets\":[1,0],\"sum\":0.5,"
+                      "\"count\":1}"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(MetricsSnapshot{}.json(), "{}");
+}
+
+// ---------------------------------------------------------------------------
+// Exporter goldens. Fixed synthetic data, committed renderings.
+
+void compare_with_golden(const char* path, const std::string& actual) {
+  if (std::getenv("KAR_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "golden file regenerated; review the diff";
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — regenerate with KAR_UPDATE_GOLDEN=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "exporter output diverged from the committed golden; if the change "
+         "is intentional, regenerate with KAR_UPDATE_GOLDEN=1 and commit";
+}
+
+TEST(Exporters, PrometheusTextMatchesGolden) {
+  MetricsRegistry registry(true);
+  const Labels run_labels = {{"technique", "nip"}, {"topology", "fig2"}};
+  registry.counter("kar_packets_delivered_total", "Packets delivered",
+                   run_labels)
+      .inc(42);
+  registry
+      .counter("kar_deflections_total", "Deflections taken",
+               {{"switch", "SW7"}})
+      .inc(3);
+  registry
+      .counter("kar_deflections_total", "Deflections taken",
+               {{"switch", "SW10"}})
+      .inc(1);
+  registry.gauge("kar_queue_depth_peak", "Peak queue depth").set(17.5);
+  Histogram latency = registry.histogram(
+      "kar_delivery_latency_seconds", "End-to-end delivery latency",
+      {0.001, 0.01, 0.1}, run_labels);
+  latency.observe(0.0005);
+  latency.observe(0.001);  // boundary: lands in le="0.001"
+  latency.observe(0.05);
+  latency.observe(2.0);  // +Inf
+  compare_with_golden(KAR_TESTS_SOURCE_DIR "/golden/obs_metrics.prom",
+                      registry.snapshot().prometheus_text());
+}
+
+std::vector<ChromeTraceProcess> chrome_fixture() {
+  TraceRecord deflect;
+  deflect.cat = TraceCategory::kDeflection;
+  deflect.name = "deflect";
+  deflect.node = "SW7";
+  deflect.ts_s = 1.2e-3;
+  deflect.tid = 0;
+  deflect.id = 7;
+  deflect.args = {{"out_port", "1"}, {"residue", "3"}};
+
+  TraceRecord span;
+  span.cat = TraceCategory::kPhase;
+  span.name = "event-loop";
+  span.ts_s = 0.0;
+  span.dur_s = 0.25;
+  span.tid = 0;
+
+  TraceRecord cwnd;
+  cwnd.cat = TraceCategory::kTcp;
+  cwnd.name = "tcp cwnd flow 1";
+  cwnd.ts_s = 2.0;
+  cwnd.counter = true;
+  cwnd.tid = 1;
+  cwnd.id = 1;
+  cwnd.args = {{"cwnd", "12"}, {"ssthresh", "64"}};
+
+  TraceRecord link;
+  link.cat = TraceCategory::kLink;
+  link.name = "link-down";
+  link.node = "SW7";
+  link.ts_s = 1e-3;
+  link.tid = 1;
+  link.id = 4;
+  link.args = {{"peer", "SW11"}};
+
+  return {{"nip/updown", {deflect, span}}, {"avp/updown", {cwnd, link}}};
+}
+
+TEST(Exporters, ChromeTraceMatchesGolden) {
+  std::ostringstream out;
+  write_chrome_trace(out, chrome_fixture());
+  compare_with_golden(KAR_TESTS_SOURCE_DIR "/golden/obs_trace.json",
+                      out.str());
+}
+
+TEST(Exporters, ChromeTraceCarriesTheSchemaFields) {
+  std::ostringstream out;
+  write_chrome_trace(out, chrome_fixture());
+  const std::string json = out.str();
+  // Envelope.
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Phase letters: instant, complete span, counter, metadata.
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  // Timestamps are microseconds; the span carries dur.
+  EXPECT_NE(json.find("\"ts\":1200"), std::string::npos);       // 1.2 ms
+  EXPECT_NE(json.find("\"dur\":250000"), std::string::npos);    // 0.25 s
+  // 2 s counter sample: shortest-round-trip doubles render as 2e+06 us.
+  EXPECT_NE(json.find("\"ts\":2e+06"), std::string::npos);
+  // Process/thread attribution: one pid per process, named via metadata.
+  EXPECT_NE(json.find("\"process_name\",\"ph\":\"M\",\"pid\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"process_name\",\"ph\":\"M\",\"pid\":2"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"nip/updown\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"run 1\"}"), std::string::npos);
+  // Instants carry thread scope; counters must not.
+  EXPECT_NE(json.find("\"ph\":\"i\",\"ts\":1200,\"pid\":1,\"tid\":0,"
+                      "\"s\":\"t\""),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(json.find("\"ph\":\"C\",\"ts\":2e+06,\"pid\":2,\"tid\":1,"
+                      "\"s\":\"t\""),
+            std::string::npos)
+      << json;
+  // Spans don't carry the instant-scope field either.
+  EXPECT_EQ(json.find("\"dur\":250000,\"pid\":1,\"tid\":0,\"s\":\"t\""),
+            std::string::npos)
+      << json;
+}
+
+TEST(Exporters, TraceRecordJsonlRendersFieldsAndArgs) {
+  const auto processes = chrome_fixture();
+  const TraceRecord& deflect = processes[0].records[0];
+  const std::string json = trace_record_json(deflect);
+  EXPECT_NE(json.find("\"cat\":\"deflection\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"deflect\""), std::string::npos);
+  EXPECT_NE(json.find("\"node\":\"SW7\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"out_port\":\"1\""), std::string::npos);
+  std::ostringstream out;
+  write_trace_jsonl(out, processes[0].records);
+  EXPECT_EQ(out.str(), trace_record_json(processes[0].records[0]) + "\n" +
+                           trace_record_json(processes[0].records[1]) + "\n");
+}
+
+// ---------------------------------------------------------------------------
+// The bounded trace ring.
+
+TEST(TraceRecorder, KeepsTheMostRecentRecordsAndCountsDrops) {
+  TraceRecorder recorder(4);
+  for (int i = 0; i < 10; ++i) {
+    TraceRecord record;
+    record.name = "r" + std::to_string(i);
+    record.ts_s = i;
+    recorder.record(std::move(record));
+  }
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  const auto records = recorder.snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  for (int i = 0; i < 4; ++i) {  // oldest retained first
+    EXPECT_EQ(records[i].name, "r" + std::to_string(6 + i));
+  }
+}
+
+TEST(TraceRecorder, UnderfilledRingSnapshotsInOrder) {
+  TraceRecorder recorder(8);
+  for (int i = 0; i < 3; ++i) {
+    TraceRecord record;
+    record.name = "r" + std::to_string(i);
+    recorder.record(std::move(record));
+  }
+  EXPECT_EQ(recorder.dropped(), 0u);
+  const auto records = recorder.snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records.front().name, "r0");
+  EXPECT_EQ(records.back().name, "r2");
+}
+
+// ---------------------------------------------------------------------------
+// Span timers and phase profiles.
+
+TEST(SpanTimer, AccumulatesIntoSinkOnceAndRecordsAPhaseSpan) {
+  double sink = 0.0;
+  TraceRecorder recorder(8);
+  {
+    SpanTimer timer(&sink, &recorder, "setup");
+    timer.stop();
+    const double after_stop = sink;
+    timer.stop();  // idempotent
+    EXPECT_EQ(sink, after_stop);
+  }  // destructor must not double-add
+  EXPECT_GE(sink, 0.0);
+  const auto records = recorder.snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].cat, TraceCategory::kPhase);
+  EXPECT_EQ(records[0].name, "setup");
+  EXPECT_GE(records[0].dur_s, 0.0);
+}
+
+TEST(SpanTimer, NullSinkIsInert) {
+  SpanTimer timer(nullptr);  // must not crash on stop/destroy
+  timer.stop();
+}
+
+TEST(PhaseProfile, MergesByAddition) {
+  PhaseProfile a;
+  a.add(Phase::kSetup, 1.0);
+  a.add(Phase::kEventLoop, 2.0);
+  a.runs = 1;
+  PhaseProfile b;
+  b.add(Phase::kEventLoop, 3.0);
+  b.add(Phase::kTeardown, 0.5);
+  b.runs = 1;
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.wall_s[0], 1.0);
+  EXPECT_DOUBLE_EQ(a.wall_s[1], 5.0);
+  EXPECT_DOUBLE_EQ(a.wall_s[2], 0.5);
+  EXPECT_DOUBLE_EQ(a.total_s(), 6.5);
+  EXPECT_EQ(a.runs, 2u);
+  EXPECT_FALSE(a.empty());
+  EXPECT_TRUE(PhaseProfile{}.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Event-loop kind accounting (sim::EventLoopProfile, fed by the queue).
+
+TEST(EventLoopProfile, QueueAccountsFiredEventsByKind) {
+  sim::EventQueue queue;
+  sim::EventLoopProfile profile;
+  queue.set_profile(&profile);
+  int fired = 0;
+  queue.schedule_at(1.0, sim::EventKind::kLinkArrival, [&] { ++fired; });
+  queue.schedule_at(2.0, sim::EventKind::kLinkArrival, [&] { ++fired; });
+  queue.schedule_at(3.0, sim::EventKind::kTransportTimer, [&] { ++fired; });
+  queue.schedule_in(4.0, sim::EventKind::kLinkState, [&] { ++fired; });
+  queue.schedule_at(5.0, [&] { ++fired; });  // untagged -> kGeneric
+  queue.run_all();
+  EXPECT_EQ(fired, 5);
+  using sim::EventKind;
+  const auto count = [&profile](EventKind kind) {
+    return profile.kinds[static_cast<std::size_t>(kind)].count;
+  };
+  EXPECT_EQ(count(EventKind::kLinkArrival), 2u);
+  EXPECT_EQ(count(EventKind::kTransportTimer), 1u);
+  EXPECT_EQ(count(EventKind::kLinkState), 1u);
+  EXPECT_EQ(count(EventKind::kGeneric), 1u);
+  EXPECT_EQ(profile.total_events(), 5u);
+  EXPECT_GE(profile.total_wall_s(), 0.0);
+
+  // Detached again: further events are not accounted.
+  queue.set_profile(nullptr);
+  queue.schedule_in(1.0, sim::EventKind::kLinkArrival, [&] { ++fired; });
+  queue.run_all();
+  EXPECT_EQ(count(EventKind::kLinkArrival), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance criterion: NetworkObserver counters reconcile exactly with
+// the committed golden packet trace of the pinned Fig. 1 scenario
+// (tests/test_golden_trace.cpp runs the same scenario).
+
+TEST(NetworkObserver, DeflectionCountersReconcileWithGoldenTrace) {
+  // Run the pinned scenario with the observer attached.
+  topo::Scenario s = topo::make_fig1_network();
+  const routing::Controller controller(s.topology);
+  sim::NetworkConfig config;
+  config.technique = dataplane::DeflectionTechnique::kNotInputPort;
+  config.seed = 6001;
+  sim::Network net(s.topology, controller, config);
+  const auto route =
+      controller.encode_scenario(s.route, topo::ProtectionLevel::kPartial);
+
+  MetricsRegistry registry(true);
+  TraceRecorder recorder(1024);
+  NetworkObserverOptions options;
+  options.metrics = &registry;
+  options.trace = &recorder;
+  NetworkObserver observer(net, options);
+  observer.install();
+
+  net.fail_link_at(0.0, "SW7", "SW11");
+  for (int i = 0; i < 3; ++i) {
+    net.events().schedule_at(1e-3 * (i + 1), [&net, &route, i] {
+      dataplane::Packet p;
+      p.transport = dataplane::Datagram{0};
+      p.packet_id = static_cast<std::uint64_t>(i + 1);
+      net.edge_at(route.src_edge).stamp(p, route, 200 + 100 * i);
+      net.inject(route.src_edge, std::move(p));
+    });
+  }
+  net.events().run_all();
+
+  // Tally the committed golden trace per switch.
+  std::ifstream in(KAR_TESTS_SOURCE_DIR "/golden/fig1_nip_single_failure.csv",
+                   std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden trace";
+  const auto rows = sim::parse_trace_csv(in);
+  std::map<std::string, std::uint64_t> golden_deflections;
+  std::uint64_t golden_injected = 0;
+  std::uint64_t golden_delivered = 0;
+  for (const auto& row : rows) {
+    if (row.kind == sim::TraceEvent::Kind::kHop && row.deflected) {
+      ++golden_deflections[row.node];
+    }
+    if (row.kind == sim::TraceEvent::Kind::kInject) ++golden_injected;
+    if (row.kind == sim::TraceEvent::Kind::kDeliver) ++golden_delivered;
+  }
+  ASSERT_FALSE(golden_deflections.empty());
+
+  // The observer's counters must match the golden tally exactly.
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.families.at("kar_packets_injected_total").series.at("").count,
+            golden_injected);
+  EXPECT_EQ(snap.families.at("kar_packets_delivered_total").series.at("").count,
+            golden_delivered);
+  const auto& deflections = snap.families.at("kar_deflections_total").series;
+  std::uint64_t observed_total = 0;
+  for (const auto& [labels, series] : deflections) {
+    observed_total += series.count;
+  }
+  std::uint64_t golden_total = 0;
+  for (const auto& [node, count] : golden_deflections) {
+    golden_total += count;
+    EXPECT_EQ(deflections.at(canonical_labels({{"switch", node}})).count, count)
+        << "switch " << node;
+  }
+  EXPECT_EQ(observed_total, golden_total);
+
+  // And every golden deflection row has a matching trace record with the
+  // same out-port, carrying the KAR residue argument.
+  std::size_t deflect_records = 0;
+  for (const auto& record : recorder.snapshot()) {
+    if (record.cat != TraceCategory::kDeflection) continue;
+    ++deflect_records;
+    EXPECT_EQ(record.node, "SW7");
+    bool has_residue = false;
+    for (const auto& [key, value] : record.args) {
+      if (key == "out_port") {
+        EXPECT_EQ(value, "1");
+      }
+      if (key == "residue") has_residue = true;
+    }
+    EXPECT_TRUE(has_residue);
+  }
+  EXPECT_EQ(deflect_records, golden_total);
+
+  // Histograms: every delivered packet contributes one latency observation.
+  const auto& latency =
+      snap.families.at("kar_delivery_latency_seconds").series.at("");
+  EXPECT_EQ(latency.count, golden_delivered);
+}
+
+}  // namespace
+}  // namespace kar::obs

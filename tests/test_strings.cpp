@@ -16,6 +16,46 @@ TEST(Split, BasicAndEmptyFields) {
             (std::vector<std::string>{"one", "two", "three"}));
 }
 
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape("cr\rhere"), "\"cr\rhere\"");
+  // The separator is configurable; only the active one forces quoting.
+  EXPECT_EQ(csv_escape("a;b", ';'), "\"a;b\"");
+  EXPECT_EQ(csv_escape("a,b", ';'), "a,b");
+}
+
+TEST(SplitCsvRow, HonoursRfc4180Quoting) {
+  EXPECT_EQ(split_csv_row("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_csv_row("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split_csv_row(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(split_csv_row("a,\"b,c\",d"),
+            (std::vector<std::string>{"a", "b,c", "d"}));
+  EXPECT_EQ(split_csv_row("\"say \"\"hi\"\"\",x"),
+            (std::vector<std::string>{"say \"hi\"", "x"}));
+  EXPECT_EQ(split_csv_row("trailing,"),
+            (std::vector<std::string>{"trailing", ""}));
+}
+
+TEST(SplitCsvRow, RejectsMalformedQuoting) {
+  EXPECT_THROW((void)split_csv_row("a,\"unterminated"), std::invalid_argument);
+  EXPECT_THROW((void)split_csv_row("a,b\"c"), std::invalid_argument);
+}
+
+TEST(SplitCsvRow, InvertsEscapedJoins) {
+  const std::vector<std::string> fields = {"plain", "with,comma",
+                                           "with \"quotes\"", ""};
+  std::string row;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) row += ',';
+    row += csv_escape(fields[i]);
+  }
+  EXPECT_EQ(split_csv_row(row), fields);
+}
+
 TEST(Trim, RemovesSurroundingWhitespace) {
   EXPECT_EQ(trim("  hello \t\r\n"), "hello");
   EXPECT_EQ(trim(""), "");

@@ -97,6 +97,60 @@ TEST(TraceCsv, DropRowsCarryTheReason) {
   EXPECT_EQ(records.back().drop_reason, "no-viable-port");
 }
 
+TEST(TraceCsv, FieldsWithCommasAndQuotesRoundTrip) {
+  // The regression behind common::csv_escape: a drop reason (or node name)
+  // containing the separator or quotes must not corrupt the row structure.
+  TraceRecord record;
+  record.kind = TraceEvent::Kind::kDrop;
+  record.time = 1.5;
+  record.packet_id = 9;
+  record.node = "SW7,\"the bad one\"";
+  record.out_port = 2;
+  record.deflected = true;
+  record.drop_reason = "queue full, \"ingress\" side";
+
+  std::ostringstream out;
+  TraceCsvWriter writer(out);
+  writer.write(record);
+  EXPECT_EQ(writer.rows_written(), 1u);
+  // The row must still be exactly one line with the quoted fields intact.
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"SW7,\"\"the bad one\"\"\""), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"queue full, \"\"ingress\"\" side\""),
+            std::string::npos)
+      << text;
+
+  std::istringstream in(text);
+  const auto parsed = parse_trace_csv(in);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed.front(), record);
+}
+
+TEST(TraceCsv, PlainFieldsStayUnquoted) {
+  // Golden traces predate the quoting fix; ordinary rows must keep their
+  // historical byte representation (no spurious quotes).
+  TraceRecord record;
+  record.kind = TraceEvent::Kind::kHop;
+  record.time = 0.25;
+  record.packet_id = 3;
+  record.node = "SW7";
+  record.out_port = 1;
+  record.deflected = true;
+  record.drop_reason = "";
+  std::ostringstream out;
+  TraceCsvWriter writer(out);
+  writer.write(record);
+  EXPECT_EQ(out.str(), std::string(TraceCsvWriter::kHeader) +
+                           "\nhop,0.25,3,SW7,1,1,\n");
+}
+
+TEST(TraceCsv, ParserRejectsBrokenQuoting) {
+  std::istringstream in(std::string(TraceCsvWriter::kHeader) +
+                        "\ndrop,0.5,1,SW1,0,0,\"unterminated\n");
+  EXPECT_THROW(parse_trace_csv(in), std::invalid_argument);
+}
+
 TEST(TraceCsv, ParserRejectsMalformedInput) {
   {
     std::istringstream in("kind,time_s\n");  // wrong header treated as row
