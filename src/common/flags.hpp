@@ -9,10 +9,11 @@
 #include <cstdint>
 #include <map>
 #include <optional>
-#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "common/parse.hpp"
 
 namespace kar::common {
 
@@ -58,13 +59,23 @@ class Flags {
                                      std::int64_t fallback) const {
     const auto it = values_.find(name);
     if (it == values_.end()) return fallback;
-    return parse_number<std::int64_t>(name, it->second);
+    const auto value = parse_i64(it->second);
+    if (!value) {
+      throw std::invalid_argument("flag --" + name +
+                                  ": not a number: " + it->second);
+    }
+    return *value;
   }
 
   [[nodiscard]] double get_double(const std::string& name, double fallback) const {
     const auto it = values_.find(name);
     if (it == values_.end()) return fallback;
-    return parse_number<double>(name, it->second);
+    const auto value = parse_double(it->second);
+    if (!value) {
+      throw std::invalid_argument("flag --" + name +
+                                  ": not a number: " + it->second);
+    }
+    return *value;
   }
 
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const {
@@ -81,17 +92,6 @@ class Flags {
   }
 
  private:
-  template <typename T>
-  static T parse_number(const std::string& name, const std::string& text) {
-    std::istringstream in(text);
-    T value{};
-    in >> value;
-    if (in.fail() || !in.eof()) {
-      throw std::invalid_argument("flag --" + name + ": not a number: " + text);
-    }
-    return value;
-  }
-
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };

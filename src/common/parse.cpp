@@ -1,0 +1,47 @@
+#include "common/parse.hpp"
+
+#include <charconv>
+
+namespace kar::common {
+
+namespace {
+
+/// True when from_chars consumed every character without error.
+bool complete(const std::from_chars_result& result, const char* end) noexcept {
+  return result.ec == std::errc() && result.ptr == end;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  if (text.front() == '-' || text.front() == '+') return std::nullopt;
+  std::uint64_t value = 0;
+  const char* end = text.data() + text.size();
+  if (!complete(std::from_chars(text.data(), end, value), end)) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<std::int64_t> parse_i64(std::string_view text) noexcept {
+  if (text.empty() || text.front() == '+') return std::nullopt;
+  std::int64_t value = 0;
+  const char* end = text.data() + text.size();
+  if (!complete(std::from_chars(text.data(), end, value), end)) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view text) noexcept {
+  if (text.empty() || text.front() == '+') return std::nullopt;
+  double value = 0;
+  const char* end = text.data() + text.size();
+  if (!complete(std::from_chars(text.data(), end, value), end)) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace kar::common

@@ -1,0 +1,35 @@
+// Strict, locale-independent numeric parsing.
+//
+// std::stod/stoull/istringstream-based parsing has two correctness holes
+// this repo got bitten by: it consults the global locale (a comma-decimal
+// locale breaks golden-trace round-trips), and it silently accepts trailing
+// garbage ("3abc" parses as 3). These helpers sit on std::from_chars, which
+// is locale-independent by specification, and succeed only when the entire
+// input is consumed. Callers attach context (line / field) to the error
+// they raise on nullopt.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace kar::common {
+
+/// Parses the whole of `text` as an unsigned decimal 64-bit integer.
+/// Strict: no whitespace, sign, prefix, or trailing characters. Returns
+/// nullopt on any deviation (including overflow and empty input).
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(
+    std::string_view text) noexcept;
+
+/// Parses the whole of `text` as a signed decimal 64-bit integer. Strict:
+/// an optional leading '-' only; nullopt on any deviation.
+[[nodiscard]] std::optional<std::int64_t> parse_i64(
+    std::string_view text) noexcept;
+
+/// Parses the whole of `text` as a double (fixed or scientific notation,
+/// the formats std::ostream and std::to_chars emit). Locale-independent:
+/// the decimal separator is always '.'. nullopt on any deviation.
+[[nodiscard]] std::optional<double> parse_double(
+    std::string_view text) noexcept;
+
+}  // namespace kar::common

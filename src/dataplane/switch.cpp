@@ -1,5 +1,6 @@
 #include "dataplane/switch.hpp"
 
+#include <cctype>
 #include <stdexcept>
 #include <string>
 
@@ -16,19 +17,27 @@ std::string_view to_string(DeflectionTechnique technique) {
 }
 
 DeflectionTechnique technique_from_string(std::string_view name) {
-  if (name == "none") return DeflectionTechnique::kNone;
-  if (name == "hp") return DeflectionTechnique::kHotPotato;
-  if (name == "avp") return DeflectionTechnique::kAnyValidPort;
-  if (name == "nip") return DeflectionTechnique::kNotInputPort;
-  throw std::invalid_argument("unknown deflection technique: " + std::string(name));
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "none") return DeflectionTechnique::kNone;
+  if (lower == "hp") return DeflectionTechnique::kHotPotato;
+  if (lower == "avp") return DeflectionTechnique::kAnyValidPort;
+  if (lower == "nip") return DeflectionTechnique::kNotInputPort;
+  throw std::invalid_argument("unknown deflection technique \"" +
+                              std::string(name) +
+                              "\" (expected one of: none|hp|avp|nip)");
 }
 
 KarSwitch::KarSwitch(const topo::Topology& topology, topo::NodeId node,
-                     DeflectionTechnique technique)
+                     DeflectionTechnique technique, ResiduePath residue_path)
     : topo_(&topology),
       node_(node),
       switch_id_(topology.switch_id(node)),  // throws for non-switches
-      technique_(technique) {}
+      technique_(technique),
+      residue_path_(residue_path),
+      prepared_mod_(switch_id_) {}
 
 ForwardDecision KarSwitch::random_among_available(
     std::optional<topo::PortIndex> excluded_port, bool marked,
@@ -60,7 +69,9 @@ ForwardDecision KarSwitch::forward(const Packet& packet,
     return random_among_available(std::nullopt, /*marked=*/false, rng);
   }
 
-  const std::uint64_t residue_port = residue(packet.kar.route_id);
+  const std::uint64_t residue_port = (residue_path_ == ResiduePath::kFast)
+                                         ? residue_fast(packet.kar.route_id)
+                                         : residue(packet.kar.route_id);
   const bool residue_is_port =
       residue_port < topo_->port_count(node_) &&
       topo_->port_available(node_, static_cast<topo::PortIndex>(residue_port));

@@ -20,6 +20,8 @@
 
 #include "common/rng.hpp"
 #include "dataplane/packet.hpp"
+#include "dataplane/residue_cache.hpp"
+#include "rns/prepared_mod.hpp"
 #include "topology/graph.hpp"
 
 namespace kar::dataplane {
@@ -34,8 +36,16 @@ enum class DeflectionTechnique : std::uint8_t {
 };
 
 [[nodiscard]] std::string_view to_string(DeflectionTechnique technique);
-/// Parses "none" / "hp" / "avp" / "nip" (case-sensitive).
+/// Parses "none" / "hp" / "avp" / "nip" (case-insensitive). Throws
+/// std::invalid_argument listing the valid options on anything else.
 [[nodiscard]] DeflectionTechnique technique_from_string(std::string_view name);
+
+/// Which residue implementation forward() consults. kFast (the default)
+/// runs PreparedMod reduction through the ResidueCache memo; kNaive
+/// recomputes BigUint::mod_u64 per packet per hop. The two are
+/// bit-identical by contract (tests/test_fastpath_differential.cpp);
+/// kNaive exists as the differential oracle and benchmark baseline.
+enum class ResiduePath : std::uint8_t { kFast, kNaive };
 
 /// Outcome of one forwarding decision.
 struct ForwardDecision {
@@ -56,16 +66,29 @@ class KarSwitch {
   /// Binds to a core switch of `topology`. The topology must outlive the
   /// switch. Throws std::invalid_argument if `node` is not a core switch.
   KarSwitch(const topo::Topology& topology, topo::NodeId node,
-            DeflectionTechnique technique);
+            DeflectionTechnique technique,
+            ResiduePath residue_path = ResiduePath::kFast);
 
   [[nodiscard]] topo::NodeId node() const noexcept { return node_; }
   [[nodiscard]] topo::SwitchId switch_id() const noexcept { return switch_id_; }
   [[nodiscard]] DeflectionTechnique technique() const noexcept { return technique_; }
+  [[nodiscard]] ResiduePath residue_path() const noexcept { return residue_path_; }
 
-  /// The pure modulo decision (paper Eq. 3): `route_id mod switch_id`.
+  /// The pure modulo decision (paper Eq. 3): `route_id mod switch_id`,
+  /// computed the naive way. This is the reference semantics every fast
+  /// path must reproduce bit-for-bit.
   [[nodiscard]] std::uint64_t residue(const rns::BigUint& route_id) const {
     return route_id.mod_u64(switch_id_);
   }
+
+  /// The same residue through the prepared-reciprocal reduction and the
+  /// memo cache (what forward() uses on the kFast path).
+  [[nodiscard]] std::uint64_t residue_fast(const rns::BigUint& route_id) const {
+    return cache_.lookup(route_id, prepared_mod_);
+  }
+
+  /// The memo cache (stats inspection and metrics binding).
+  [[nodiscard]] ResidueCache& residue_cache() const noexcept { return cache_; }
 
   /// One forwarding decision. `in_port` is the port the packet arrived on;
   /// pass std::nullopt for locally originated probes. Randomness is drawn
@@ -83,6 +106,11 @@ class KarSwitch {
   topo::NodeId node_;
   topo::SwitchId switch_id_;
   DeflectionTechnique technique_;
+  ResiduePath residue_path_;
+  rns::PreparedMod prepared_mod_;
+  /// Pure-function memo; mutating it never changes a decision, so the
+  /// switch keeps value semantics for callers holding it const.
+  mutable ResidueCache cache_;
 };
 
 }  // namespace kar::dataplane

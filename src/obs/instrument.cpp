@@ -56,6 +56,9 @@ NetworkObserver::NetworkObserver(sim::Network& network,
         reg.counter("kar_drops_total", "Dropped packets",
                     with_label(base, "reason", to_string(reason))));
   }
+  // Data-plane residue-cache hit/miss/eviction counters: registered here,
+  // updated inline by the forwarding fast path (docs/performance.md).
+  network.attach_dataplane_metrics(reg, base);
 }
 
 void NetworkObserver::on_trace(const sim::TraceEvent& event) {

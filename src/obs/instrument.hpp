@@ -16,6 +16,9 @@
 //   kar_drops_total{reason="..."}
 //   kar_link_transitions_total{state="down"|"up"}
 //   kar_delivery_latency_seconds / kar_delivery_hops   (histograms)
+//   kar_dataplane_residue_cache_{hits,misses,evictions}_total
+//     (registered here, incremented inline by the forwarding fast path —
+//      see docs/performance.md)
 //
 // Trace records (when a TraceRecorder is attached):
 //   kDeflection "deflect"  — per deflection, with out/in port and the KAR

@@ -32,7 +32,10 @@ void BigUint::normalize() noexcept {
 BigUint BigUint::from_string(std::string_view text) {
   if (text.empty()) throw std::invalid_argument("BigUint: empty string");
   BigUint out;
-  if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+  if (text.size() >= 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    if (text.size() == 2) {
+      throw std::invalid_argument("BigUint: hex prefix with no digits");
+    }
     for (const char c : text.substr(2)) {
       int digit = 0;
       if (c >= '0' && c <= '9') digit = c - '0';
@@ -191,8 +194,100 @@ BigUint::DivMod BigUint::divmod(const BigUint& divisor) const {
     }
     return {from_limbs(std::move(quo)), BigUint(rem)};
   }
-  // General case: binary long division (simple and adequate for route IDs,
-  // which are at most a few hundred bits).
+  // General case: Knuth Algorithm D (TAOCP 4.3.1) on 32-bit limbs. O(m*n)
+  // word operations instead of the O(bits * n) of bit-at-a-time division;
+  // the CRT encoder's `sum % range` calls sit on this path.
+  const std::size_t n = divisor.limbs_.size();
+  const std::size_t m = limbs_.size() - n;
+
+  // D1: normalize so the divisor's top limb has its high bit set. The
+  // dividend gains one extra (possibly zero) limb.
+  const unsigned shift =
+      static_cast<unsigned>(__builtin_clz(divisor.limbs_.back()));
+  std::vector<std::uint32_t> un(limbs_.size() + 1, 0);
+  std::vector<std::uint32_t> vn(n);
+  if (shift == 0) {
+    std::copy(limbs_.begin(), limbs_.end(), un.begin());
+    std::copy(divisor.limbs_.begin(), divisor.limbs_.end(), vn.begin());
+  } else {
+    un[limbs_.size()] = limbs_.back() >> (32 - shift);
+    for (std::size_t i = limbs_.size(); i-- > 1;) {
+      un[i] = (limbs_[i] << shift) | (limbs_[i - 1] >> (32 - shift));
+    }
+    un[0] = limbs_[0] << shift;
+    for (std::size_t i = n; i-- > 1;) {
+      vn[i] = (divisor.limbs_[i] << shift) |
+              (divisor.limbs_[i - 1] >> (32 - shift));
+    }
+    vn[0] = divisor.limbs_[0] << shift;
+  }
+
+  std::vector<std::uint32_t> quo(m + 1, 0);
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // D3: estimate the quotient digit from the top two dividend limbs and
+    // the top divisor limb, then refine with the second divisor limb until
+    // the estimate is at most one too large.
+    const std::uint64_t num =
+        (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+    std::uint64_t qhat = num / vn[n - 1];
+    std::uint64_t rhat = num % vn[n - 1];
+    while (qhat >= kBase ||
+           qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+      --qhat;
+      rhat += vn[n - 1];
+      if (rhat >= kBase) break;
+    }
+    // D4: multiply and subtract qhat * vn from un[j..j+n].
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * vn[i] + carry;
+      carry = p >> 32;
+      const std::int64_t t = static_cast<std::int64_t>(un[i + j]) - borrow -
+                             static_cast<std::int64_t>(p & 0xFFFFFFFFULL);
+      un[i + j] = static_cast<std::uint32_t>(t);
+      borrow = (t < 0) ? 1 : 0;
+    }
+    const std::int64_t top = static_cast<std::int64_t>(un[j + n]) -
+                             static_cast<std::int64_t>(carry) - borrow;
+    un[j + n] = static_cast<std::uint32_t>(top);
+    quo[j] = static_cast<std::uint32_t>(qhat);
+    if (top < 0) {
+      // D6: the (rare) estimate-off-by-one case — add the divisor back.
+      --quo[j];
+      std::uint64_t add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t s = static_cast<std::uint64_t>(un[i + j]) +
+                                vn[i] + add_carry;
+        un[i + j] = static_cast<std::uint32_t>(s);
+        add_carry = s >> 32;
+      }
+      un[j + n] =
+          static_cast<std::uint32_t>(static_cast<std::uint64_t>(un[j + n]) +
+                                     add_carry);
+    }
+  }
+
+  // D8: denormalize the remainder (un[0..n-1] >> shift).
+  std::vector<std::uint32_t> rem(n);
+  if (shift == 0) {
+    std::copy(un.begin(), un.begin() + static_cast<std::ptrdiff_t>(n),
+              rem.begin());
+  } else {
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      rem[i] = (un[i] >> shift) | (un[i + 1] << (32 - shift));
+    }
+    rem[n - 1] = un[n - 1] >> shift;
+  }
+  return {from_limbs(std::move(quo)), from_limbs(std::move(rem))};
+}
+
+BigUint::DivMod BigUint::divmod_binary(const BigUint& divisor) const {
+  // Reference implementation: binary long division, one bit per step. Kept
+  // as the differential oracle for divmod() and as the "before" side of
+  // bench/micro_dataplane.cpp; not used on any production path.
+  if (divisor.is_zero()) throw std::domain_error("BigUint: division by zero");
+  if (*this < divisor) return {BigUint{}, *this};
   BigUint quotient;
   BigUint remainder;
   quotient.limbs_.assign(limbs_.size(), 0);

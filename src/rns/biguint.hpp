@@ -63,9 +63,15 @@ class BigUint {
   friend BigUint operator<<(BigUint lhs, std::size_t bits) { return lhs <<= bits; }
   friend BigUint operator>>(BigUint lhs, std::size_t bits) { return lhs >>= bits; }
 
-  /// Quotient and remainder in one pass. Throws std::domain_error on /0.
+  /// Quotient and remainder in one pass (Knuth Algorithm D on 32-bit limbs
+  /// for multi-limb divisors). Throws std::domain_error on /0.
   struct DivMod;  // { BigUint quotient; BigUint remainder; } — defined below.
   [[nodiscard]] DivMod divmod(const BigUint& divisor) const;
+
+  /// Reference bit-at-a-time long division. Differential oracle for
+  /// divmod() (tests) and the "before" side of bench/micro_dataplane.cpp;
+  /// not used on any production path.
+  [[nodiscard]] DivMod divmod_binary(const BigUint& divisor) const;
 
   friend BigUint operator/(const BigUint& lhs, const BigUint& rhs);
   friend BigUint operator%(const BigUint& lhs, const BigUint& rhs);

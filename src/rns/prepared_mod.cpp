@@ -1,0 +1,38 @@
+#include "rns/prepared_mod.hpp"
+
+#include <stdexcept>
+
+namespace kar::rns {
+
+PreparedMod::PreparedMod(std::uint64_t divisor)
+    : divisor_(divisor), reciprocal_(0) {
+  if (divisor == 0) throw std::domain_error("PreparedMod: division by zero");
+  if (divisor >= 2 && divisor < (1ULL << 32)) {
+    // floor(2^64 / divisor) via 128-bit arithmetic; fits in 64 bits because
+    // divisor >= 2.
+    reciprocal_ = static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(1) << 64) / divisor);
+  }
+}
+
+std::uint64_t PreparedMod::reduce(const BigUint& value) const noexcept {
+  const auto& limbs = value.limbs();
+  std::uint64_t rem = 0;
+  if (reciprocal_ != 0) {
+    // rem < divisor < 2^32, so (rem << 32) | limb fits in 64 bits and the
+    // reciprocal path applies at every step.
+    for (std::size_t i = limbs.size(); i-- > 0;) {
+      rem = reduce_u64((rem << 32) | limbs[i]);
+    }
+    return rem;
+  }
+  if (divisor_ == 1) return 0;
+  // divisor >= 2^32: the partial value needs 128 bits, same as mod_u64.
+  for (std::size_t i = limbs.size(); i-- > 0;) {
+    const auto cur = (static_cast<__uint128_t>(rem) << 32) | limbs[i];
+    rem = static_cast<std::uint64_t>(cur % divisor_);
+  }
+  return rem;
+}
+
+}  // namespace kar::rns

@@ -1,0 +1,58 @@
+// Precomputed per-modulus reduction for the forwarding hot path.
+//
+// The KAR data plane is one arithmetic operation per hop: `R mod s_i`
+// (paper Eq. 3). A switch's modulus s_i never changes, so the division can
+// be traded for a multiply-high against a precomputed 64-bit reciprocal
+// (Barrett reduction / Granlund–Montgomery "division by invariant
+// integers"). PreparedMod carries that reciprocal; reduce() walks the
+// route-ID limbs exactly like BigUint::mod_u64 but replaces every hardware
+// division with multiply + shift + one conditional subtract.
+//
+// Switch IDs are < 2^32 in every deployment this repo models (they must be
+// pairwise coprime and small for short route IDs, paper §2.2), which is the
+// reciprocal's fast domain; divisors >= 2^32 fall back to 128-bit division
+// so PreparedMod is a drop-in for any non-zero modulus.
+#pragma once
+
+#include <cstdint>
+
+#include "rns/biguint.hpp"
+
+namespace kar::rns {
+
+/// Reduction state for one fixed divisor: `reduce(x) == x % divisor`, with
+/// the per-call division cost precomputed away. Cheap to construct (one
+/// hardware division), trivially copyable.
+class PreparedMod {
+ public:
+  /// Throws std::domain_error on a zero divisor.
+  explicit PreparedMod(std::uint64_t divisor);
+
+  [[nodiscard]] std::uint64_t divisor() const noexcept { return divisor_; }
+
+  /// `value % divisor` for a native value.
+  [[nodiscard]] std::uint64_t reduce_u64(std::uint64_t value) const noexcept {
+    if (reciprocal_ != 0) {
+      // q = floor(value * floor(2^64/d) / 2^64) is floor(value/d) or one
+      // less, so a single conditional subtract finishes the reduction.
+      const std::uint64_t q = static_cast<std::uint64_t>(
+          (static_cast<__uint128_t>(value) * reciprocal_) >> 64);
+      std::uint64_t r = value - q * divisor_;
+      if (r >= divisor_) r -= divisor_;
+      return r;
+    }
+    return value % divisor_;  // divisor_ == 1 (always 0) or >= 2^32.
+  }
+
+  /// `value % divisor` for an arbitrary-precision value: the per-hop KAR
+  /// residue. Bit-identical to BigUint::mod_u64(divisor()).
+  [[nodiscard]] std::uint64_t reduce(const BigUint& value) const noexcept;
+
+ private:
+  std::uint64_t divisor_;
+  /// floor(2^64 / divisor) when 2 <= divisor < 2^32; 0 disables the
+  /// reciprocal path (divisor 1 or >= 2^32).
+  std::uint64_t reciprocal_;
+};
+
+}  // namespace kar::rns

@@ -20,7 +20,8 @@ Network::Network(topo::Topology& topology, const routing::Controller& controller
   edges_.resize(n);
   for (topo::NodeId node = 0; node < n; ++node) {
     if (topology.kind(node) == topo::NodeKind::kCoreSwitch) {
-      switches_[node].emplace(topology, node, config_.technique);
+      switches_[node].emplace(topology, node, config_.technique,
+                              config_.residue_path);
     } else {
       edges_[node].emplace(topology, node, controller, config_.wrong_edge_policy);
     }
@@ -242,6 +243,34 @@ void Network::repair_link_now(topo::LinkId link) {
     dir.busy_until = now();
   }
   if (link_state_hook_) link_state_hook_(link, /*up=*/true);
+}
+
+void Network::attach_dataplane_metrics(obs::MetricsRegistry& registry,
+                                       const obs::Labels& labels) {
+  const obs::Counter hits = registry.counter(
+      "kar_dataplane_residue_cache_hits_total",
+      "Residue-cache lookups answered from the memo", labels);
+  const obs::Counter misses = registry.counter(
+      "kar_dataplane_residue_cache_misses_total",
+      "Residue-cache lookups that ran the PreparedMod reduction", labels);
+  const obs::Counter evictions = registry.counter(
+      "kar_dataplane_residue_cache_evictions_total",
+      "Residue-cache entries overwritten by a colliding route ID", labels);
+  for (auto& sw : switches_) {
+    if (sw) sw->residue_cache().bind_counters(hits, misses, evictions);
+  }
+}
+
+dataplane::ResidueCache::Stats Network::residue_cache_stats() const {
+  dataplane::ResidueCache::Stats total;
+  for (const auto& sw : switches_) {
+    if (!sw) continue;
+    const auto& stats = sw->residue_cache().stats();
+    total.hits += stats.hits;
+    total.misses += stats.misses;
+    total.evictions += stats.evictions;
+  }
+  return total;
 }
 
 void Network::fail_link_at(double time, const std::string& node_a,

@@ -23,6 +23,7 @@
 
 #include "common/rng.hpp"
 #include "dataplane/edge.hpp"
+#include "obs/metrics.hpp"
 #include "routing/failover_fib.hpp"
 #include "dataplane/packet.hpp"
 #include "dataplane/switch.hpp"
@@ -59,6 +60,11 @@ struct NetworkConfig {
   /// Fig. 8 protection loop against infinite circulation.
   std::uint32_t max_hops = 4096;
   std::uint64_t seed = 1;
+  /// Which residue implementation the core switches run. kFast (default):
+  /// PreparedMod reduction + per-switch memo cache, reused across every
+  /// hop of the run. kNaive: recompute BigUint::mod_u64 per packet per hop
+  /// — the differential oracle (tests/test_fastpath_differential.cpp).
+  dataplane::ResiduePath residue_path = dataplane::ResiduePath::kFast;
 };
 
 /// Aggregate data-plane counters.
@@ -143,6 +149,17 @@ class Network {
   /// Direct (immediate) failure control.
   void fail_link_now(topo::LinkId link);
   void repair_link_now(topo::LinkId link);
+
+  /// Registers the residue-cache counter families
+  /// (kar_dataplane_residue_cache_{hits,misses,evictions}_total) in
+  /// `registry` and binds them to every core switch's cache. The series are
+  /// shared across switches (one network-wide total per family).
+  /// obs::NetworkObserver calls this when metrics are enabled.
+  void attach_dataplane_metrics(obs::MetricsRegistry& registry,
+                                const obs::Labels& labels);
+
+  /// Sum of the per-switch residue-cache stats (tests, benches).
+  [[nodiscard]] dataplane::ResidueCache::Stats residue_cache_stats() const;
 
  private:
   struct DirectionState {

@@ -1,10 +1,13 @@
 #include "sim/trace_csv.hpp"
 
 #include <iomanip>
+#include <limits>
+#include <locale>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/parse.hpp"
 #include "common/strings.hpp"
 
 namespace kar::sim {
@@ -37,6 +40,10 @@ TraceEvent::Kind kind_from_string(std::size_t line, const std::string& text) {
 }  // namespace
 
 TraceCsvWriter::TraceCsvWriter(std::ostream& out) : out_(&out) {
+  // CSV is a machine format: pin the classic "C" locale on the sink so an
+  // imbued or global comma-decimal locale can neither change the decimal
+  // separator (corrupting the time field) nor inject digit grouping.
+  out_->imbue(std::locale::classic());
   *out_ << kHeader << '\n';
 }
 
@@ -90,16 +97,28 @@ std::vector<TraceRecord> parse_trace_csv(std::istream& in) {
     }
     TraceRecord record;
     record.kind = kind_from_string(line_no, fields[0]);
-    try {
-      record.time = std::stod(fields[1]);
-      record.packet_id = std::stoull(fields[2]);
-      record.node = fields[3];
-      record.out_port = static_cast<topo::PortIndex>(std::stoul(fields[4]));
-      record.deflected = fields[5] == "1";
-    } catch (const std::exception&) {
-      throw std::invalid_argument("trace csv line " + std::to_string(line_no) +
-                                  ": malformed numeric field");
+    // Strict, locale-independent numeric fields: trailing garbage or a
+    // non-"C" decimal separator is a malformed row, not a silent truncation.
+    const auto bad_field = [line_no](const char* field,
+                                     const std::string& value) {
+      return std::invalid_argument(
+          "trace csv line " + std::to_string(line_no) + ": bad " + field +
+          " field \"" + value + "\"");
+    };
+    const auto time = common::parse_double(fields[1]);
+    if (!time) throw bad_field("time", fields[1]);
+    record.time = *time;
+    const auto packet_id = common::parse_u64(fields[2]);
+    if (!packet_id) throw bad_field("packet_id", fields[2]);
+    record.packet_id = *packet_id;
+    record.node = fields[3];
+    const auto out_port = common::parse_u64(fields[4]);
+    if (!out_port ||
+        *out_port > std::numeric_limits<topo::PortIndex>::max()) {
+      throw bad_field("out_port", fields[4]);
     }
+    record.out_port = static_cast<topo::PortIndex>(*out_port);
+    record.deflected = fields[5] == "1";
     record.drop_reason = fields[6];
     records.push_back(std::move(record));
   }

@@ -1,8 +1,10 @@
 #include "topology/io.hpp"
 
+#include <locale>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/parse.hpp"
 #include "common/strings.hpp"
 
 namespace kar::topo {
@@ -14,12 +16,13 @@ namespace {
                               std::to_string(line) + ": " + message);
 }
 
+// Strict and locale-independent: the istringstream this replaced honoured
+// the global locale, so a comma-decimal locale broke round-trips of
+// serialize_topology output.
 double parse_double_field(std::size_t line, const std::string& text) {
-  std::istringstream in(text);
-  double value = 0;
-  in >> value;
-  if (in.fail() || !in.eof()) fail(line, "bad numeric value: " + text);
-  return value;
+  const auto value = common::parse_double(text);
+  if (!value) fail(line, "bad numeric value: " + text);
+  return *value;
 }
 
 }  // namespace
@@ -39,13 +42,11 @@ Topology parse_topology(std::istream& in) {
     const std::string& verb = tokens[0];
     if (verb == "switch") {
       if (tokens.size() != 3) fail(line_no, "usage: switch <name> <id>");
-      std::uint64_t id = 0;
-      try {
-        id = std::stoull(tokens[2]);
-      } catch (const std::exception&) {
-        fail(line_no, "bad switch id: " + tokens[2]);
-      }
-      topo.add_switch(tokens[1], id);
+      // std::stoull accepted trailing garbage ("3abc" parsed as 3); the
+      // strict parser makes that a hard error.
+      const auto id = common::parse_u64(tokens[2]);
+      if (!id) fail(line_no, "bad switch id: " + tokens[2]);
+      topo.add_switch(tokens[1], *id);
     } else if (verb == "edge") {
       if (tokens.size() != 2) fail(line_no, "usage: edge <name>");
       topo.add_edge_node(tokens[1]);
@@ -96,6 +97,10 @@ Topology parse_topology_string(const std::string& text) {
 
 std::string serialize_topology(const Topology& topo) {
   std::ostringstream out;
+  // Machine format: link rate/delay must serialize with '.' regardless of
+  // the global locale, or the output stops round-tripping through
+  // parse_topology.
+  out.imbue(std::locale::classic());
   for (NodeId n = 0; n < topo.node_count(); ++n) {
     if (topo.kind(n) == NodeKind::kCoreSwitch) {
       out << "switch " << topo.name(n) << ' ' << topo.switch_id(n) << '\n';

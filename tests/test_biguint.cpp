@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 
 namespace kar::rns {
 namespace {
@@ -139,6 +140,49 @@ TEST(BigUint, MalformedStringsThrow) {
   EXPECT_THROW(BigUint::from_string(""), std::invalid_argument);
   EXPECT_THROW(BigUint::from_string("12a3"), std::invalid_argument);
   EXPECT_THROW(BigUint::from_string("0xZZ"), std::invalid_argument);
+}
+
+TEST(BigUint, HexPrefixWithNoDigitsThrowsDedicatedMessage) {
+  // Regression: a bare "0x"/"0X" used to fall through to the decimal loop
+  // and report "bad decimal digit" for 'x' — wrong base, wrong diagnosis.
+  for (const char* text : {"0x", "0X"}) {
+    try {
+      (void)BigUint::from_string(text);
+      FAIL() << '"' << text << "\" must not parse";
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("hex prefix with no digits"),
+                std::string::npos)
+          << "message was: " << error.what();
+    }
+  }
+}
+
+TEST(BigUint, UppercaseHexPrefixParses) {
+  EXPECT_EQ(BigUint::from_string("0Xff").to_u64(), 255u);
+}
+
+TEST(BigUint, HexStringRoundTrip) {
+  const BigUint x = (BigUint(0xDEADBEEFCAFEBABEULL) << 70) + BigUint(12345);
+  EXPECT_EQ(BigUint::from_string("0x" + x.to_hex()), x);
+}
+
+TEST(BigUint, DivmodBinaryAgreesOnKnuthEdgeShapes) {
+  // Operand shapes that exercise Algorithm D's corner cases: the qhat
+  // correction loop (high divisor limb just below 2^32) and the rare
+  // add-back step (dividend prefixes equal to the divisor).
+  const BigUint top_limb =
+      (BigUint(0xFFFFFFFFULL) << 64) + (BigUint(0xFFFFFFFEULL) << 32) +
+      BigUint(0x12345678ULL);
+  const BigUint d = (BigUint(0x80000000ULL) << 32) + BigUint(1);
+  for (const BigUint& n :
+       {top_limb, top_limb * d, top_limb * d + BigUint(1),
+        (BigUint(1) << 192) - BigUint(1), d, d - BigUint(1)}) {
+    const auto fast = n.divmod(d);
+    const auto reference = n.divmod_binary(d);
+    EXPECT_EQ(fast.quotient, reference.quotient) << n;
+    EXPECT_EQ(fast.remainder, reference.remainder) << n;
+    EXPECT_EQ(fast.quotient * d + fast.remainder, n);
+  }
 }
 
 TEST(BigUint, ToU64OverflowThrows) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <locale>
+#include <string>
+
 #include "topology/builders.hpp"
 
 namespace kar::topo {
@@ -85,6 +88,55 @@ TEST(TopologyParser, RoundTripPreservesFailedLinks) {
   const auto link = parsed.link_between(parsed.at("SW7"), parsed.at("SW11"));
   ASSERT_TRUE(link.has_value());
   EXPECT_FALSE(parsed.link_up(*link));
+}
+
+TEST(TopologyParser, SwitchIdRejectsTrailingGarbage) {
+  // Regression: std::stoull parsed "3abc" as switch id 3, silently
+  // mangling the topology instead of failing the line.
+  try {
+    (void)parse_topology_string("switch SW3 3abc\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bad switch id: 3abc"),
+              std::string::npos)
+        << "message was: " << e.what();
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+  EXPECT_THROW(parse_topology_string("switch SW3 -3\n"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_string("switch SW3 3.0\n"), std::invalid_argument);
+}
+
+TEST(TopologyParser, RoundTripsUnderCommaDecimalLocale) {
+  // serialize_topology/parse_topology are a machine-format pair: the
+  // serializer pins the classic locale and the parser uses from_chars, so
+  // a comma-decimal global locale changes nothing. Before the fix the
+  // serializer emitted "delay=0,002" (unparseable) under such a locale.
+  struct CommaNumpunct : std::numpunct<char> {
+    char do_decimal_point() const override { return ','; }
+    char do_thousands_sep() const override { return '.'; }
+    std::string do_grouping() const override { return "\3"; }
+  };
+  struct ScopedGlobalLocale {
+    explicit ScopedGlobalLocale(const std::locale& locale)
+        : previous(std::locale::global(locale)) {}
+    ~ScopedGlobalLocale() { std::locale::global(previous); }
+    std::locale previous;
+  };
+  const ScopedGlobalLocale guard(
+      std::locale(std::locale::classic(), new CommaNumpunct));
+
+  const Topology original = parse_topology_string(kSample);
+  const std::string text = serialize_topology(original);
+  EXPECT_NE(text.find("delay=0.002"), std::string::npos) << text;
+  EXPECT_EQ(text.find(','), std::string::npos) << text;
+
+  const Topology parsed = parse_topology_string(text);
+  EXPECT_EQ(parsed.node_count(), original.node_count());
+  const auto link = parsed.link_between(parsed.at("SW5"), parsed.at("SW7"));
+  ASSERT_TRUE(link.has_value());
+  EXPECT_DOUBLE_EQ(parsed.link(*link).params.rate_bps, 1e9);
+  EXPECT_DOUBLE_EQ(parsed.link(*link).params.delay_s, 0.002);
+  EXPECT_EQ(serialize_topology(parsed), text);  // fixed point
 }
 
 TEST(Graphviz, MentionsEveryNodeAndFailedLinkStyle) {

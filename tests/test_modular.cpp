@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <stdexcept>
 #include <vector>
+
+#include "rns/biguint.hpp"
+#include "rns/prepared_mod.hpp"
 
 namespace kar::rns {
 namespace {
@@ -124,6 +128,43 @@ TEST(NextCoprimeIds, GreedyPicksSmallest) {
   const auto ids = next_coprime_ids(4, 2, {});
   // 2, 3, 5, 7: 4 conflicts with 2, 6 with 2 and 3.
   EXPECT_EQ(ids, (std::vector<std::uint64_t>{2, 3, 5, 7}));
+}
+
+TEST(PreparedMod, RejectsZeroDivisor) {
+  EXPECT_THROW(PreparedMod{0}, std::domain_error);
+}
+
+TEST(PreparedMod, EdgeDivisorsMatchModU64) {
+  // Divisors straddling the Barrett fast-path boundary (d < 2^32) plus the
+  // degenerate d=1 case; values straddling limb boundaries.
+  const BigUint wide =
+      (BigUint(0xFFFFFFFFFFFFFFFFULL) << 80) + BigUint(0x123456789ABCDEFULL);
+  for (const std::uint64_t d :
+       {std::uint64_t{1}, std::uint64_t{2}, std::uint64_t{0xFFFFFFFFULL},
+        std::uint64_t{1} << 32, (std::uint64_t{1} << 32) + 1,
+        std::uint64_t{0xFFFFFFFFFFFFFFFFULL}, std::uint64_t{97},
+        std::uint64_t{26389}}) {
+    const PreparedMod prepared(d);
+    EXPECT_EQ(prepared.divisor(), d);
+    for (const BigUint& v :
+         {BigUint(0), BigUint(1), BigUint(d - 1), BigUint(d),
+          BigUint(d) + BigUint(1), wide}) {
+      EXPECT_EQ(prepared.reduce(v), v.mod_u64(d)) << v << " mod " << d;
+    }
+  }
+}
+
+TEST(PreparedMod, ReduceU64MatchesHardwareRemainder) {
+  for (const std::uint64_t d : {std::uint64_t{3}, std::uint64_t{44},
+                                std::uint64_t{0xFFFFFFFFULL},
+                                (std::uint64_t{1} << 40) + 9}) {
+    const PreparedMod prepared(d);
+    for (const std::uint64_t x :
+         {std::uint64_t{0}, d - 1, d, d + 1, std::uint64_t{1} << 63,
+          std::uint64_t{0xFFFFFFFFFFFFFFFFULL}}) {
+      EXPECT_EQ(prepared.reduce_u64(x), x % d) << x << " mod " << d;
+    }
+  }
 }
 
 }  // namespace

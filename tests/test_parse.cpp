@@ -1,0 +1,97 @@
+// Strict numeric parsing (common/parse.hpp): whole-string consumption,
+// overflow rejection, and locale independence. The last one is the bug
+// class that motivated the module — std::stod/stoull honour the global
+// locale and accept trailing garbage, so "3abc" parsed as 3 and a
+// comma-decimal locale silently corrupted machine formats.
+#include "common/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <locale>
+#include <string>
+
+namespace kar::common {
+namespace {
+
+/// Installs a global locale whose numpunct uses ',' as the decimal point
+/// and '.' as the thousands separator (the classic de_DE shape) for the
+/// lifetime of the test, restoring the previous global on destruction.
+/// Built on top of the classic locale so it needs no OS locale data.
+class ScopedCommaLocale {
+ public:
+  ScopedCommaLocale()
+      : previous_(std::locale::global(
+            std::locale(std::locale::classic(), new CommaNumpunct))) {}
+  ~ScopedCommaLocale() { std::locale::global(previous_); }
+  ScopedCommaLocale(const ScopedCommaLocale&) = delete;
+  ScopedCommaLocale& operator=(const ScopedCommaLocale&) = delete;
+
+ private:
+  struct CommaNumpunct : std::numpunct<char> {
+    char do_decimal_point() const override { return ','; }
+    char do_thousands_sep() const override { return '.'; }
+    std::string do_grouping() const override { return "\3"; }
+  };
+  std::locale previous_;
+};
+
+TEST(ParseU64, AcceptsCanonicalDecimals) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("44"), 44u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), 18446744073709551615ULL);
+}
+
+TEST(ParseU64, RejectsTrailingGarbage) {
+  // The std::stoull behaviour this replaced: "3abc" parsed as 3.
+  EXPECT_FALSE(parse_u64("3abc"));
+  EXPECT_FALSE(parse_u64("3 "));
+  EXPECT_FALSE(parse_u64(" 3"));
+  EXPECT_FALSE(parse_u64("3.0"));
+}
+
+TEST(ParseU64, RejectsSignsEmptyAndOverflow) {
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("-1"));
+  EXPECT_FALSE(parse_u64("+1"));
+  EXPECT_FALSE(parse_u64("18446744073709551616"));  // 2^64
+}
+
+TEST(ParseI64, AcceptsNegativesRejectsPlusAndJunk) {
+  EXPECT_EQ(parse_i64("-42"), -42);
+  EXPECT_EQ(parse_i64("42"), 42);
+  EXPECT_FALSE(parse_i64("+42"));
+  EXPECT_FALSE(parse_i64("42x"));
+  EXPECT_FALSE(parse_i64(""));
+  EXPECT_FALSE(parse_i64("9223372036854775808"));  // INT64_MAX + 1
+}
+
+TEST(ParseDouble, AcceptsFixedAndScientific) {
+  EXPECT_EQ(parse_double("3.5"), 3.5);
+  EXPECT_EQ(parse_double("-0.25"), -0.25);
+  EXPECT_EQ(parse_double("1e3"), 1000.0);
+  EXPECT_EQ(parse_double("2.5e-4"), 2.5e-4);
+  EXPECT_EQ(parse_double("7"), 7.0);
+}
+
+TEST(ParseDouble, RejectsTrailingGarbageAndCommas) {
+  EXPECT_FALSE(parse_double("1.5abc"));
+  EXPECT_FALSE(parse_double("1e3junk"));
+  EXPECT_FALSE(parse_double("3,5"));
+  EXPECT_FALSE(parse_double(""));
+  EXPECT_FALSE(parse_double("+1.5"));
+}
+
+TEST(ParseDouble, IgnoresCommaDecimalGlobalLocale) {
+  // Under the locale-sensitive std::stod this replaced, a comma-decimal
+  // global locale made "3.5" stop at the '.' (yielding 3 plus trailing
+  // garbage) — the exact corruption mode for golden traces.
+  ScopedCommaLocale comma_locale;
+  EXPECT_EQ(parse_double("3.5"), 3.5);
+  EXPECT_EQ(parse_double("2.5e-4"), 2.5e-4);
+  EXPECT_FALSE(parse_double("3,5"));
+  EXPECT_EQ(parse_u64("1000000"), 1000000u);
+  EXPECT_FALSE(parse_u64("1.000.000"));
+}
+
+}  // namespace
+}  // namespace kar::common

@@ -13,6 +13,7 @@
 #include "rns/biguint.hpp"
 #include "rns/crt.hpp"
 #include "rns/modular.hpp"
+#include "rns/prepared_mod.hpp"
 #include "support/testsupport.hpp"
 
 namespace kar::rns {
@@ -127,6 +128,49 @@ TEST_P(RnsProperty, DivModMatchesSchoolbookReference) {
     const std::uint64_t small = 1 + rng.below(0xFFFFFFFFULL);
     EXPECT_EQ(dividend.mod_u64(small),
               (dividend % BigUint(small)).to_u64());
+  }
+}
+
+TEST_P(RnsProperty, DivModMatchesRetiredBinaryDivider) {
+  // The bit-at-a-time divider the word-level Knuth D implementation
+  // replaced stays in the tree as divmod_binary — an always-on
+  // differential oracle with completely different failure modes.
+  auto rng = testsupport::make_rng(GetParam() ^ 0xB1DULL, "DivModBinary");
+  for (int iteration = 0; iteration < 30; ++iteration) {
+    const BigUint dividend = random_biguint(rng, 32 + rng.below(300));
+    BigUint divisor = random_biguint(rng, 1 + rng.below(250));
+    if (divisor.is_zero()) divisor = BigUint(1 + rng.below(1000));
+
+    const auto fast = dividend.divmod(divisor);
+    const auto reference = dividend.divmod_binary(divisor);
+    EXPECT_EQ(fast.quotient, reference.quotient)
+        << dividend << " / " << divisor;
+    EXPECT_EQ(fast.remainder, reference.remainder)
+        << dividend << " % " << divisor;
+  }
+}
+
+TEST_P(RnsProperty, StringRoundTripsPreserveValue) {
+  auto rng = testsupport::make_rng(GetParam() ^ 0x57FULL, "StringRoundTrip");
+  for (int iteration = 0; iteration < 30; ++iteration) {
+    const BigUint value = random_biguint(rng, 1 + rng.below(260));
+    EXPECT_EQ(BigUint::from_string(value.to_string()), value);
+    EXPECT_EQ(BigUint::from_string("0x" + value.to_hex()), value);
+  }
+}
+
+TEST_P(RnsProperty, PreparedModMatchesModU64) {
+  auto rng = testsupport::make_rng(GetParam() ^ 0x9DULL, "PreparedMod");
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    const BigUint value = random_biguint(rng, 1 + rng.below(300));
+    // Half the draws stay in the Barrett range (< 2^32), half exercise the
+    // wide-divisor fallback path.
+    const std::uint64_t divisor =
+        iteration % 2 == 0 ? 1 + rng.below(0xFFFFFFFFULL)
+                           : (std::uint64_t{1} << 32) + rng.below(1u << 30);
+    const PreparedMod prepared(divisor);
+    EXPECT_EQ(prepared.reduce(value), value.mod_u64(divisor))
+        << value << " mod " << divisor;
   }
 }
 

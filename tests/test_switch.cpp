@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
+#include <stdexcept>
+#include <string>
 
 #include "routing/controller.hpp"
 #include "topology/builders.hpp"
@@ -178,6 +181,106 @@ TEST(DeflectionTechnique, StringRoundTrip) {
     EXPECT_EQ(technique_from_string(to_string(technique)), technique);
   }
   EXPECT_THROW(technique_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(DeflectionTechnique, FromStringIsCaseInsensitive) {
+  // Regression: "NIP" from a config file or CLI used to be rejected.
+  EXPECT_EQ(technique_from_string("NIP"), DeflectionTechnique::kNotInputPort);
+  EXPECT_EQ(technique_from_string("Nip"), DeflectionTechnique::kNotInputPort);
+  EXPECT_EQ(technique_from_string("AVP"), DeflectionTechnique::kAnyValidPort);
+  EXPECT_EQ(technique_from_string("Hp"), DeflectionTechnique::kHotPotato);
+  EXPECT_EQ(technique_from_string("NONE"), DeflectionTechnique::kNone);
+}
+
+TEST(DeflectionTechnique, UnknownNameErrorListsTheOptions) {
+  try {
+    (void)technique_from_string("bogus");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos) << what;
+    EXPECT_NE(what.find("none|hp|avp|nip"), std::string::npos) << what;
+  }
+}
+
+TEST_F(Fig1Fixture, FastResiduePathMatchesNaiveDecisionForDecision) {
+  // The default kFast switch and an explicit kNaive switch must make
+  // bit-identical decisions from identical RNG streams.
+  const topo::Topology& t = scenario.topology;
+  const KarSwitch fast(t, t.at("SW7"), DeflectionTechnique::kNotInputPort,
+                       ResiduePath::kFast);
+  const KarSwitch naive(t, t.at("SW7"), DeflectionTechnique::kNotInputPort,
+                        ResiduePath::kNaive);
+  EXPECT_EQ(fast.residue_path(), ResiduePath::kFast);
+  EXPECT_EQ(naive.residue_path(), ResiduePath::kNaive);
+  Rng rng_fast{99};
+  Rng rng_naive{99};
+  for (int pass = 0; pass < 2; ++pass) {  // second pass hits the memo
+    for (std::uint64_t r : {0u, 1u, 7u, 44u, 660u, 123456u}) {
+      const Packet p = make_packet(r);
+      const auto a = fast.forward(p, 0, rng_fast);
+      const auto b = naive.forward(p, 0, rng_naive);
+      EXPECT_EQ(a.action, b.action) << r;
+      EXPECT_EQ(a.out_port, b.out_port) << r;
+      EXPECT_EQ(a.deflected, b.deflected) << r;
+    }
+  }
+  // Every repeated route ID above was answered from the memo.
+  EXPECT_GT(fast.residue_cache().stats().hits, 0u);
+  EXPECT_EQ(naive.residue_cache().stats().hits, 0u);
+  EXPECT_EQ(naive.residue_cache().stats().misses, 0u);
+}
+
+TEST(ResidueCache, CountsHitsMissesAndServesCorrectResidues) {
+  ResidueCache cache;
+  const rns::PreparedMod mod(44);
+  const rns::BigUint a(100);      // 100 mod 44 = 12
+  const rns::BigUint b(1ULL << 40);
+  EXPECT_EQ(cache.lookup(a, mod), 12u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.lookup(a, mod), 12u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.lookup(b, mod), (1ULL << 40) % 44);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.lookup(b, mod), (1ULL << 40) % 44);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  cache.clear();
+  EXPECT_EQ(cache.lookup(a, mod), 12u);  // still correct after clear
+  EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(ResidueCache, CapacityOneEvictsButNeverAliases) {
+  // With a single slot every distinct route ID evicts the previous one;
+  // the full-key compare means the answers stay exact regardless.
+  ResidueCache cache(1);
+  const rns::PreparedMod mod(7);
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t value : {5u, 12u, 33u, 5u}) {
+      EXPECT_EQ(cache.lookup(rns::BigUint(value), mod), value % 7)
+          << "round " << round << " value " << value;
+    }
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 12u);
+}
+
+TEST(ResidueCache, DigestCollisionsAreDetectedByFullKeyCompare) {
+  // Force collisions structurally: capacity 1 maps every digest to slot 0,
+  // so any two distinct keys collide. Wide multi-limb keys must still
+  // never alias.
+  ResidueCache cache(1);
+  const rns::PreparedMod mod(26389);  // paper Table 1 unprotected width
+  const rns::BigUint wide_a = (rns::BigUint(1) << 200) + rns::BigUint(17);
+  const rns::BigUint wide_b = (rns::BigUint(1) << 200) + rns::BigUint(18);
+  const auto expect_a = wide_a.mod_u64(26389);
+  const auto expect_b = wide_b.mod_u64(26389);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(cache.lookup(wide_a, mod), expect_a);
+    EXPECT_EQ(cache.lookup(wide_b, mod), expect_b);
+  }
 }
 
 }  // namespace

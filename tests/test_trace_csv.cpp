@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <locale>
 #include <sstream>
+#include <string>
+#include <utility>
 
 #include "routing/controller.hpp"
 #include "topology/builders.hpp"
@@ -173,6 +176,77 @@ TEST(TraceCsv, EmptyInputParsesToNothing) {
   EXPECT_TRUE(parse_trace_csv(in).empty());
   std::istringstream header_only(std::string(TraceCsvWriter::kHeader) + "\n");
   EXPECT_TRUE(parse_trace_csv(header_only).empty());
+}
+
+TEST(TraceCsv, NumericFieldsRejectTrailingGarbage) {
+  // Regression: the std::stod/stoull parsing this replaced silently
+  // truncated "1.5abc" -> 1.5 and "7x" -> 7 instead of failing the row.
+  const auto row = [](const std::string& time, const std::string& packet_id,
+                      const std::string& out_port) {
+    return std::string(TraceCsvWriter::kHeader) + "\nhop," + time + "," +
+           packet_id + ",SW1," + out_port + ",0,\n";
+  };
+  for (const auto& [text, field] :
+       {std::pair<std::string, const char*>{row("1.5abc", "1", "0"), "time"},
+        {row("1.5", "7x", "0"), "packet_id"},
+        {row("1.5", "1", "0junk"), "out_port"},
+        {row("1.5", "1", "5000000000"), "out_port"}}) {  // > PortIndex max
+    std::istringstream in(text);
+    try {
+      (void)parse_trace_csv(in);
+      FAIL() << "row must be rejected: " << text;
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find(field), std::string::npos)
+          << "message was: " << error.what();
+      EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos)
+          << "message was: " << error.what();
+    }
+  }
+}
+
+TEST(TraceCsv, RoundTripsUnderCommaDecimalLocale) {
+  // Writer and parser are a machine-format pair: a comma-decimal global
+  // locale (plus an imbued sink) must change neither the bytes written nor
+  // the values read back. Before the classic-locale imbue in the writer and
+  // the from_chars parser, this corrupted the time field both ways.
+  struct CommaNumpunct : std::numpunct<char> {
+    char do_decimal_point() const override { return ','; }
+    char do_thousands_sep() const override { return '.'; }
+    std::string do_grouping() const override { return "\3"; }
+  };
+  struct ScopedGlobalLocale {
+    explicit ScopedGlobalLocale(const std::locale& locale)
+        : previous(std::locale::global(locale)) {}
+    ~ScopedGlobalLocale() { std::locale::global(previous); }
+    std::locale previous;
+  };
+  const std::locale comma(std::locale::classic(), new CommaNumpunct);
+  const ScopedGlobalLocale guard(comma);
+
+  std::ostringstream out;
+  out.imbue(comma);  // the writer must override even an explicit imbue
+  TraceCsvWriter writer(out);
+  TraceRecord record;
+  record.kind = TraceEvent::Kind::kHop;
+  record.time = 1234.5678;
+  record.packet_id = 100000;
+  record.node = "SW7";
+  record.out_port = 2;
+  record.deflected = true;
+  writer.write(record);
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("1234.5678"), std::string::npos) << text;
+  EXPECT_EQ(text.find("1234,5678"), std::string::npos) << text;
+  EXPECT_NE(text.find("100000"), std::string::npos) << text;
+
+  std::istringstream in(text);
+  const auto records = parse_trace_csv(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].time, 1234.5678);
+  EXPECT_EQ(records[0].packet_id, 100000u);
+  EXPECT_EQ(records[0].out_port, 2u);
+  EXPECT_TRUE(records[0].deflected);
 }
 
 }  // namespace
