@@ -1,0 +1,300 @@
+// Control-plane churn benchmark: incremental affected-set reconvergence vs
+// the full-recompute oracle (ISSUE: incremental control plane).
+//
+// For every (topology x route-count) configuration:
+//   1. build the scenario, attach a host edge to every core switch with a
+//      spare residue (so random src-dst pairs exist at scale), and register
+//      `routes` random edge-pair routes;
+//   2. generate `rounds` seeded link-churn schedules (src/faultgen,
+//      kRandomUpDown: independent fail/repair episodes on core links) and
+//      group their events into epochs by timestamp — mostly single-link
+//      churn, replayed back to back to measure *sustained* reconvergence
+//      throughput rather than first-epoch warmup;
+//   3. drive a ctrlplane::ReconvergenceEngine through the epochs once in
+//      incremental mode and once in full-recompute mode — identical
+//      topology states, identical event epochs — timing every epoch;
+//   4. verify the two final route tables are identical (liveness, route
+//      IDs, core paths), then report events/s and p50/p99 per-epoch
+//      reconvergence latency for both engines.
+//
+// Acceptance (the gate behind --min-speedup): at >= 10000 routes on rnp28
+// the incremental engine sustains >= 10x the full engine's events/s. The
+// committed record lives in BENCH_ctrlplane.json (regenerate with:
+// churn_convergence --out=BENCH_ctrlplane.json).
+//
+// Usage: churn_convergence [--topologies=fig2,rnp28]
+//                          [--routes=1000,10000,100000] [--horizon=2.0]
+//                          [--rounds=5] [--failure-probability=0.6]
+//                          [--seed=1] [--min-speedup=0] [--out=PATH]
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "ctrlplane/engine.hpp"
+#include "ctrlplane/route_store.hpp"
+#include "faultgen/schedule.hpp"
+#include "runner/jsonl.hpp"
+#include "stats/summary.hpp"
+#include "topology/builders.hpp"
+
+namespace {
+
+using kar::ctrlplane::EngineConfig;
+using kar::ctrlplane::EngineMode;
+using kar::ctrlplane::LinkChange;
+using kar::ctrlplane::ReconvergenceEngine;
+using kar::ctrlplane::RouteKey;
+using kar::ctrlplane::RouteStore;
+
+struct EngineRun {
+  std::size_t epochs = 0;
+  std::size_t candidates = 0;
+  std::size_t reencoded = 0;
+  std::size_t withdrawn = 0;
+  std::size_t spt_fallbacks = 0;
+  double total_s = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+
+  [[nodiscard]] double events_per_s(std::size_t events) const {
+    return total_s > 0.0 ? static_cast<double>(events) / total_s : 0.0;
+  }
+};
+
+struct CaseResult {
+  std::string topology;
+  std::size_t routes = 0;
+  std::size_t events = 0;
+  std::size_t epochs = 0;
+  EngineRun incremental;
+  EngineRun full;
+
+  [[nodiscard]] double speedup() const {
+    return full.total_s > 0.0 && incremental.total_s > 0.0
+               ? full.total_s / incremental.total_s
+               : 0.0;
+  }
+};
+
+kar::topo::Scenario make_scenario(const std::string& name) {
+  if (name == "fig1") return kar::topo::make_fig1_network();
+  if (name == "fig2") return kar::topo::make_experimental15();
+  if (name == "rnp28") return kar::topo::make_rnp28();
+  throw std::invalid_argument("churn_convergence: unknown topology " + name);
+}
+
+/// One engine pass over the schedule. Rebuilds topology + routes from the
+/// same seeds, so both modes see bit-identical inputs.
+EngineRun run_engine(const std::string& topology, EngineMode mode,
+                     std::size_t route_count, std::uint64_t seed,
+                     const std::vector<kar::faultgen::FailureSchedule>& rounds,
+                     RouteStore* final_store_out) {
+  kar::topo::Scenario s = make_scenario(topology);
+  kar::topo::Topology& t = s.topology;
+  (void)kar::topo::attach_host_edges(t);
+  const auto edges = t.nodes_of_kind(kar::topo::NodeKind::kEdgeNode);
+
+  RouteStore store(t);
+  EngineConfig config;
+  config.mode = mode;
+  ReconvergenceEngine engine(t, store, config);
+
+  kar::common::Rng route_rng(kar::common::derive_seed(seed, 0x9017e5));
+  for (std::size_t i = 0; i < route_count; ++i) {
+    const std::size_t si = route_rng.below(edges.size());
+    std::size_t di = route_rng.below(edges.size() - 1);
+    if (di >= si) ++di;
+    (void)engine.add_route(edges[si], edges[di]);
+  }
+
+  EngineRun run;
+  std::vector<double> epoch_wall;
+  for (const kar::faultgen::FailureSchedule& schedule : rounds) {
+    std::size_t i = 0;
+    while (i < schedule.events.size()) {
+      std::size_t j = i;
+      std::vector<LinkChange> events;
+      while (j < schedule.events.size() &&
+             schedule.events[j].time == schedule.events[i].time) {
+        const kar::faultgen::LinkEvent& e = schedule.events[j];
+        t.set_link_up(e.link, !e.fail);
+        events.push_back(LinkChange{e.link, !e.fail});
+        ++j;
+      }
+      const auto result = engine.apply(events);
+      epoch_wall.push_back(result.stats.wall_s);
+      run.candidates += result.stats.candidates;
+      run.reencoded += result.stats.reencoded;
+      run.withdrawn += result.stats.withdrawn;
+      run.spt_fallbacks += result.stats.spt_fallbacks;
+      run.total_s += result.stats.wall_s;
+      i = j;
+    }
+  }
+  run.epochs = epoch_wall.size();
+  if (!epoch_wall.empty()) {
+    run.p50_s = kar::stats::percentile(epoch_wall, 50.0);
+    run.p99_s = kar::stats::percentile(epoch_wall, 99.0);
+  }
+  if (final_store_out != nullptr) *final_store_out = std::move(store);
+  return run;
+}
+
+/// Final-table equality between the two modes (the light form of
+/// tests/test_ctrlplane_differential.cpp's per-epoch proof).
+bool tables_identical(const RouteStore& a, const RouteStore& b) {
+  if (a.size() != b.size()) return false;
+  for (RouteKey key = 0; key < a.size(); ++key) {
+    const auto& ra = a.get(key);
+    const auto& rb = b.get(key);
+    if (ra.live != rb.live) return false;
+    if (!ra.live) continue;
+    if (ra.core_path != rb.core_path) return false;
+    if (!(ra.route.route_id == rb.route.route_id)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = kar::common::Flags::parse(argc, argv);
+  const std::string topologies_flag =
+      flags.get_string("topologies", flags.get_string("topology", "fig2,rnp28"));
+  const std::string routes_flag = flags.get_string("routes", "1000,10000,100000");
+  const double horizon_s = flags.get_double("horizon", 2.0);
+  const auto rounds_count =
+      static_cast<std::size_t>(flags.get_int("rounds", 5));
+  const double failure_probability =
+      flags.get_double("failure-probability", 0.6);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const double min_speedup = flags.get_double("min-speedup", 0.0);
+  const std::string out_path = flags.get_string("out", "");
+
+  std::vector<std::size_t> route_counts;
+  for (const std::string& part : kar::common::split(routes_flag, ',')) {
+    route_counts.push_back(static_cast<std::size_t>(std::stoull(part)));
+  }
+
+  std::vector<CaseResult> results;
+  bool identical = true;
+  for (const std::string& topology :
+       kar::common::split(topologies_flag, ',')) {
+    // `rounds` independently seeded schedules per topology, replayed back
+    // to back and shared by every route count and both engine modes: link
+    // IDs are deterministic in the builders. A generator round caps at one
+    // fail/repair episode per link, so sustained churn needs several.
+    kar::topo::Scenario schedule_scenario = make_scenario(topology);
+    (void)kar::topo::attach_host_edges(schedule_scenario.topology);
+    kar::faultgen::ScheduleConfig schedule_config;
+    schedule_config.kind = kar::faultgen::ScheduleKind::kRandomUpDown;
+    schedule_config.horizon_s = horizon_s;
+    schedule_config.per_link_failure_probability = failure_probability;
+    schedule_config.mean_downtime_s = horizon_s / 8.0;
+    std::vector<kar::faultgen::FailureSchedule> schedules;
+    std::size_t total_events = 0;
+    for (std::size_t r = 0; r < rounds_count; ++r) {
+      kar::common::Rng schedule_rng(
+          kar::common::derive_seed(seed, 0x5c4ed + r));
+      schedules.push_back(kar::faultgen::generate_schedule(
+          schedule_scenario.topology, schedule_config, schedule_rng));
+      total_events += schedules.back().size();
+    }
+
+    for (const std::size_t routes : route_counts) {
+      CaseResult result;
+      result.topology = topology;
+      result.routes = routes;
+      result.events = total_events;
+      RouteStore inc_final(schedule_scenario.topology);
+      RouteStore full_final(schedule_scenario.topology);
+      result.incremental = run_engine(topology, EngineMode::kIncremental,
+                                      routes, seed, schedules, &inc_final);
+      result.full = run_engine(topology, EngineMode::kFullRecompute, routes,
+                               seed, schedules, &full_final);
+      result.epochs = result.incremental.epochs;
+      if (!tables_identical(inc_final, full_final)) {
+        std::cerr << "churn_convergence: final route tables diverge on "
+                  << topology << " with " << routes << " routes\n";
+        identical = false;
+      }
+      results.push_back(result);
+    }
+  }
+
+  bool pass = identical;
+  std::cout << "=== control-plane churn: incremental vs full recompute ===\n";
+  kar::common::TextTable table(
+      {"topology", "routes", "events", "epochs", "engine", "events/s",
+       "p50 ms", "p99 ms", "candidates", "reencoded", "fallbacks"});
+  for (const auto& c : results) {
+    const auto row = [&](const char* name, const EngineRun& run) {
+      table.add_row({c.topology, std::to_string(c.routes),
+                     std::to_string(c.events), std::to_string(c.epochs), name,
+                     kar::common::fmt_double(run.events_per_s(c.events), 0),
+                     kar::common::fmt_double(run.p50_s * 1e3, 3),
+                     kar::common::fmt_double(run.p99_s * 1e3, 3),
+                     std::to_string(run.candidates),
+                     std::to_string(run.reencoded),
+                     std::to_string(run.spt_fallbacks)});
+    };
+    row("incremental", c.incremental);
+    row("full", c.full);
+    // The gate: large tables on the backbone must reconverge an order of
+    // magnitude faster incrementally.
+    if (c.routes >= 10000) pass = pass && c.speedup() > min_speedup;
+  }
+  std::cout << table.render() << "\nspeedups (full wall / incremental wall):";
+  for (const auto& c : results) {
+    std::cout << ' ' << c.topology << '/' << c.routes << "="
+              << kar::common::fmt_double(c.speedup(), 1) << 'x';
+  }
+  std::cout << "\nacceptance: identical tables and, at >= 10000 routes, "
+            << "speedup > " << kar::common::fmt_double(min_speedup, 1)
+            << " -> " << (pass ? "PASS" : "FAIL") << '\n';
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "churn_convergence: cannot open " << out_path << '\n';
+      return 2;
+    }
+    for (const auto& c : results) {
+      const auto engine_json = [&](const EngineRun& run) {
+        kar::runner::JsonObject o;
+        o.field("events_per_s", run.events_per_s(c.events))
+            .field("total_s", run.total_s)
+            .field("p50_s", run.p50_s)
+            .field("p99_s", run.p99_s)
+            .field("candidates", static_cast<std::uint64_t>(run.candidates))
+            .field("reencoded", static_cast<std::uint64_t>(run.reencoded))
+            .field("withdrawn", static_cast<std::uint64_t>(run.withdrawn))
+            .field("spt_fallbacks",
+                   static_cast<std::uint64_t>(run.spt_fallbacks));
+        return o.str();
+      };
+      kar::runner::JsonObject record;
+      record.field("bench", "churn_convergence")
+          .field("topology", c.topology)
+          .field("routes", static_cast<std::uint64_t>(c.routes))
+          .field("events", static_cast<std::uint64_t>(c.events))
+          .field("epochs", static_cast<std::uint64_t>(c.epochs))
+          .field("seed", seed)
+          .field("horizon_s", horizon_s)
+          .field("rounds", static_cast<std::uint64_t>(rounds_count))
+          .raw("incremental", engine_json(c.incremental))
+          .raw("full", engine_json(c.full))
+          .field("speedup", c.speedup())
+          .field("tables_identical", identical);
+      out << record.str() << '\n';
+    }
+    std::cout << "recorded " << out_path << '\n';
+  }
+  return pass ? 0 : 1;
+}

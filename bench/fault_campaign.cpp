@@ -8,6 +8,7 @@
 //                  [--schedule=updown|srlg|flap|sweep] [--runs=100]
 //                  [--packets=20] [--horizon=0.5] [--max-hops=256]
 //                  [--detection-delay=0] [--seed=1] [--no-shrink]
+//                  [--engine=incremental|full]
 //                  [--mutate-hop-budget=N] [--quiet]
 //                  [--jobs=N] [--timeout=S] [--progress] [--jsonl=PATH]
 //                  [--bench-json[=PATH]]
@@ -38,6 +39,7 @@
 
 #include "common/flags.hpp"
 #include "common/strings.hpp"
+#include "ctrlplane/engine_mode.hpp"
 #include "faultgen/campaign.hpp"
 #include "obs/export.hpp"
 #include "runner/campaign_runner.hpp"
@@ -308,6 +310,13 @@ int main(int argc, char** argv) {
   if (flags.has("mutate-hop-budget")) {
     options.base.hop_budget_override =
         static_cast<std::uint32_t>(flags.get_int("mutate-hop-budget", 0));
+  }
+  try {
+    options.base.route_engine = ctrlplane::engine_mode_from_string(
+        flags.get_string("engine", "incremental"));
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
   }
   const std::string protection = flags.get_string("protection", "partial");
   if (protection == "none" || protection == "unprotected") {

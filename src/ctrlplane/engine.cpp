@@ -1,0 +1,297 @@
+#include "ctrlplane/engine.hpp"
+
+#include <algorithm>
+
+#include "obs/profile.hpp"
+
+namespace kar::ctrlplane {
+
+ReconvergenceEngine::ReconvergenceEngine(const topo::Topology& topology,
+                                         RouteStore& store, EngineConfig config)
+    : topo_(&topology),
+      store_(&store),
+      config_(config),
+      controller_(topology) {}
+
+std::size_t ReconvergenceEngine::threshold() const {
+  if (config_.spt_fallback_threshold != 0) return config_.spt_fallback_threshold;
+  return std::max<std::size_t>(topo_->node_count() / 4, 8);
+}
+
+DynamicSpt& ReconvergenceEngine::spt_for(topo::NodeId dst) {
+  auto it = spts_.find(dst);
+  if (it == spts_.end()) {
+    it = spts_
+             .emplace(dst, std::make_unique<DynamicSpt>(*topo_, dst,
+                                                        config_.metric,
+                                                        threshold()))
+             .first;
+  }
+  return *it->second;
+}
+
+void ReconvergenceEngine::attach_metrics(obs::MetricsRegistry& registry,
+                                         const obs::Labels& labels) {
+  events_total_ = registry.counter("kar_ctrlplane_events_total",
+                                   "Link state changes processed", labels);
+  epochs_total_ = registry.counter("kar_ctrlplane_epochs_total",
+                                   "Reconvergence epochs applied", labels);
+  reencodes_total_ = registry.counter("kar_ctrlplane_reencodes_total",
+                                      "Routes freshly encoded", labels);
+  withdrawals_total_ = registry.counter("kar_ctrlplane_withdrawals_total",
+                                        "Routes withdrawn (no usable path)",
+                                        labels);
+  fallbacks_total_ =
+      registry.counter("kar_ctrlplane_spt_fallbacks_total",
+                       "Dynamic-SPT full-rebuild fallbacks", labels);
+  routes_gauge_ =
+      registry.gauge("kar_ctrlplane_routes", "Routes in the store", labels);
+  reconvergence_seconds_ = registry.histogram(
+      "kar_ctrlplane_reconvergence_seconds",
+      "Wall time per reconvergence epoch",
+      {1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 1.0},
+      labels);
+  affected_routes_ = registry.histogram(
+      "kar_ctrlplane_affected_routes", "Candidate routes examined per epoch",
+      {1, 2, 5, 10, 25, 50, 100, 250, 1000, 5000, 25000, 100000}, labels);
+  updated_routes_ = registry.histogram(
+      "kar_ctrlplane_updated_routes", "Routes changed per epoch",
+      {1, 2, 5, 10, 25, 50, 100, 250, 1000, 5000, 25000, 100000}, labels);
+}
+
+const std::vector<std::pair<topo::NodeId, topo::NodeId>>&
+ReconvergenceEngine::protection_for(topo::NodeId dst,
+                                    const std::vector<topo::NodeId>& core_path) {
+  auto key = std::make_pair(dst, core_path);
+  auto it = protection_cache_.find(key);
+  if (it == protection_cache_.end()) {
+    it = protection_cache_
+             .emplace(std::move(key),
+                      routing::plan_driven_deflections(*topo_, core_path, dst,
+                                                       config_.planner))
+             .first;
+  }
+  return it->second;
+}
+
+bool ReconvergenceEngine::extract_core(topo::NodeId src, topo::NodeId dst,
+                                       std::vector<topo::NodeId>& core) {
+  DynamicSpt& spt = spt_for(dst);
+  const auto path = spt.canonical_path(src);
+  // A usable route needs src + at least one core switch + dst.
+  if (!path.has_value() || path->size() < 3) return false;
+  core.assign(path->begin() + 1, path->end() - 1);
+  return true;
+}
+
+const ReconvergenceEngine::CachedEncoding& ReconvergenceEngine::lookup_encoding(
+    topo::NodeId src, topo::NodeId dst,
+    const std::vector<topo::NodeId>& core) {
+  auto cache_key = std::make_tuple(src, dst, core);
+  auto it = encoding_cache_.find(cache_key);
+  if (it == encoding_cache_.end()) {
+    static const std::vector<std::pair<topo::NodeId, topo::NodeId>>
+        kNoProtection;
+    const auto& protection =
+        config_.plan_protection ? protection_for(dst, core) : kNoProtection;
+    CachedEncoding cached;
+    cached.route = controller_.encode_path(src, core, dst, protection);
+    cached.footprint = store_->build_footprint(src, core, cached.route);
+    it = encoding_cache_.emplace(std::move(cache_key), std::move(cached)).first;
+  }
+  return it->second;
+}
+
+void ReconvergenceEngine::reconverge_one(RouteKey key,
+                                         std::vector<RouteKey>& updated,
+                                         EpochStats& stats) {
+  const StoredRoute& entry = store_->get(key);
+  std::vector<topo::NodeId> core;
+  if (!extract_core(entry.src, entry.dst, core)) {
+    if (entry.live) {
+      store_->set_dead(key, version_);
+      updated.push_back(key);
+      ++stats.withdrawn;
+    }
+    return;
+  }
+  if (entry.live && core == entry.core_path) return;  // canonical path held
+  if (config_.mode == EngineMode::kIncremental) {
+    const CachedEncoding& enc = lookup_encoding(entry.src, entry.dst, core);
+    store_->set_encoding(key, std::move(core), enc.route, version_,
+                         &enc.footprint);
+  } else {
+    static const std::vector<std::pair<topo::NodeId, topo::NodeId>>
+        kNoProtection;
+    const auto& protection = config_.plan_protection
+                                 ? protection_for(entry.dst, core)
+                                 : kNoProtection;
+    routing::EncodedRoute encoded =
+        controller_.encode_path(entry.src, core, entry.dst, protection);
+    store_->set_encoding(key, std::move(core), std::move(encoded), version_);
+  }
+  updated.push_back(key);
+  ++stats.reencoded;
+}
+
+void ReconvergenceEngine::reconverge_group(RouteKey rep,
+                                           std::vector<RouteKey>& updated,
+                                           EpochStats& stats) {
+  const StoredRoute& head = store_->get(rep);
+  const topo::NodeId src = head.src;
+  const topo::NodeId dst = head.dst;
+  const bool was_live = head.live;
+  std::vector<topo::NodeId> core;
+  if (!extract_core(src, dst, core)) {
+    if (was_live) {
+      for (const RouteKey member : store_->group(rep)) {
+        store_->set_dead(member, version_);
+        updated.push_back(member);
+        ++stats.withdrawn;
+      }
+    }
+    return;
+  }
+  if (was_live && core == head.core_path) return;  // canonical path held
+  const CachedEncoding& enc = lookup_encoding(src, dst, core);
+  for (const RouteKey member : store_->group(rep)) {
+    store_->set_encoding(member, core, enc.route, version_, &enc.footprint);
+    updated.push_back(member);
+    ++stats.reencoded;
+  }
+}
+
+RouteKey ReconvergenceEngine::add_route(topo::NodeId src, topo::NodeId dst) {
+  const RouteKey key = store_->add(src, dst);
+  (void)spt_for(dst);
+  std::vector<RouteKey> updated;
+  EpochStats scratch;
+  reconverge_one(key, updated, scratch);
+  routes_gauge_.set(static_cast<double>(store_->size()));
+  return key;
+}
+
+EpochResult ReconvergenceEngine::apply(const std::vector<LinkChange>& events) {
+  EpochResult result;
+  {
+    obs::SpanTimer timer(&result.stats.wall_s, trace_, "ctrlplane.apply");
+    ++version_;
+    result.version = version_;
+    result.stats.events = events.size();
+
+    if (config_.mode == EngineMode::kFullRecompute) {
+      for (const topo::NodeId dst : store_->destinations()) {
+        spt_for(dst).rebuild();
+      }
+      result.stats.candidates = store_->size();
+      for (RouteKey key = 0; key < store_->size(); ++key) {
+        reconverge_one(key, result.updated, result.stats);
+      }
+    } else {
+      key_scratch_.clear();
+      // 1. Advance every per-destination SPT through the epoch event by
+      //    event, collecting routes (to that destination) that depend on a
+      //    moved distance. The event direction bounds the sweep: a repair
+      //    only *decreases* distances, and a decrease at node n can steal
+      //    the argmin at any neighbor of n — so it takes the full
+      //    neighborhood dependency index. A failure only *increases*
+      //    distances, and a worsened candidate can only matter where it
+      //    was the one chosen — so only routes whose path contains the
+      //    node need the path index. (Masks are indexed against each
+      //    route's epoch-start path; the first event that changes a
+      //    route's path sees those masks still valid, which is enough for
+      //    the superset argument — see docs/ctrlplane.md.)
+      for (const topo::NodeId dst : store_->destinations()) {
+        DynamicSpt& spt = spt_for(dst);
+        for (const LinkChange& event : events) {
+          changed_scratch_.clear();
+          const SptUpdateStats s =
+              spt.apply_link_event(event.link, event.up, changed_scratch_);
+          result.stats.spt_dirty += s.dirty;
+          if (s.fallback) ++result.stats.spt_fallbacks;
+          std::sort(changed_scratch_.begin(), changed_scratch_.end());
+          changed_scratch_.erase(
+              std::unique(changed_scratch_.begin(), changed_scratch_.end()),
+              changed_scratch_.end());
+          for (const topo::NodeId node : changed_scratch_) {
+            if (event.up) {
+              store_->collect_node_dependents(node, dst, key_scratch_);
+            } else {
+              store_->collect_path_dependents(node, dst, key_scratch_);
+            }
+          }
+        }
+      }
+      // 2. Routes whose encoding references an event link; for link-up
+      //    events additionally every route choosing a next hop at an
+      //    endpoint — a repaired link can appear as a new equal-cost
+      //    candidate there and flip the tie-break without moving any
+      //    distance. (A link-down needs no endpoint sweep: removing a
+      //    candidate only changes an argmin if it *was* the argmin, i.e.
+      //    the link was on the chosen path and is in the link index.)
+      for (const LinkChange& event : events) {
+        store_->collect_link_dependents(event.link, key_scratch_);
+        if (event.up) {
+          const topo::Link& link = topo_->link(event.link);
+          store_->collect_path_dependents(link.a.node, key_scratch_);
+          store_->collect_path_dependents(link.b.node, key_scratch_);
+        }
+      }
+      std::sort(key_scratch_.begin(), key_scratch_.end());
+      key_scratch_.erase(std::unique(key_scratch_.begin(), key_scratch_.end()),
+                         key_scratch_.end());
+      result.stats.candidates = key_scratch_.size();
+      // 3. Reconverge once per endpoint group: the collected keys are
+      //    group representatives; installs fan out to the members, so the
+      //    updated list is re-sorted below.
+      for (const RouteKey rep : key_scratch_) {
+        reconverge_group(rep, result.updated, result.stats);
+      }
+      std::sort(result.updated.begin(), result.updated.end());
+    }
+  }
+
+  totals_.events += result.stats.events;
+  totals_.candidates += result.stats.candidates;
+  totals_.reencoded += result.stats.reencoded;
+  totals_.withdrawn += result.stats.withdrawn;
+  totals_.spt_fallbacks += result.stats.spt_fallbacks;
+  totals_.spt_dirty += result.stats.spt_dirty;
+  totals_.wall_s += result.stats.wall_s;
+
+  events_total_.inc(result.stats.events);
+  epochs_total_.inc();
+  reencodes_total_.inc(result.stats.reencoded);
+  withdrawals_total_.inc(result.stats.withdrawn);
+  fallbacks_total_.inc(result.stats.spt_fallbacks);
+  routes_gauge_.set(static_cast<double>(store_->size()));
+  reconvergence_seconds_.observe(result.stats.wall_s);
+  affected_routes_.observe(static_cast<double>(result.stats.candidates));
+  updated_routes_.observe(static_cast<double>(result.updated.size()));
+  return result;
+}
+
+std::vector<TraceHop> forwarding_trace(const topo::Topology& topology,
+                                       const routing::EncodedRoute& route,
+                                       std::size_t max_hops) {
+  std::vector<TraceHop> trace;
+  if (route.assignments.empty() || route.primary_count == 0) return trace;
+  const topo::NodeId first = route.assignments.front().node;
+  const auto uplink = topology.port_to(route.src_edge, first);
+  if (!uplink.has_value()) return trace;
+  trace.push_back(TraceHop{route.src_edge, *uplink});
+  topo::NodeId cur = first;
+  while (trace.size() <= max_hops &&
+         topology.kind(cur) == topo::NodeKind::kCoreSwitch) {
+    const topo::SwitchId id = topology.switch_id(cur);
+    const auto port =
+        static_cast<topo::PortIndex>(route.route_id.mod_u64(id));
+    trace.push_back(TraceHop{cur, port});
+    const auto next = topology.neighbor(cur, port);
+    if (!next.has_value()) break;
+    cur = *next;
+  }
+  return trace;
+}
+
+}  // namespace kar::ctrlplane

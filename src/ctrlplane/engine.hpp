@@ -1,0 +1,208 @@
+// The reconvergence engine: the layer between the static routing::Controller
+// and sim::Network that keeps a RouteStore consistent with a changing
+// topology.
+//
+// Incremental mode (the point of the subsystem): on an event epoch it
+//   1. advances every per-destination DynamicSpt through the epoch's link
+//      changes, collecting the nodes whose distance moved;
+//   2. assembles the affected candidate set from the store's indexes —
+//      routes referencing an event link, routes choosing a next hop at a
+//      *repaired* link's endpoints (the equal-cost tie-flip case), routes
+//      whose path contains a node whose distance *increased* (failures),
+//      and routes depending on a node whose distance *decreased*
+//      (repairs — a decrease can steal an argmin anywhere next door);
+//   3. re-extracts each candidate group's canonical path from its SPT —
+//      the store indexes one representative per (src, dst) endpoint
+//      group, since routes sharing endpoints share paths and encodings —
+//      and only when the path actually differs re-encodes (primary +
+//      cached driven-deflection protection, both memoised on the static
+//      topology) and installs into every group member with the new epoch
+//      version.
+// Every route outside the candidate set provably keeps its canonical path
+// (docs/ctrlplane.md walks the superset argument), so skipping it is safe.
+//
+// Full-recompute mode is the differential oracle: rebuild every SPT, walk
+// every route. Identical outputs are enforced by
+// tests/test_ctrlplane_differential.cpp.
+//
+// Protection is planned on the *intended* topology (the planner ignores
+// failures, mirroring the paper's controller), so a route's protection set
+// is a pure function of (destination, primary core path) — the engine
+// memoises it and never invalidates the cache.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ctrlplane/engine_mode.hpp"
+#include "ctrlplane/route_store.hpp"
+#include "ctrlplane/spt.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "routing/controller.hpp"
+#include "routing/protection.hpp"
+#include "topology/graph.hpp"
+
+namespace kar::ctrlplane {
+
+/// One link state transition inside an event epoch.
+struct LinkChange {
+  topo::LinkId link = topo::kInvalidLink;
+  bool up = false;
+};
+
+/// Engine knobs.
+struct EngineConfig {
+  EngineMode mode = EngineMode::kIncremental;
+  routing::PathMetric metric = routing::PathMetric::kHopCount;
+  /// Plan driven-deflection protection for every primary path (memoised);
+  /// false encodes bare primary paths.
+  bool plan_protection = true;
+  routing::PlannerOptions planner;
+  /// Affected-subtree size beyond which a DynamicSpt delete falls back to
+  /// a full Dijkstra rebuild. 0 = auto (node_count / 4, at least 8).
+  std::size_t spt_fallback_threshold = 0;
+};
+
+/// Per-epoch accounting.
+struct EpochStats {
+  std::size_t events = 0;        ///< Link changes in the epoch.
+  /// Affected-superset size examined this epoch: endpoint *groups* in
+  /// incremental mode, individual routes in full-recompute mode.
+  std::size_t candidates = 0;
+  std::size_t reencoded = 0;     ///< Routes freshly encoded.
+  std::size_t withdrawn = 0;     ///< Routes that went dead.
+  std::size_t spt_fallbacks = 0; ///< Dynamic-SPT full-rebuild escapes.
+  std::size_t spt_dirty = 0;     ///< Sum of per-SPT dirty node counts.
+  double wall_s = 0.0;
+};
+
+/// Outcome of one apply(): the new table version and the changed keys.
+struct EpochResult {
+  std::uint64_t version = 0;
+  /// Keys whose table entry changed this epoch, ascending (re-encoded and
+  /// withdrawn alike; unchanged candidates are not listed).
+  std::vector<RouteKey> updated;
+  EpochStats stats;
+};
+
+class ReconvergenceEngine {
+ public:
+  /// Both references must outlive the engine; the store must be driven
+  /// exclusively through this engine.
+  ReconvergenceEngine(const topo::Topology& topology, RouteStore& store,
+                      EngineConfig config = {});
+
+  [[nodiscard]] EngineMode mode() const noexcept { return config_.mode; }
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+  [[nodiscard]] const RouteStore& store() const noexcept { return *store_; }
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+  /// Registers kar_ctrlplane_* metric families on `registry` and binds the
+  /// engine's handles to them (reconvergence-latency histogram, affected /
+  /// updated per-epoch histograms, event/re-encode/fallback counters,
+  /// stored-route gauge).
+  void attach_metrics(obs::MetricsRegistry& registry,
+                      const obs::Labels& labels = {});
+
+  /// Records a span per apply() into `recorder` (nullptr detaches).
+  void set_trace(obs::TraceRecorder* recorder) noexcept { trace_ = recorder; }
+
+  /// Adds a route for (src, dst) and converges it against the current
+  /// topology state. Throws std::invalid_argument when the endpoints are
+  /// not edge nodes.
+  RouteKey add_route(topo::NodeId src, topo::NodeId dst);
+
+  /// Applies one event epoch (the link states in the topology must already
+  /// reflect every change) and reconverges the store.
+  EpochResult apply(const std::vector<LinkChange>& events);
+
+  /// Running totals across every epoch so far (wall time included).
+  [[nodiscard]] const EpochStats& totals() const noexcept { return totals_; }
+
+ private:
+  /// Persistent encoding memo entry: on the static topology structure the
+  /// encoding and its index footprint are pure functions of
+  /// (src, dst, core path) — like the protection memo, never invalidated.
+  /// Churn that flips a pair between a handful of alternate paths pays the
+  /// CRT solve and footprint walk only on first sight of each path.
+  struct CachedEncoding {
+    routing::EncodedRoute route;
+    IndexFootprint footprint;
+  };
+
+  [[nodiscard]] std::size_t threshold() const;
+  DynamicSpt& spt_for(topo::NodeId dst);
+  /// Canonical core path for (src, dst) from the destination's SPT; false
+  /// when no usable path exists (a route needs src + >= 1 switch + dst).
+  bool extract_core(topo::NodeId src, topo::NodeId dst,
+                    std::vector<topo::NodeId>& core);
+  /// Finds or builds the persistent encoding-cache entry for
+  /// (src, dst, core) — incremental mode's encode path.
+  const CachedEncoding& lookup_encoding(topo::NodeId src, topo::NodeId dst,
+                                        const std::vector<topo::NodeId>& core);
+  /// Naive per-route reconvergence (full reference mode and add_route).
+  void reconverge_one(RouteKey key, std::vector<RouteKey>& updated,
+                      EpochStats& stats);
+  /// Group reconvergence (incremental mode): decide once per endpoint
+  /// group via its representative, fan the install out to every member.
+  void reconverge_group(RouteKey rep, std::vector<RouteKey>& updated,
+                        EpochStats& stats);
+  [[nodiscard]] const std::vector<std::pair<topo::NodeId, topo::NodeId>>&
+  protection_for(topo::NodeId dst, const std::vector<topo::NodeId>& core_path);
+
+  const topo::Topology* topo_;
+  RouteStore* store_;
+  EngineConfig config_;
+  routing::Controller controller_;
+  std::unordered_map<topo::NodeId, std::unique_ptr<DynamicSpt>> spts_;
+  std::uint64_t version_ = 0;
+  EpochStats totals_;
+  /// Protection memo: (dst, core path) -> planned assignments (pure
+  /// function of the intended topology; never invalidated).
+  std::map<std::pair<topo::NodeId, std::vector<topo::NodeId>>,
+           std::vector<std::pair<topo::NodeId, topo::NodeId>>>
+      protection_cache_;
+  /// Encoding memo (incremental mode only; see CachedEncoding).
+  std::map<std::tuple<topo::NodeId, topo::NodeId, std::vector<topo::NodeId>>,
+           CachedEncoding>
+      encoding_cache_;
+  obs::TraceRecorder* trace_ = nullptr;
+  // Metric handles (inert until attach_metrics).
+  obs::Counter events_total_;
+  obs::Counter epochs_total_;
+  obs::Counter reencodes_total_;
+  obs::Counter withdrawals_total_;
+  obs::Counter fallbacks_total_;
+  obs::Gauge routes_gauge_;
+  obs::Histogram reconvergence_seconds_;
+  obs::Histogram affected_routes_;
+  obs::Histogram updated_routes_;
+  // Scratch
+  std::vector<topo::NodeId> changed_scratch_;
+  std::vector<RouteKey> key_scratch_;
+};
+
+/// One hop of a pure modulo walk over an encoded route.
+struct TraceHop {
+  topo::NodeId node = topo::kInvalidNode;
+  topo::PortIndex port = 0;
+
+  friend bool operator==(const TraceHop&, const TraceHop&) = default;
+};
+
+/// The control-plane semantics of an encoding: starting at the source
+/// edge's uplink, apply route_id mod switch_id at every core switch,
+/// ignoring link state and deflection. Stops on reaching an edge node, a
+/// dead end, or after `max_hops`. Used by the differential suite to prove
+/// two route tables forward identically.
+[[nodiscard]] std::vector<TraceHop> forwarding_trace(
+    const topo::Topology& topology, const routing::EncodedRoute& route,
+    std::size_t max_hops = 64);
+
+}  // namespace kar::ctrlplane

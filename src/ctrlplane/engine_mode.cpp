@@ -1,0 +1,27 @@
+#include "ctrlplane/engine_mode.hpp"
+
+#include <cctype>
+#include <stdexcept>
+#include <string>
+
+namespace kar::ctrlplane {
+
+std::string_view to_string(EngineMode mode) {
+  switch (mode) {
+    case EngineMode::kIncremental: return "incremental";
+    case EngineMode::kFullRecompute: return "full";
+  }
+  return "?";
+}
+
+EngineMode engine_mode_from_string(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "incremental" || lower == "inc") return EngineMode::kIncremental;
+  if (lower == "full" || lower == "full-recompute") return EngineMode::kFullRecompute;
+  throw std::invalid_argument("engine_mode_from_string: unknown engine \"" +
+                              std::string(name) +
+                              "\" (expected incremental|full)");
+}
+
+}  // namespace kar::ctrlplane

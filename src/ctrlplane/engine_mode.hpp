@@ -1,0 +1,30 @@
+// Route-engine selection knob, split into its own header so sim::NetworkConfig
+// and faultgen::CampaignConfig can name the mode without pulling in the whole
+// control plane (mirrors dataplane::ResiduePath from the forwarding fast path).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace kar::ctrlplane {
+
+/// Which reconvergence engine maintains the route table on link events.
+enum class EngineMode : std::uint8_t {
+  /// Affected-set reconvergence: dynamic per-destination SPTs plus the
+  /// RouteStore inverted index; only routes a topology event actually
+  /// touches are re-encoded (the default).
+  kIncremental,
+  /// Reference oracle: rebuild every SPT and re-encode every stored route
+  /// on every event epoch. Slow but obviously correct; the differential
+  /// suite (tests/test_ctrlplane_differential.cpp) pins the two modes to
+  /// identical route tables.
+  kFullRecompute,
+};
+
+[[nodiscard]] std::string_view to_string(EngineMode mode);
+
+/// Parses "incremental" / "full" (case-insensitive). Throws
+/// std::invalid_argument on anything else, listing the accepted names.
+[[nodiscard]] EngineMode engine_mode_from_string(std::string_view name);
+
+}  // namespace kar::ctrlplane

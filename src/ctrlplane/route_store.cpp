@@ -1,0 +1,230 @@
+#include "ctrlplane/route_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace kar::ctrlplane {
+
+RouteStore::RouteStore(const topo::Topology& topology)
+    : topo_(&topology),
+      link_index_(topology.link_count()),
+      node_index_(topology.node_count()),
+      path_index_(topology.node_count()) {
+  dst_seen_.assign(topology.node_count(), false);
+}
+
+RouteKey RouteStore::add(topo::NodeId src, topo::NodeId dst) {
+  if (topo_->kind(src) != topo::NodeKind::kEdgeNode) {
+    throw std::invalid_argument("RouteStore: source " + topo_->name(src) +
+                                " is not an edge node");
+  }
+  if (topo_->kind(dst) != topo::NodeKind::kEdgeNode) {
+    throw std::invalid_argument("RouteStore: destination " + topo_->name(dst) +
+                                " is not an edge node");
+  }
+  const RouteKey key = routes_.size();
+  StoredRoute entry;
+  entry.key = key;
+  entry.rep = rep_of_.try_emplace(std::make_pair(src, dst), key).first->second;
+  entry.src = src;
+  entry.dst = dst;
+  entry.deps = NodeMask(topo_->node_count());
+  entry.path_nodes = NodeMask(topo_->node_count());
+  groups_.emplace_back();
+  groups_[entry.rep].push_back(key);
+  routes_.push_back(std::move(entry));
+  if (!dst_seen_[dst]) {
+    dst_seen_[dst] = true;
+    destinations_.push_back(dst);
+  }
+  reindex(routes_.back(), nullptr);
+  return key;
+}
+
+void RouteStore::set_encoding(RouteKey key, std::vector<topo::NodeId> core_path,
+                              routing::EncodedRoute route,
+                              std::uint64_t version,
+                              const IndexFootprint* footprint) {
+  StoredRoute& entry = routes_[key];
+  entry.live = true;
+  entry.route = std::move(route);
+  entry.core_path = std::move(core_path);
+  entry.version = version;
+  reindex(entry, footprint);
+}
+
+void RouteStore::set_dead(RouteKey key, std::uint64_t version) {
+  StoredRoute& entry = routes_[key];
+  entry.live = false;
+  entry.route = routing::EncodedRoute{};
+  entry.core_path.clear();
+  entry.version = version;
+  reindex(entry, nullptr);
+}
+
+IndexFootprint RouteStore::build_footprint(
+    topo::NodeId src, const std::vector<topo::NodeId>& core_path,
+    const routing::EncodedRoute& route) const {
+  IndexFootprint f;
+  f.deps = NodeMask(topo_->node_count());
+  f.path_nodes = NodeMask(topo_->node_count());
+  // Canonical path selection at a node reads the distances of *all* its
+  // neighbors plus the state of its incident links, so the dependency set
+  // closes over the neighborhood of the source and every path node.
+  const auto depend_on_neighborhood = [&](topo::NodeId node) {
+    f.deps.set(node);
+    for (const auto& [port, next] : topo_->neighbors(node)) {
+      (void)port;
+      f.deps.set(next);
+    }
+  };
+  f.path_nodes.set(src);
+  depend_on_neighborhood(src);
+  for (const topo::NodeId node : core_path) {
+    depend_on_neighborhood(node);
+    f.path_nodes.set(node);
+  }
+
+  // Link set: the source uplink plus every assignment's egress link
+  // (primary hops and protection edges alike).
+  if (const auto uplink_port = topo_->port_to(src, core_path.front())) {
+    f.links.push_back(topo_->link_at(src, *uplink_port));
+  }
+  for (const routing::PortAssignment& a : route.assignments) {
+    const topo::LinkId link = topo_->link_at(a.node, a.port);
+    if (link != topo::kInvalidLink) f.links.push_back(link);
+  }
+  std::sort(f.links.begin(), f.links.end());
+  f.links.erase(std::unique(f.links.begin(), f.links.end()), f.links.end());
+  return f;
+}
+
+void RouteStore::reindex(StoredRoute& entry, const IndexFootprint* footprint) {
+  // Diff-append: a bit already set in the old mask means the key is already
+  // in that posting (scans only drop a key once its bit clears), so only
+  // newly set bits and newly referenced links need an append. This keeps
+  // reinstall cost proportional to how much the footprint moved, not to
+  // its size, and bounds posting growth under path flapping.
+  // Only the group representative is posted (see file comment); member
+  // routes still mirror the footprint so direct inspection stays truthful.
+  const bool is_rep = entry.key == entry.rep;
+  const auto post = [&](std::vector<RouteKey>& posting) {
+    if (posting.empty() || posting.back() != entry.key) {
+      posting.push_back(entry.key);
+    }
+  };
+  if (!entry.live) {
+    // A dead route revives only via d(src) changing.
+    if (is_rep) {
+      if (!entry.deps.test(entry.src)) post(node_index_[entry.src][entry.dst]);
+      if (!entry.path_nodes.test(entry.src)) {
+        post(path_index_[entry.src][entry.dst]);
+      }
+    }
+    entry.deps.clear();
+    entry.path_nodes.clear();
+    entry.links.clear();
+    entry.deps.set(entry.src);
+    entry.path_nodes.set(entry.src);
+    return;
+  }
+  IndexFootprint local;
+  if (footprint == nullptr) {
+    local = build_footprint(entry.src, entry.core_path, entry.route);
+    footprint = &local;
+  }
+  if (is_rep) {
+    footprint->deps.for_each_not_in(entry.deps, [&](std::size_t node) {
+      post(node_index_[node][entry.dst]);
+    });
+    footprint->path_nodes.for_each_not_in(
+        entry.path_nodes,
+        [&](std::size_t node) { post(path_index_[node][entry.dst]); });
+    for (const topo::LinkId link : footprint->links) {
+      if (!std::binary_search(entry.links.begin(), entry.links.end(), link)) {
+        post(link_index_[link]);
+      }
+    }
+  }
+  entry.deps = footprint->deps;
+  entry.path_nodes = footprint->path_nodes;
+  entry.links = footprint->links;
+}
+
+bool RouteStore::route_uses_link(const StoredRoute& entry,
+                                 topo::LinkId link) const {
+  return std::binary_search(entry.links.begin(), entry.links.end(), link);
+}
+
+namespace {
+
+/// Shared posting scan: append keys passing `keep`, lazily compacting the
+/// posting when more than half of it was stale.
+template <typename Keep>
+void scan_posting(std::vector<RouteKey>& posting, const Keep& keep,
+                  std::vector<RouteKey>& out) {
+  std::size_t kept = 0;
+  for (const RouteKey key : posting) {
+    if (keep(key)) {
+      out.push_back(key);
+      ++kept;
+    }
+  }
+  if (kept * 2 < posting.size()) {
+    std::vector<RouteKey> fresh(out.end() - static_cast<std::ptrdiff_t>(kept),
+                                out.end());
+    std::sort(fresh.begin(), fresh.end());
+    fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+    posting = std::move(fresh);
+  }
+}
+
+}  // namespace
+
+void RouteStore::collect_link_dependents(topo::LinkId link,
+                                         std::vector<RouteKey>& out) const {
+  scan_posting(
+      link_index_[link],
+      [&](RouteKey key) { return route_uses_link(routes_[key], link); }, out);
+}
+
+void RouteStore::collect_node_dependents(topo::NodeId node, topo::NodeId dst,
+                                         std::vector<RouteKey>& out) const {
+  const auto it = node_index_[node].find(dst);
+  if (it == node_index_[node].end()) return;
+  scan_posting(
+      it->second, [&](RouteKey key) { return routes_[key].deps.test(node); },
+      out);
+}
+
+void RouteStore::collect_node_dependents(topo::NodeId node,
+                                         std::vector<RouteKey>& out) const {
+  for (auto& [dst, posting] : node_index_[node]) {
+    (void)dst;
+    scan_posting(
+        posting, [&](RouteKey key) { return routes_[key].deps.test(node); },
+        out);
+  }
+}
+
+void RouteStore::collect_path_dependents(topo::NodeId node, topo::NodeId dst,
+                                         std::vector<RouteKey>& out) const {
+  const auto it = path_index_[node].find(dst);
+  if (it == path_index_[node].end()) return;
+  scan_posting(
+      it->second,
+      [&](RouteKey key) { return routes_[key].path_nodes.test(node); }, out);
+}
+
+void RouteStore::collect_path_dependents(topo::NodeId node,
+                                         std::vector<RouteKey>& out) const {
+  for (auto& [dst, posting] : path_index_[node]) {
+    (void)dst;
+    scan_posting(
+        posting,
+        [&](RouteKey key) { return routes_[key].path_nodes.test(node); }, out);
+  }
+}
+
+}  // namespace kar::ctrlplane

@@ -1,0 +1,221 @@
+// The control plane's route table: every encoded KAR route (primary path +
+// driven-deflection protection + CRT route ID) plus the inverted indexes the
+// incremental engine needs to answer "which routes can a link event touch?"
+// without scanning the table.
+//
+// Index invariants (docs/ctrlplane.md):
+//   * link index — a live route is reachable from every link its encoding
+//     references: each primary-path hop, the source edge's uplink, and every
+//     driven-deflection protection edge (assignment port -> link);
+//   * dependency index — a route is reachable from every node whose distance
+//     field or incident-link set its canonical path selection reads: the
+//     source edge, every primary-path node, and all their neighbors (a dead
+//     route keeps only its source edge, whose distance turning finite is the
+//     only event that can revive it);
+//   * path index — a route is reachable from every node where its canonical
+//     next hop is chosen ({src} ∪ core path; {src} when dead): a link-up
+//     event can flip an equal-cost tie at its endpoints without moving any
+//     distance, and a distance *increase* (link failure) only matters to
+//     routes whose chosen path runs through the worsened node — in both
+//     cases only routes actually choosing there;
+//   * node and path postings are bucketed by destination: the engine's
+//     distance-change sweep runs per destination SPT, and a flat posting
+//     would make every sweep scan (then discard) the other destinations'
+//     routes — a |destinations|-fold overscan at scale;
+//   * only each (src, dst) group's *representative* route is posted: all
+//     routes sharing endpoints carry identical state, so indexing every
+//     member would multiply scan and dedup cost by the mean group size.
+//     collect_*() therefore yields representatives; expand with group();
+//   * postings are append-only with lazy compaction: a lookup filters stale
+//     entries against the route's current link set / dependency mask and
+//     rewrites the posting list when more than half of it was stale.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "routing/encoded_route.hpp"
+#include "topology/graph.hpp"
+
+namespace kar::ctrlplane {
+
+/// Dense route handle: the i-th added route has key i.
+using RouteKey = std::uint64_t;
+
+/// Fixed-capacity bitset over NodeIds (the store sizes it to the topology).
+class NodeMask {
+ public:
+  NodeMask() = default;
+  explicit NodeMask(std::size_t bits) : words_((bits + 63) / 64) {}
+
+  void set(std::size_t bit) { words_[bit >> 6] |= std::uint64_t{1} << (bit & 63); }
+  [[nodiscard]] bool test(std::size_t bit) const {
+    return (words_[bit >> 6] >> (bit & 63)) & 1;
+  }
+  [[nodiscard]] bool intersects(const NodeMask& other) const {
+    const std::size_t n = std::min(words_.size(), other.words_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+  void clear() { words_.assign(words_.size(), 0); }
+
+  /// Calls `fn(bit)` for every set bit, ascending.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      for (std::uint64_t bits = words_[w]; bits != 0; bits &= bits - 1) {
+        fn(w * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
+      }
+    }
+  }
+
+  /// Calls `fn(bit)` for every bit set here but not in `other` (which must
+  /// have the same capacity), ascending.
+  template <typename Fn>
+  void for_each_not_in(const NodeMask& other, Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      const std::uint64_t masked =
+          words_[w] & (w < other.words_.size() ? ~other.words_[w]
+                                               : ~std::uint64_t{0});
+      for (std::uint64_t bits = masked; bits != 0; bits &= bits - 1) {
+        fn(w * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
+      }
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+/// One stored route. `route` is meaningful only while `live` is true; a dead
+/// route (no usable path) keeps its endpoints and revives on repair.
+struct StoredRoute {
+  RouteKey key = 0;
+  /// Representative of this route's (src, dst) group — the first route
+  /// added with these endpoints (== key for that route). All routes of a
+  /// group carry identical state, so only the representative is posted in
+  /// the inverted indexes; the engine fans changes out to group(rep).
+  RouteKey rep = 0;
+  topo::NodeId src = topo::kInvalidNode;
+  topo::NodeId dst = topo::kInvalidNode;
+  bool live = false;
+  routing::EncodedRoute route;
+  /// The primary core path (switch handles, ingress to egress) the current
+  /// encoding was built from; empty when dead. Two encodings over the same
+  /// (src, dst, core path) are identical, so this is the change detector.
+  std::vector<topo::NodeId> core_path;
+  /// Update epoch that last changed this route (0 = initial load).
+  std::uint64_t version = 0;
+  /// Dependency node set (see file comment).
+  NodeMask deps;
+  /// Path membership: {src} ∪ core_path ({src} alone when dead). A strict
+  /// subset of `deps` — the canonical next hop is *chosen at* these nodes,
+  /// so only they read the state of their incident links.
+  NodeMask path_nodes;
+  /// Sorted link handles the current encoding references.
+  std::vector<topo::LinkId> links;
+};
+
+/// A live route's complete index footprint (dependency mask, path mask,
+/// referenced links). A pure function of (src, core path, encoding) on the
+/// static topology structure, so callers installing the same encoding into
+/// many routes can build it once and share it.
+struct IndexFootprint {
+  NodeMask deps;
+  NodeMask path_nodes;
+  std::vector<topo::LinkId> links;
+};
+
+/// Owns the routes and the inverted indexes. Mutation goes through the
+/// engine: add() registers a (src, dst) pair dead, set_encoding()/set_dead()
+/// swap in the reconverged state and reindex.
+class RouteStore {
+ public:
+  /// The topology reference is used to derive dependency sets and link
+  /// handles at (re)index time; it must outlive the store.
+  explicit RouteStore(const topo::Topology& topology);
+
+  /// Registers a route slot for (src, dst), initially dead. Keys are dense
+  /// and returned in insertion order.
+  RouteKey add(topo::NodeId src, topo::NodeId dst);
+
+  [[nodiscard]] std::size_t size() const noexcept { return routes_.size(); }
+  [[nodiscard]] const StoredRoute& get(RouteKey key) const { return routes_[key]; }
+
+  /// Destination edges with at least one route, first-appearance order.
+  [[nodiscard]] const std::vector<topo::NodeId>& destinations() const noexcept {
+    return destinations_;
+  }
+
+  /// Members of `rep`'s endpoint group (including `rep` itself), insertion
+  /// order. Empty for keys that are not a group representative.
+  [[nodiscard]] const std::vector<RouteKey>& group(RouteKey rep) const {
+    return groups_[rep];
+  }
+
+  /// Builds the index footprint a live route with this (src, core path,
+  /// encoding) would get — link-state-independent, so it can be cached.
+  [[nodiscard]] IndexFootprint build_footprint(
+      topo::NodeId src, const std::vector<topo::NodeId>& core_path,
+      const routing::EncodedRoute& route) const;
+
+  /// Installs a fresh encoding for `key` (computed from `core_path`) and
+  /// reindexes the route. When `footprint` is non-null it is copied in
+  /// instead of being rebuilt from the topology (it must equal
+  /// build_footprint(src, core_path, route)).
+  void set_encoding(RouteKey key, std::vector<topo::NodeId> core_path,
+                    routing::EncodedRoute route, std::uint64_t version,
+                    const IndexFootprint* footprint = nullptr);
+
+  /// Marks `key` dead (no usable path) and shrinks its index footprint to
+  /// the revive trigger (the source edge's distance).
+  void set_dead(RouteKey key, std::uint64_t version);
+
+  /// Appends the representative of every group whose current encoding
+  /// references `link`. May append a key more than once; callers dedup.
+  void collect_link_dependents(topo::LinkId link, std::vector<RouteKey>& out) const;
+
+  /// Appends the representative of every group to `dst` whose dependency
+  /// set contains `node`; the overload without `dst` spans every
+  /// destination.
+  void collect_node_dependents(topo::NodeId node, topo::NodeId dst,
+                               std::vector<RouteKey>& out) const;
+  void collect_node_dependents(topo::NodeId node, std::vector<RouteKey>& out) const;
+
+  /// Appends the representative of every group (to `dst`, or to any
+  /// destination) whose path membership set ({src} ∪ core path) contains
+  /// `node`. Only these routes choose a next hop at `node`, so only they
+  /// can be flipped by an equal-cost candidate appearing on one of
+  /// `node`'s links without any distance moving (the link-up tie case) or
+  /// by `node`'s own distance increasing (the link-failure case — a
+  /// worsened candidate only matters where it was the one chosen).
+  void collect_path_dependents(topo::NodeId node, topo::NodeId dst,
+                               std::vector<RouteKey>& out) const;
+  void collect_path_dependents(topo::NodeId node, std::vector<RouteKey>& out) const;
+
+ private:
+  void reindex(StoredRoute& entry, const IndexFootprint* footprint);
+  [[nodiscard]] bool route_uses_link(const StoredRoute& entry, topo::LinkId link) const;
+
+  /// Per-node postings bucketed by the routes' destination.
+  using DstBuckets = std::map<topo::NodeId, std::vector<RouteKey>>;
+
+  const topo::Topology* topo_;
+  std::vector<StoredRoute> routes_;
+  std::vector<topo::NodeId> destinations_;
+  std::vector<bool> dst_seen_;
+  /// (src, dst) -> representative key; groups_[rep] lists the members.
+  std::map<std::pair<topo::NodeId, topo::NodeId>, RouteKey> rep_of_;
+  std::vector<std::vector<RouteKey>> groups_;
+  // Postings by LinkId / NodeId; lazily compacted (see file comment).
+  mutable std::vector<std::vector<RouteKey>> link_index_;
+  mutable std::vector<DstBuckets> node_index_;
+  mutable std::vector<DstBuckets> path_index_;
+};
+
+}  // namespace kar::ctrlplane

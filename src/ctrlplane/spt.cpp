@@ -1,0 +1,289 @@
+#include "ctrlplane/spt.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace kar::ctrlplane {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using HeapItem = std::pair<double, topo::NodeId>;
+using MinHeap = std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
+
+}  // namespace
+
+DynamicSpt::DynamicSpt(const topo::Topology& topology, topo::NodeId destination,
+                       routing::PathMetric metric,
+                       std::size_t fallback_threshold)
+    : topo_(&topology),
+      dst_(destination),
+      metric_(metric),
+      threshold_(fallback_threshold) {
+  const std::size_t n = topo_->node_count();
+  if (destination >= n) throw std::out_of_range("DynamicSpt: bad destination");
+  dist_.assign(n, kInf);
+  parent_.assign(n, topo::kInvalidNode);
+  parent_link_.assign(n, topo::kInvalidLink);
+  mark_.assign(n, 0);
+  affected_flag_.assign(n, 0);
+  old_dist_.assign(n, kInf);
+  rebuild();
+}
+
+bool DynamicSpt::propagates(topo::NodeId node) const {
+  // Mirrors routing::distances_to: edge nodes other than the destination
+  // terminate the KAR domain and never relay relaxations.
+  return node == dst_ || topo_->kind(node) == topo::NodeKind::kCoreSwitch;
+}
+
+void DynamicSpt::rebuild() {
+  std::fill(dist_.begin(), dist_.end(), kInf);
+  std::fill(parent_.begin(), parent_.end(), topo::kInvalidNode);
+  std::fill(parent_link_.begin(), parent_link_.end(), topo::kInvalidLink);
+  MinHeap heap;
+  dist_[dst_] = 0.0;
+  heap.emplace(0.0, dst_);
+  while (!heap.empty()) {
+    const auto [d, cur] = heap.top();
+    heap.pop();
+    if (d > dist_[cur]) continue;
+    if (!propagates(cur)) continue;
+    for (const auto& [port, next] : topo_->neighbors(cur)) {
+      const topo::LinkId link_id = topo_->link_at(cur, port);
+      const topo::Link& link = topo_->link(link_id);
+      if (!link.up) continue;
+      const double nd = d + routing::link_cost(link, metric_);
+      if (nd < dist_[next]) {
+        dist_[next] = nd;
+        parent_[next] = cur;
+        parent_link_[next] = link_id;
+        heap.emplace(nd, next);
+      }
+    }
+  }
+}
+
+SptUpdateStats DynamicSpt::apply_link_event(topo::LinkId link, bool up,
+                                            std::vector<topo::NodeId>& changed) {
+  return up ? handle_insert(link, changed) : handle_delete(link, changed);
+}
+
+SptUpdateStats DynamicSpt::fallback_rebuild(std::vector<topo::NodeId>& changed) {
+  old_dist_ = dist_;
+  rebuild();
+  for (topo::NodeId v = 0; v < dist_.size(); ++v) {
+    if (dist_[v] != old_dist_[v]) changed.push_back(v);
+  }
+  return SptUpdateStats{dist_.size(), true};
+}
+
+SptUpdateStats DynamicSpt::handle_insert(topo::LinkId link,
+                                         std::vector<topo::NodeId>& changed) {
+  const topo::Link& l = topo_->link(link);
+  // A coalesced epoch can replay a repair that a later (also pending)
+  // failure already reverted; the topology holds the final say.
+  if (!l.up) return SptUpdateStats{0, false};
+  const double w = routing::link_cost(l, metric_);
+  ++epoch_;
+  std::vector<topo::NodeId> touched;
+  MinHeap heap;
+
+  const auto improve = [&](topo::NodeId node, topo::NodeId via,
+                           topo::LinkId via_link, double nd) {
+    if (nd >= dist_[node]) return;
+    if (mark_[node] != epoch_) {
+      mark_[node] = epoch_;
+      old_dist_[node] = dist_[node];
+      touched.push_back(node);
+    }
+    dist_[node] = nd;
+    parent_[node] = via;
+    parent_link_[node] = via_link;
+    heap.emplace(nd, node);
+  };
+
+  // Seed: the new link can only lower a distance through an endpoint that
+  // relays relaxations (the destination or a core switch).
+  if (propagates(l.b.node) && dist_[l.b.node] < kInf) {
+    improve(l.a.node, l.b.node, link, dist_[l.b.node] + w);
+  }
+  if (propagates(l.a.node) && dist_[l.a.node] < kInf) {
+    improve(l.b.node, l.a.node, link, dist_[l.a.node] + w);
+  }
+
+  while (!heap.empty()) {
+    const auto [d, cur] = heap.top();
+    heap.pop();
+    if (d > dist_[cur]) continue;
+    if (!propagates(cur)) continue;
+    for (const auto& [port, next] : topo_->neighbors(cur)) {
+      const topo::LinkId link_id = topo_->link_at(cur, port);
+      const topo::Link& nl = topo_->link(link_id);
+      if (!nl.up) continue;
+      improve(next, cur, link_id, d + routing::link_cost(nl, metric_));
+    }
+  }
+
+  // Every touched node strictly improved (improve() only fires on <).
+  changed.insert(changed.end(), touched.begin(), touched.end());
+  return SptUpdateStats{touched.size(), false};
+}
+
+SptUpdateStats DynamicSpt::handle_delete(topo::LinkId link,
+                                         std::vector<topo::NodeId>& changed) {
+  const topo::Link& l = topo_->link(link);
+  // A non-tree link carries no settled distance: removing it changes
+  // nothing (every shortest distance is realised along tree edges). The
+  // tree child of a tree link is the endpoint whose parent link it is.
+  topo::NodeId seed = topo::kInvalidNode;
+  if (parent_link_[l.a.node] == link) {
+    seed = l.a.node;
+  } else if (parent_link_[l.b.node] == link) {
+    seed = l.b.node;
+  } else {
+    return SptUpdateStats{0, false};
+  }
+
+  // Affected subtree A: nodes whose tree path to the root crosses `seed`,
+  // classified by walking parent chains with epoch-stamped memoisation.
+  ++epoch_;
+  mark_[seed] = epoch_;
+  affected_flag_[seed] = 1;
+  if (dist_[dst_] == 0.0) {  // root is always classified out of A
+    mark_[dst_] = epoch_;
+    affected_flag_[dst_] = 0;
+  }
+  std::vector<topo::NodeId> affected{seed};
+  std::vector<topo::NodeId> chain;
+  const std::size_t n = topo_->node_count();
+  for (topo::NodeId v = 0; v < n; ++v) {
+    if (dist_[v] == kInf || mark_[v] == epoch_) continue;
+    chain.clear();
+    topo::NodeId cur = v;
+    std::uint8_t verdict = 0;
+    while (true) {
+      if (mark_[cur] == epoch_) {
+        verdict = affected_flag_[cur];
+        break;
+      }
+      chain.push_back(cur);
+      const topo::NodeId p = parent_[cur];
+      if (p == topo::kInvalidNode) {  // reached the root
+        verdict = 0;
+        break;
+      }
+      cur = p;
+    }
+    for (const topo::NodeId node : chain) {
+      mark_[node] = epoch_;
+      affected_flag_[node] = verdict;
+      if (verdict != 0) affected.push_back(node);
+    }
+  }
+
+  if (affected.size() > threshold_) return fallback_rebuild(changed);
+
+  const auto in_affected = [&](topo::NodeId node) {
+    return mark_[node] == epoch_ && affected_flag_[node] != 0;
+  };
+
+  // Detach A, remembering old distances for the changed-set diff. Boundary
+  // distances (outside A) are already exact: deletion cannot lower them,
+  // and their tree paths avoid the dead link.
+  for (const topo::NodeId v : affected) {
+    old_dist_[v] = dist_[v];
+    dist_[v] = kInf;
+    parent_[v] = topo::kInvalidNode;
+    parent_link_[v] = topo::kInvalidLink;
+  }
+
+  MinHeap heap;
+  for (const topo::NodeId v : affected) {
+    for (const auto& [port, next] : topo_->neighbors(v)) {
+      const topo::LinkId link_id = topo_->link_at(v, port);
+      const topo::Link& nl = topo_->link(link_id);
+      if (!nl.up) continue;
+      if (in_affected(next) || !propagates(next)) continue;
+      if (dist_[next] == kInf) continue;
+      const double cand = dist_[next] + routing::link_cost(nl, metric_);
+      if (cand < dist_[v]) {
+        dist_[v] = cand;
+        parent_[v] = next;
+        parent_link_[v] = link_id;
+      }
+    }
+    if (dist_[v] < kInf) heap.emplace(dist_[v], v);
+  }
+
+  // Restricted Dijkstra: settle A from its boundary.
+  while (!heap.empty()) {
+    const auto [d, cur] = heap.top();
+    heap.pop();
+    if (d > dist_[cur]) continue;
+    if (!propagates(cur)) continue;
+    for (const auto& [port, next] : topo_->neighbors(cur)) {
+      if (!in_affected(next)) continue;
+      const topo::LinkId link_id = topo_->link_at(cur, port);
+      const topo::Link& nl = topo_->link(link_id);
+      if (!nl.up) continue;
+      const double cand = d + routing::link_cost(nl, metric_);
+      if (cand < dist_[next]) {
+        dist_[next] = cand;
+        parent_[next] = cur;
+        parent_link_[next] = link_id;
+        heap.emplace(cand, next);
+      }
+    }
+  }
+
+  for (const topo::NodeId v : affected) {
+    if (dist_[v] != old_dist_[v]) changed.push_back(v);
+  }
+  return SptUpdateStats{affected.size(), false};
+}
+
+topo::NodeId DynamicSpt::canonical_next_hop(topo::NodeId from) const {
+  if (from == dst_) return topo::kInvalidNode;
+  topo::NodeId best = topo::kInvalidNode;
+  double best_cost = kInf;
+  for (const auto& [port, next] : topo_->neighbors(from)) {
+    // Intermediate hops must forward: only the destination itself or core
+    // switches qualify as next hops.
+    if (next != dst_ && topo_->kind(next) != topo::NodeKind::kCoreSwitch) continue;
+    const topo::LinkId link_id = topo_->link_at(from, port);
+    const topo::Link& link = topo_->link(link_id);
+    if (!link.up) continue;
+    if (dist_[next] == kInf) continue;
+    const double cand = dist_[next] + routing::link_cost(link, metric_);
+    if (cand < best_cost || (cand == best_cost && next < best)) {
+      best_cost = cand;
+      best = next;
+    }
+  }
+  return best;
+}
+
+std::optional<std::vector<topo::NodeId>> DynamicSpt::canonical_path(
+    topo::NodeId from) const {
+  if (from == dst_) return std::vector<topo::NodeId>{dst_};
+  if (dist_[from] == kInf) return std::nullopt;
+  std::vector<topo::NodeId> nodes{from};
+  topo::NodeId cur = from;
+  while (cur != dst_) {
+    const topo::NodeId next = canonical_next_hop(cur);
+    if (next == topo::kInvalidNode) return std::nullopt;
+    nodes.push_back(next);
+    cur = next;
+    if (nodes.size() > topo_->node_count() + 1) {
+      throw std::logic_error("DynamicSpt::canonical_path: walk did not reach " +
+                             topo_->name(dst_) + " (inconsistent distances)");
+    }
+  }
+  return nodes;
+}
+
+}  // namespace kar::ctrlplane

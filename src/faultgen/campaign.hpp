@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "ctrlplane/engine_mode.hpp"
 #include "dataplane/edge.hpp"
 #include "dataplane/switch.hpp"
 #include "faultgen/invariants.hpp"
@@ -40,6 +41,13 @@ struct CampaignConfig {
   /// are bit-identical either way (tests/test_fastpath_differential.cpp);
   /// the knob exists for that differential suite and for benchmarking.
   dataplane::ResiduePath residue_path = dataplane::ResiduePath::kFast;
+  /// Reconvergence engine for any control plane attached to the run's
+  /// network (sim::ReactiveController); forwarded into
+  /// sim::NetworkConfig::route_engine. Campaign runs themselves follow the
+  /// paper's static-controller policy, so this knob only matters to
+  /// reaction-delay scenarios — it exists so the campaign smoke suites and
+  /// the churn bench share one plumbing path (like `residue_path`).
+  ctrlplane::EngineMode route_engine = ctrlplane::EngineMode::kIncremental;
   topo::ProtectionLevel protection = topo::ProtectionLevel::kPartial;
   dataplane::WrongEdgePolicy wrong_edge_policy =
       dataplane::WrongEdgePolicy::kReencode;

@@ -40,12 +40,19 @@ EncodedRoute Controller::encode_path(
     const std::vector<std::pair<topo::NodeId, topo::NodeId>>& protection) const {
   const topo::Topology& t = *topo_;
   if (core_path.empty()) {
-    throw std::invalid_argument("Controller: empty core path");
+    throw std::invalid_argument("Controller: empty core path for route " +
+                                t.name(src_edge) + " -> " + t.name(dst_edge));
   }
-  if (t.kind(src_edge) != topo::NodeKind::kEdgeNode ||
-      t.kind(dst_edge) != topo::NodeKind::kEdgeNode) {
-    throw std::invalid_argument("Controller: route endpoints must be edge nodes");
-  }
+  const auto require_edge = [&](topo::NodeId node, const char* role) {
+    if (t.kind(node) != topo::NodeKind::kEdgeNode) {
+      throw std::invalid_argument(
+          "Controller: route " + std::string(role) + " " + t.name(node) +
+          " is a core switch (id " + std::to_string(t.switch_id(node)) +
+          "), not an edge node");
+    }
+  };
+  require_edge(src_edge, "source");
+  require_edge(dst_edge, "destination");
   if (!t.port_to(src_edge, core_path.front())) {
     throw std::invalid_argument("Controller: source edge " + t.name(src_edge) +
                                 " is not attached to " + t.name(core_path.front()));
@@ -58,8 +65,10 @@ EncodedRoute Controller::encode_path(
   std::unordered_map<topo::NodeId, topo::PortIndex> seen;
   const auto add_assignment = [&](topo::NodeId node, topo::NodeId next) {
     if (t.kind(node) != topo::NodeKind::kCoreSwitch) {
-      throw std::invalid_argument("Controller: " + t.name(node) +
-                                  " is not a core switch");
+      throw std::invalid_argument(
+          "Controller: " + t.name(node) + " is an edge node, not a core " +
+          "switch — only switches carry residues (next hop " + t.name(next) +
+          ")");
     }
     const topo::PortIndex port = port_toward(t, node, next);
     check_residue_fits(t, node, port);
@@ -68,6 +77,8 @@ EncodedRoute Controller::encode_path(
       if (it->second == port) return;  // same assignment twice is harmless
       throw std::invalid_argument(
           "Controller: conflicting port assignments for " + t.name(node) +
+          " (switch id " + std::to_string(t.switch_id(node)) + "): port " +
+          std::to_string(it->second) + " vs port " + std::to_string(port) +
           " (a switch holds exactly one residue per route ID)");
     }
     route.assignments.push_back(

@@ -12,15 +12,6 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-double link_cost(const topo::Link& link, PathMetric metric) {
-  switch (metric) {
-    case PathMetric::kHopCount: return 1.0;
-    case PathMetric::kInverseRate: return 1e9 / link.params.rate_bps;
-    case PathMetric::kDelay: return link.params.delay_s;
-  }
-  throw std::logic_error("link_cost: bad metric");
-}
-
 /// Shared Dijkstra core. When `banned_nodes`/`banned_links` are non-null the
 /// respective elements are skipped (used by Yen's spur computation).
 std::optional<Path> dijkstra(const topo::Topology& topo, topo::NodeId src,
@@ -68,6 +59,15 @@ std::optional<Path> dijkstra(const topo::Topology& topo, topo::NodeId src,
 }
 
 }  // namespace
+
+double link_cost(const topo::Link& link, PathMetric metric) {
+  switch (metric) {
+    case PathMetric::kHopCount: return 1.0;
+    case PathMetric::kInverseRate: return 1e9 / link.params.rate_bps;
+    case PathMetric::kDelay: return link.params.delay_s;
+  }
+  throw std::logic_error("link_cost: bad metric");
+}
 
 std::optional<Path> shortest_path(const topo::Topology& topo, topo::NodeId src,
                                   topo::NodeId dst, const PathOptions& options) {

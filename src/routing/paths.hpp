@@ -36,6 +36,11 @@ struct Path {
   friend bool operator==(const Path&, const Path&) = default;
 };
 
+/// The weight of one link under a metric — the single cost function every
+/// path routine here shares (exported so the incremental control plane's
+/// dynamic SPTs price links identically to the full Dijkstra they mirror).
+[[nodiscard]] double link_cost(const topo::Link& link, PathMetric metric);
+
 /// Dijkstra from `src` to `dst`. Intermediate hops are restricted to core
 /// switches (edge nodes do not forward). Returns nullopt when disconnected.
 [[nodiscard]] std::optional<Path> shortest_path(const topo::Topology& topo,

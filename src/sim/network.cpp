@@ -245,6 +245,28 @@ void Network::repair_link_now(topo::LinkId link) {
   if (link_state_hook_) link_state_hook_(link, /*up=*/true);
 }
 
+void Network::install_routes(std::uint64_t version,
+                             const std::vector<RouteInstall>& batch) {
+  if (version < route_table_version_) {
+    throw std::invalid_argument(
+        "Network::install_routes: stale epoch " + std::to_string(version) +
+        " (table is at " + std::to_string(route_table_version_) + ")");
+  }
+  for (const RouteInstall& entry : batch) {
+    if (entry.route != nullptr) {
+      installed_[entry.key] = *entry.route;
+    } else {
+      installed_.erase(entry.key);
+    }
+  }
+  route_table_version_ = version;
+}
+
+const routing::EncodedRoute* Network::installed_route(std::uint64_t key) const {
+  const auto it = installed_.find(key);
+  return it == installed_.end() ? nullptr : &it->second;
+}
+
 void Network::attach_dataplane_metrics(obs::MetricsRegistry& registry,
                                        const obs::Labels& labels) {
   const obs::Counter hits = registry.counter(

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "ctrlplane/engine_mode.hpp"
 #include "dataplane/edge.hpp"
 #include "obs/metrics.hpp"
 #include "routing/failover_fib.hpp"
@@ -65,6 +66,10 @@ struct NetworkConfig {
   /// hop of the run. kNaive: recompute BigUint::mod_u64 per packet per hop
   /// — the differential oracle (tests/test_fastpath_differential.cpp).
   dataplane::ResiduePath residue_path = dataplane::ResiduePath::kFast;
+  /// Which reconvergence engine a control plane attached to this network
+  /// (sim::ReactiveController) runs: affected-set incremental (default) or
+  /// the full-recompute oracle. The data plane ignores this knob.
+  ctrlplane::EngineMode route_engine = ctrlplane::EngineMode::kIncremental;
 };
 
 /// Aggregate data-plane counters.
@@ -150,6 +155,30 @@ class Network {
   void fail_link_now(topo::LinkId link);
   void repair_link_now(topo::LinkId link);
 
+  /// One route-table entry change inside an install epoch; `route` is
+  /// copied, nullptr withdraws the key.
+  struct RouteInstall {
+    std::uint64_t key = 0;
+    const routing::EncodedRoute* route = nullptr;
+  };
+
+  /// Applies one batched control-plane update epoch atomically (the
+  /// simulator is single-threaded: all entries land between two events)
+  /// and advances the table to `version`. Versions must be monotonic;
+  /// a stale epoch (version < current) throws std::invalid_argument —
+  /// equal versions are allowed so an initial load can install in stages.
+  void install_routes(std::uint64_t version, const std::vector<RouteInstall>& batch);
+
+  /// The last installed epoch version (0 before any install).
+  [[nodiscard]] std::uint64_t route_table_version() const noexcept {
+    return route_table_version_;
+  }
+  /// The installed route under `key`, or nullptr when absent/withdrawn.
+  [[nodiscard]] const routing::EncodedRoute* installed_route(std::uint64_t key) const;
+  [[nodiscard]] std::size_t installed_route_count() const noexcept {
+    return installed_.size();
+  }
+
   /// Registers the residue-cache counter families
   /// (kar_dataplane_residue_cache_{hits,misses,evictions}_total) in
   /// `registry` and binds them to every core switch's cache. The series are
@@ -192,6 +221,9 @@ class Network {
   std::function<void(const TraceEvent&)> trace_;
   LinkStateHook link_state_hook_;
   std::uint64_t next_packet_id_ = 1;
+  /// Control-plane route table (install_routes); keyed by RouteKey.
+  std::unordered_map<std::uint64_t, routing::EncodedRoute> installed_;
+  std::uint64_t route_table_version_ = 0;
 };
 
 }  // namespace kar::sim

@@ -1,18 +1,48 @@
 #include "sim/reactive_controller.hpp"
 
+#include <utility>
+
 namespace kar::sim {
 
 ReactiveController::ReactiveController(Network& network, double reaction_delay_s)
-    : net_(&network), delay_(reaction_delay_s) {
-  net_->set_link_state_hook([this](topo::LinkId, bool) { on_link_event(); });
+    : net_(&network),
+      delay_(reaction_delay_s),
+      mode_(network.config().route_engine) {
+  if (mode_ == ctrlplane::EngineMode::kIncremental) {
+    store_.emplace(net_->topology());
+    ctrlplane::EngineConfig config;
+    config.mode = ctrlplane::EngineMode::kIncremental;
+    // Match the legacy reaction path: bare shortest-path encodings, hop
+    // metric (route_between with no protection assignments).
+    config.plan_protection = false;
+    engine_.emplace(net_->topology(), *store_, config);
+  }
+  net_->set_link_state_hook(
+      [this](topo::LinkId link, bool up) { on_link_event(link, up); });
 }
 
 void ReactiveController::watch_flow(topo::NodeId src_edge, topo::NodeId dst_edge,
                                     RouteUpdateHandler on_update) {
+  if (engine_.has_value()) {
+    // Flow index == route key (both dense registration orders). The initial
+    // encoding converges against the current topology and is installed at
+    // the engine's current version; handlers only fire on reactions, as in
+    // the legacy path.
+    const ctrlplane::RouteKey key = engine_->add_route(src_edge, dst_edge);
+    const ctrlplane::StoredRoute& entry = store_->get(key);
+    if (entry.live) {
+      const std::vector<Network::RouteInstall> batch{
+          Network::RouteInstall{key, &entry.route}};
+      net_->install_routes(engine_->version(), batch);
+    }
+  }
   flows_.push_back(WatchedFlow{src_edge, dst_edge, std::move(on_update)});
 }
 
-void ReactiveController::on_link_event() {
+void ReactiveController::on_link_event(topo::LinkId link, bool up) {
+  if (engine_.has_value()) {
+    pending_events_.push_back(ctrlplane::LinkChange{link, up});
+  }
   // A burst of simultaneous link events produces one reaction after the
   // delay (the controller batches what it learned).
   const std::uint64_t epoch = ++pending_epoch_;
@@ -23,10 +53,44 @@ void ReactiveController::on_link_event() {
 
 void ReactiveController::react() {
   ++reactions_;
-  // Recompute on the topology as it is *now*, avoiding failed links.
+  if (engine_.has_value()) {
+    react_incremental();
+  } else {
+    react_full_recompute();
+  }
+}
+
+void ReactiveController::react_incremental() {
+  std::vector<ctrlplane::LinkChange> events = std::move(pending_events_);
+  pending_events_.clear();
+  const ctrlplane::EpochResult epoch = engine_->apply(events);
+  recomputes_ += epoch.updated.size();
+  std::vector<Network::RouteInstall> batch;
+  batch.reserve(epoch.updated.size());
+  for (const ctrlplane::RouteKey key : epoch.updated) {
+    const ctrlplane::StoredRoute& entry = store_->get(key);
+    batch.push_back(
+        Network::RouteInstall{key, entry.live ? &entry.route : nullptr});
+  }
+  net_->install_routes(epoch.version, batch);
+  // Only flows whose route actually changed (and still exists) hear about
+  // it — the affected-set contract.
+  for (const ctrlplane::RouteKey key : epoch.updated) {
+    const ctrlplane::StoredRoute& entry = store_->get(key);
+    if (!entry.live) continue;
+    const WatchedFlow& flow = flows_[key];
+    if (flow.on_update) flow.on_update(entry.route);
+  }
+}
+
+void ReactiveController::react_full_recompute() {
+  // The original reaction path, preserved verbatim as the reference mode:
+  // full Dijkstra per watched flow on the topology as it is *now*, every
+  // routed flow's handler invoked whether or not anything changed.
   routing::PathOptions options;
   options.ignore_failures = false;
   const routing::Controller aware(net_->topology(), options);
+  recomputes_ += flows_.size();
   for (const WatchedFlow& flow : flows_) {
     const auto route = aware.route_between(flow.src, flow.dst);
     if (route && flow.on_update) flow.on_update(*route);

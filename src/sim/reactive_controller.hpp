@@ -4,25 +4,37 @@
 // fresh route IDs to the ingress edges. KAR's whole point is making this
 // path unnecessary for liveness; implementing it turns the paper's
 // motivation into a measurable baseline (bench/controller_reaction).
+//
+// Since the incremental control plane landed, the default reaction path
+// runs on ctrlplane::ReconvergenceEngine: link events reconverge only the
+// affected route set, the result is installed into the network as one
+// versioned epoch, and only flows whose route actually changed see their
+// update callback. NetworkConfig::route_engine == kFullRecompute restores
+// the original behavior — full Dijkstra per watched flow per reaction,
+// every callback invoked — as the differential baseline.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
+#include "ctrlplane/engine.hpp"
+#include "ctrlplane/route_store.hpp"
 #include "routing/controller.hpp"
 #include "sim/network.hpp"
 
 namespace kar::sim {
 
 /// Watches link-state changes on a Network and, after a configurable
-/// reaction delay, recomputes registered flows' routes on the surviving
+/// reaction delay, reconverges registered flows' routes on the surviving
 /// topology and hands them to per-flow update callbacks.
 class ReactiveController {
  public:
   /// `reaction_delay_s` models notification transport + controller
   /// processing + rule installation (the window in which in-flight traffic
-  /// is lost when no data-plane protection exists).
+  /// is lost when no data-plane protection exists). The engine mode is
+  /// taken from the network's config (NetworkConfig::route_engine).
   ReactiveController(Network& network, double reaction_delay_s);
 
   ReactiveController(const ReactiveController&) = delete;
@@ -32,16 +44,28 @@ class ReactiveController {
 
   /// Registers a flow to keep routed: on every link event, a new shortest
   /// path from `src_edge` to `dst_edge` avoiding failed links is encoded
-  /// and passed to `on_update` (not called when no route exists).
+  /// and passed to `on_update` (not called when no route exists; under the
+  /// incremental engine, also not called when the flow's route is
+  /// untouched by the event).
   void watch_flow(topo::NodeId src_edge, topo::NodeId dst_edge,
                   RouteUpdateHandler on_update);
 
   [[nodiscard]] std::uint64_t reactions() const noexcept { return reactions_; }
   [[nodiscard]] double reaction_delay_s() const noexcept { return delay_; }
+  [[nodiscard]] ctrlplane::EngineMode engine_mode() const noexcept { return mode_; }
+  /// Shortest-path recomputations across all reactions: the incremental
+  /// engine counts affected routes only, the legacy full recompute counts
+  /// every watched flow on every reaction — the satellite metric
+  /// bench/churn_convergence exists to compare.
+  [[nodiscard]] std::uint64_t route_recomputes() const noexcept {
+    return recomputes_;
+  }
 
  private:
-  void on_link_event();
+  void on_link_event(topo::LinkId link, bool up);
   void react();
+  void react_incremental();
+  void react_full_recompute();
 
   struct WatchedFlow {
     topo::NodeId src;
@@ -51,8 +75,15 @@ class ReactiveController {
 
   Network* net_;
   double delay_;
+  ctrlplane::EngineMode mode_;
   std::vector<WatchedFlow> flows_;
+  /// Incremental mode: the engine over the network's topology. Flow i is
+  /// route key i (both are dense registration orders).
+  std::optional<ctrlplane::RouteStore> store_;
+  std::optional<ctrlplane::ReconvergenceEngine> engine_;
+  std::vector<ctrlplane::LinkChange> pending_events_;
   std::uint64_t reactions_ = 0;
+  std::uint64_t recomputes_ = 0;
   std::uint64_t pending_epoch_ = 0;  ///< Coalesces bursts of link events.
 };
 

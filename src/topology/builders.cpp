@@ -392,4 +392,19 @@ Scenario make_random_connected(std::size_t num_switches, std::size_t extra_links
   return s;
 }
 
+std::vector<NodeId> attach_host_edges(Topology& topo, LinkParams params) {
+  std::vector<NodeId> hosts;
+  for (const NodeId sw : topo.nodes_of_kind(NodeKind::kCoreSwitch)) {
+    // The new host port gets index port_count(sw); a KAR switch can only
+    // use ports strictly below its ID as residues.
+    if (static_cast<SwitchId>(topo.port_count(sw)) >= topo.switch_id(sw)) {
+      continue;
+    }
+    const NodeId host = topo.add_edge_node("H-" + topo.name(sw));
+    topo.add_link(sw, host, params);
+    hosts.push_back(host);
+  }
+  return hosts;
+}
+
 }  // namespace kar::topo

@@ -50,4 +50,13 @@ namespace kar::topo {
                                              std::uint64_t seed,
                                              LinkParams params = {});
 
+/// Attaches one host edge node ("H-<switch name>") to every core switch
+/// whose KAR ID still exceeds the new port index (the encoder's
+/// id > port requirement; switches that cannot take another port are
+/// skipped). Returns the new edge handles in switch insertion order — the
+/// endpoint pool control-plane churn workloads draw random src-dst routes
+/// from on the paper topologies (which ship with only 2-3 edge nodes).
+[[nodiscard]] std::vector<NodeId> attach_host_edges(Topology& topo,
+                                                    LinkParams params = {});
+
 }  // namespace kar::topo

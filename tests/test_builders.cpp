@@ -251,6 +251,36 @@ TEST(SyntheticBuilders, RandomConnectedIsDeterministicInSeed) {
   EXPECT_TRUE(rns::pairwise_coprime(c.topology.all_switch_ids()));
 }
 
+TEST(AttachHostEdges, EveryEligibleSwitchGainsAHost) {
+  Scenario s = make_rnp28();
+  Topology& t = s.topology;
+  const std::size_t links_before = t.link_count();
+  const std::vector<NodeId> hosts = attach_host_edges(t);
+  EXPECT_EQ(t.link_count(), links_before + hosts.size());
+  for (const NodeId host : hosts) {
+    EXPECT_EQ(t.kind(host), NodeKind::kEdgeNode);
+    // Each host hangs off exactly one switch and is named after it.
+    const auto& adjacent = t.neighbors(host);
+    ASSERT_EQ(adjacent.size(), 1u);
+    EXPECT_EQ(t.name(host), "H-" + t.name(adjacent.front().second));
+  }
+  // The KAR invariant survives: a host is only attached where the switch
+  // still has a spare residue (port index < switch id).
+  for (const NodeId n : t.nodes_of_kind(NodeKind::kCoreSwitch)) {
+    EXPECT_GT(t.switch_id(n), t.port_count(n) - 1) << t.name(n);
+  }
+  // Every core switch now has either an edge attachment or a saturated
+  // port space.
+  for (const NodeId n : t.nodes_of_kind(NodeKind::kCoreSwitch)) {
+    bool has_edge = false;
+    for (const auto& [port, node] : t.neighbors(n)) {
+      (void)port;
+      has_edge = has_edge || t.kind(node) == NodeKind::kEdgeNode;
+    }
+    EXPECT_TRUE(has_edge || t.port_count(n) >= t.switch_id(n)) << t.name(n);
+  }
+}
+
 TEST(SyntheticBuilders, RejectDegenerateSizes) {
   EXPECT_THROW(make_line(0), std::invalid_argument);
   EXPECT_THROW(make_grid(0, 3), std::invalid_argument);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+#include <utility>
+
 #include "topology/builders.hpp"
 
 namespace kar::routing {
@@ -190,6 +194,128 @@ TEST(Controller, ReencodeKeepsCompatibleProtection) {
   // The partial-protection switches {11, 19, 31} are not on the AS2->AS3
   // shortest path (SW43-SW29), so their assignments must be preserved.
   EXPECT_GT(fresh->assignments.size(), fresh->primary_count);
+}
+
+// --- Validation error context (one test per encode_path failure class) ----
+// The messages must carry enough context to debug a bad route without a
+// debugger: the offending node name, its switch ID and the port index.
+
+template <typename Fn>
+std::string invalid_argument_message(Fn&& fn) {
+  try {
+    std::forward<Fn>(fn)();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected std::invalid_argument";
+  return {};
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(ControllerErrors, EmptyCorePathNamesEndpoints) {
+  const Scenario s = topo::make_fig1_network();
+  const Controller controller(s.topology);
+  const topo::Topology& t = s.topology;
+  const std::string msg = invalid_argument_message(
+      [&] { (void)controller.encode_path(t.at("S"), {}, t.at("D")); });
+  EXPECT_TRUE(contains(msg, "empty core path")) << msg;
+  EXPECT_TRUE(contains(msg, "S")) << msg;
+  EXPECT_TRUE(contains(msg, "D")) << msg;
+}
+
+TEST(ControllerErrors, NonEdgeEndpointNamesNodeAndSwitchId) {
+  const Scenario s = topo::make_fig1_network();
+  const Controller controller(s.topology);
+  const topo::Topology& t = s.topology;
+  const std::string msg = invalid_argument_message([&] {
+    (void)controller.encode_path(t.at("SW4"), {t.at("SW7")}, t.at("D"));
+  });
+  EXPECT_TRUE(contains(msg, "source")) << msg;
+  EXPECT_TRUE(contains(msg, "SW4")) << msg;
+  EXPECT_TRUE(contains(msg, "id 4")) << msg;
+  const std::string dst_msg = invalid_argument_message([&] {
+    (void)controller.encode_path(t.at("S"), {t.at("SW4")}, t.at("SW11"));
+  });
+  EXPECT_TRUE(contains(dst_msg, "destination")) << dst_msg;
+  EXPECT_TRUE(contains(dst_msg, "SW11")) << dst_msg;
+  EXPECT_TRUE(contains(dst_msg, "id 11")) << dst_msg;
+}
+
+TEST(ControllerErrors, DetachedSourceNamesBothNodes) {
+  const Scenario s = topo::make_fig1_network();
+  const Controller controller(s.topology);
+  const topo::Topology& t = s.topology;
+  const std::string msg = invalid_argument_message([&] {
+    (void)controller.encode_path(t.at("S"), {t.at("SW7"), t.at("SW11")},
+                                 t.at("D"));
+  });
+  EXPECT_TRUE(contains(msg, "S")) << msg;
+  EXPECT_TRUE(contains(msg, "SW7")) << msg;
+  EXPECT_TRUE(contains(msg, "not attached")) << msg;
+}
+
+TEST(ControllerErrors, NonAdjacentHopNamesBothSwitches) {
+  const Scenario s = topo::make_fig1_network();
+  const Controller controller(s.topology);
+  const topo::Topology& t = s.topology;
+  const std::string msg = invalid_argument_message([&] {
+    (void)controller.encode_path(t.at("S"), {t.at("SW4"), t.at("SW5")},
+                                 t.at("D"));
+  });
+  EXPECT_TRUE(contains(msg, "SW4")) << msg;
+  EXPECT_TRUE(contains(msg, "SW5")) << msg;
+  EXPECT_TRUE(contains(msg, "not adjacent")) << msg;
+}
+
+TEST(ControllerErrors, OversizedPortNamesSwitchPortAndId) {
+  // A switch with ID 3 and four ports: the egress port toward the
+  // destination gets index 3, which no residue mod 3 can express.
+  topo::Topology t;
+  const auto src = t.add_edge_node("SRC");
+  const auto dst = t.add_edge_node("DST");
+  const auto tiny = t.add_switch("TINY", 3);
+  const auto n1 = t.add_switch("N1", 5);
+  const auto n2 = t.add_switch("N2", 7);
+  t.add_link(tiny, n1);   // port 0
+  t.add_link(tiny, n2);   // port 1
+  t.add_link(tiny, src);  // port 2
+  t.add_link(tiny, dst);  // port 3
+  const Controller controller(t);
+  const std::string msg = invalid_argument_message(
+      [&] { (void)controller.encode_path(src, {tiny}, dst); });
+  EXPECT_TRUE(contains(msg, "TINY")) << msg;
+  EXPECT_TRUE(contains(msg, "port 3")) << msg;
+  EXPECT_TRUE(contains(msg, "switch id 3")) << msg;
+}
+
+TEST(ControllerErrors, EdgeNodeInProtectionNamesNode) {
+  const Scenario s = topo::make_fig1_network();
+  const Controller controller(s.topology);
+  const topo::Topology& t = s.topology;
+  const std::string msg = invalid_argument_message([&] {
+    (void)controller.encode_path(t.at("S"),
+                                 {t.at("SW4"), t.at("SW7"), t.at("SW11")},
+                                 t.at("D"), {{t.at("S"), t.at("SW4")}});
+  });
+  EXPECT_TRUE(contains(msg, "S is an edge node")) << msg;
+}
+
+TEST(ControllerErrors, ConflictingAssignmentNamesSwitchIdAndBothPorts) {
+  const Scenario s = topo::make_fig1_network();
+  const Controller controller(s.topology);
+  const topo::Topology& t = s.topology;
+  const std::string msg = invalid_argument_message([&] {
+    (void)controller.encode_path(t.at("S"),
+                                 {t.at("SW4"), t.at("SW7"), t.at("SW11")},
+                                 t.at("D"), {{t.at("SW7"), t.at("SW5")}});
+  });
+  EXPECT_TRUE(contains(msg, "conflicting port assignments")) << msg;
+  EXPECT_TRUE(contains(msg, "SW7")) << msg;
+  EXPECT_TRUE(contains(msg, "switch id 7")) << msg;
+  EXPECT_TRUE(contains(msg, "port")) << msg;
 }
 
 }  // namespace
