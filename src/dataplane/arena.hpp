@@ -1,0 +1,93 @@
+// Bump-pointer arenas for the batched forwarding fast path.
+//
+// The steady-state data plane must not touch the heap (ISSUE 6: batched
+// zero-alloc data plane, guarded by tests/test_zero_alloc.cpp). A BumpArena
+// grabs one block up front — at topology load / batch-pool setup, the only
+// moment allocation is allowed — and then hands out aligned slices with a
+// pointer bump. reset() is O(1) and recycles the whole block for the next
+// campaign; nothing is ever returned piecemeal, which is exactly the
+// lifetime a PacketBatch has (filled, swept, applied, cleared).
+//
+// thread_arena() gives each thread its own lazily constructed arena so the
+// parallel campaign runner's workers never contend or share batch storage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+
+namespace kar::dataplane {
+
+/// Fixed-capacity bump allocator. Allocation is pointer arithmetic; the
+/// single backing block is heap-allocated once, in the constructor.
+/// Exhaustion throws std::bad_alloc rather than growing — a grown arena
+/// would silently re-introduce steady-state heap traffic, the exact bug
+/// class this type exists to make impossible.
+class BumpArena {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 20;  // 1 MiB
+
+  explicit BumpArena(std::size_t capacity_bytes = kDefaultCapacity)
+      : block_(new std::byte[capacity_bytes]), capacity_(capacity_bytes) {}
+
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+
+  /// An aligned slice of `bytes`; throws std::bad_alloc when the block is
+  /// exhausted (size the arena at setup, never mid-campaign).
+  [[nodiscard]] void* allocate(std::size_t bytes,
+                               std::size_t align = alignof(std::max_align_t)) {
+    // Align the address, not the offset: operator new[] only guarantees
+    // max_align_t for the backing block itself.
+    const auto base = reinterpret_cast<std::uintptr_t>(block_.get());
+    const std::uintptr_t aligned =
+        (base + used_ + align - 1) & ~(static_cast<std::uintptr_t>(align) - 1);
+    const std::size_t offset = static_cast<std::size_t>(aligned - base);
+    if (offset + bytes > capacity_ || offset + bytes < offset) {
+      throw std::bad_alloc();
+    }
+    used_ = offset + bytes;
+    high_water_ = used_ > high_water_ ? used_ : high_water_;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  /// A value-initialized array of `count` Ts. T must be trivially
+  /// destructible: reset() drops storage without running destructors.
+  /// (Element-wise placement new — placement array-new may carve an
+  /// implementation-defined cookie out of the slice.)
+  template <typename T>
+  [[nodiscard]] T* alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "BumpArena::reset never runs destructors");
+    T* slice = static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < count; ++i) new (slice + i) T();
+    return slice;
+  }
+
+  /// Recycles the whole block (O(1)); outstanding pointers become invalid.
+  void reset() noexcept { used_ = 0; }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t used() const noexcept { return used_; }
+  /// Peak bytes ever live at once — stable across reset()/reuse cycles by
+  /// construction, which tests use to prove campaigns do not creep.
+  [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
+
+ private:
+  std::unique_ptr<std::byte[]> block_;
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+/// The calling thread's arena (lazily constructed, thread lifetime). Batch
+/// pools built on it never cross threads, matching the campaign runner's
+/// one-network-per-worker model.
+inline BumpArena& thread_arena() {
+  thread_local BumpArena arena;
+  return arena;
+}
+
+}  // namespace kar::dataplane

@@ -1,0 +1,31 @@
+#include "dataplane/batch.hpp"
+
+#include <stdexcept>
+
+#include "dataplane/switch.hpp"
+
+namespace kar::dataplane {
+
+PacketBatch::PacketBatch(BumpArena& arena, std::size_t capacity)
+    : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("PacketBatch: capacity must be nonzero");
+  }
+  packets_ = arena.alloc_array<Packet*>(capacity);
+  in_ports_ = arena.alloc_array<topo::PortIndex>(capacity);
+  residues_ = arena.alloc_array<std::uint64_t>(capacity);
+  decisions_ = arena.alloc_array<ForwardDecision>(capacity);
+  route_keys_ = arena.alloc_array<const rns::BigUint*>(capacity);
+  route_residues_ = arena.alloc_array<std::uint64_t>(capacity);
+  route_decisions_ = arena.alloc_array<ForwardDecision>(capacity);
+}
+
+std::size_t PacketBatch::arena_bytes(std::size_t capacity) noexcept {
+  const std::size_t per_slot =
+      sizeof(Packet*) + sizeof(topo::PortIndex) + 2 * sizeof(std::uint64_t) +
+      2 * sizeof(ForwardDecision) + sizeof(const rns::BigUint*);
+  // Seven columns, each at most one max_align_t of padding in front.
+  return capacity * per_slot + 7 * alignof(std::max_align_t);
+}
+
+}  // namespace kar::dataplane

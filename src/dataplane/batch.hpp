@@ -1,0 +1,117 @@
+// PacketBatch: the unit of work of the batched KAR data plane (ISSUE 6).
+//
+// A batch is a fixed-capacity, arena-backed, structure-of-arrays view over
+// up to `capacity` packets visiting one core switch together. The switch
+// processes the whole batch in one KarSwitch::forward_batch call:
+//
+//   * one residue sweep per (switch, batch) — the route-ID column is
+//     grouped into distinct routes first, so PreparedMod reduction and the
+//     ResidueCache are consulted once per distinct route, not per packet;
+//   * the output-port fan-out is computed column-wise into `decisions()`;
+//   * per-packet counter material is folded into `stats()` so callers
+//     touch the metrics registry once per batch instead of once per packet.
+//
+// The batch owns no packets and performs no allocation after construction:
+// every column lives in the BumpArena passed in (per-thread in production,
+// see arena.hpp), so the steady-state fill → sweep → apply → clear cycle is
+// zero-heap (tests/test_zero_alloc.cpp pins this).
+//
+// Semantics contract: forward_batch over a batch is decision-for-decision
+// and RNG-draw-for-RNG-draw identical to calling KarSwitch::forward on each
+// packet in push order (tests/test_batch.cpp, tests/
+// test_fastpath_differential.cpp). The amortizations above are legal only
+// because nothing observable changes between two packets of one batch —
+// the simulator guarantees that by flushing open batches before any
+// link-state change or route install lands (sim/network.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dataplane/arena.hpp"
+#include "dataplane/packet.hpp"
+#include "rns/biguint.hpp"
+#include "topology/graph.hpp"
+
+namespace kar::dataplane {
+
+struct ForwardDecision;  // dataplane/switch.hpp
+
+/// "No input port" marker for locally originated probes (the SoA stand-in
+/// for std::optional<PortIndex>).
+inline constexpr topo::PortIndex kNoInPort = static_cast<topo::PortIndex>(-1);
+
+/// Per-batch fold of everything the per-packet path would have counted one
+/// packet at a time. One registry touch per field per batch.
+struct BatchStats {
+  std::uint32_t forwarded = 0;
+  std::uint32_t dropped = 0;
+  std::uint32_t deflected = 0;
+  std::uint32_t marked_hot_potato = 0;
+  /// Distinct route IDs seen by the residue sweep (== residue computations
+  /// performed; the amortization factor is size() / distinct_routes).
+  std::uint32_t distinct_routes = 0;
+};
+
+/// Fixed-capacity SoA view over packets visiting one switch together.
+class PacketBatch {
+ public:
+  /// Carves every column out of `arena` up front; the arena must outlive
+  /// the batch and not be reset() while the batch is in use.
+  PacketBatch(BumpArena& arena, std::size_t capacity);
+
+  /// Upper bound on the arena bytes one batch of `capacity` needs (every
+  /// column plus worst-case alignment padding) — size arenas with this so
+  /// column growth never silently outpaces a hand-computed budget.
+  [[nodiscard]] static std::size_t arena_bytes(std::size_t capacity) noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == capacity_; }
+
+  /// Appends a packet (non-owning; the packet must outlive the sweep).
+  /// `in_port` is the arrival port or kNoInPort. Precondition: !full().
+  void push(Packet* packet, topo::PortIndex in_port) noexcept {
+    packets_[size_] = packet;
+    in_ports_[size_] = in_port;
+    ++size_;
+  }
+
+  /// Forgets the packets and zeroes stats; columns stay allocated.
+  void clear() noexcept {
+    size_ = 0;
+    stats_ = BatchStats{};
+  }
+
+  // -- columns ---------------------------------------------------------------
+  [[nodiscard]] Packet* const* packets() const noexcept { return packets_; }
+  [[nodiscard]] const topo::PortIndex* in_ports() const noexcept { return in_ports_; }
+  /// Residue column, valid after forward_batch (undefined for HP packets
+  /// already in random-walk mode, which never consult the residue).
+  [[nodiscard]] const std::uint64_t* residues() const noexcept { return residues_; }
+  /// Decision column, valid after forward_batch.
+  [[nodiscard]] const ForwardDecision* decisions() const noexcept { return decisions_; }
+  [[nodiscard]] const BatchStats& stats() const noexcept { return stats_; }
+
+ private:
+  friend class KarSwitch;  // fills the output columns in forward_batch
+
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+  Packet** packets_;
+  topo::PortIndex* in_ports_;
+  std::uint64_t* residues_;
+  ForwardDecision* decisions_;
+  /// Residue-sweep scratch: distinct route IDs seen in this batch, their
+  /// residues, and the residue-outcome decision template shared by every
+  /// packet of the group (most batches carry a handful of flows, so the
+  /// sweep scans this linearly). Later group members copy the template, so
+  /// reduction and topology probe run once per group, not per packet.
+  const rns::BigUint** route_keys_;
+  std::uint64_t* route_residues_;
+  ForwardDecision* route_decisions_;
+  BatchStats stats_;
+};
+
+}  // namespace kar::dataplane

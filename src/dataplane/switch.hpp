@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <optional>
 #include <string_view>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "dataplane/packet.hpp"
@@ -25,6 +26,8 @@
 #include "topology/graph.hpp"
 
 namespace kar::dataplane {
+
+class PacketBatch;  // dataplane/batch.hpp
 
 /// Deflection technique selector (paper §2.1). kNone is the paper's
 /// "no deflection" baseline: packets facing an unusable port are dropped.
@@ -81,9 +84,14 @@ class KarSwitch {
     return route_id.mod_u64(switch_id_);
   }
 
-  /// The same residue through the prepared-reciprocal reduction and the
-  /// memo cache (what forward() uses on the kFast path).
+  /// The same residue through the prepared-reciprocal reduction, gated on
+  /// route width (what forward() uses on the kFast path). Routes of <= 64
+  /// bits reduce directly — at that width the memo's digest + limb compare
+  /// costs more than the reduction it saves (the 0.82x narrow-route
+  /// regression in BENCH_dataplane.json) — while wider routes go through
+  /// the ResidueCache memo. Bit-identical to residue() either way.
   [[nodiscard]] std::uint64_t residue_fast(const rns::BigUint& route_id) const {
+    if (route_id.fits_u64()) return prepared_mod_.reduce(route_id);
     return cache_.lookup(route_id, prepared_mod_);
   }
 
@@ -98,6 +106,22 @@ class KarSwitch {
                                         std::optional<topo::PortIndex> in_port,
                                         common::Rng& rng) const;
 
+  /// One forwarding decision per packet of `batch`, filling the batch's
+  /// residue/decision columns and folding counter material into its stats.
+  ///
+  /// Contract: the decision sequence — including every RNG draw — is
+  /// identical to calling forward() on each packet in push order
+  /// (tests/test_batch.cpp). The batch amortizations (port-availability
+  /// snapshot hoisted per batch, residues computed once per distinct route)
+  /// are sound only while nothing observable changes mid-batch; callers
+  /// must not fail/repair links or install routes between push() and this
+  /// call (sim::Network flushes open batches before such events).
+  ///
+  /// Steady-state zero-alloc: after the first call (which sizes the port
+  /// scratch) this performs no heap allocation as long as every route ID
+  /// is <= 64 bits or already memoized (tests/test_zero_alloc.cpp).
+  void forward_batch(PacketBatch& batch, common::Rng& rng) const;
+
  private:
   [[nodiscard]] ForwardDecision random_among_available(
       std::optional<topo::PortIndex> excluded_port, bool marked, common::Rng& rng) const;
@@ -111,6 +135,11 @@ class KarSwitch {
   /// Pure-function memo; mutating it never changes a decision, so the
   /// switch keeps value semantics for callers holding it const.
   mutable ResidueCache cache_;
+  /// Per-batch snapshot of the available ports (forward_batch hoists one
+  /// topology scan per batch instead of one per deflection). Scratch only —
+  /// refilled every batch; capacity is retained so steady state is
+  /// alloc-free.
+  mutable std::vector<topo::PortIndex> avail_scratch_;
 };
 
 }  // namespace kar::dataplane

@@ -48,6 +48,10 @@ struct CampaignConfig {
   /// reaction-delay scenarios — it exists so the campaign smoke suites and
   /// the churn bench share one plumbing path (like `residue_path`).
   ctrlplane::EngineMode route_engine = ctrlplane::EngineMode::kIncremental;
+  /// Core-switch batch size, forwarded into sim::NetworkConfig::batch_size
+  /// (0 = per-packet). Aggregates are byte-identical at any value — the
+  /// campaign smokes pin that by re-running once with --batch=32.
+  std::size_t batch_size = 0;
   topo::ProtectionLevel protection = topo::ProtectionLevel::kPartial;
   dataplane::WrongEdgePolicy wrong_edge_policy =
       dataplane::WrongEdgePolicy::kReencode;

@@ -1,5 +1,6 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -28,6 +29,15 @@ Network::Network(topo::Topology& topology, const routing::Controller& controller
   }
   link_state_.resize(topology.link_count());
   physically_up_.assign(topology.link_count(), true);
+  if (config_.batch_size > 0 && config_.mode == DataPlaneMode::kKar) {
+    // Batch-pool setup: the one moment the batched path may allocate.
+    // The arena holds exactly one batch's SoA columns; staging capacity is
+    // bounded by the batch size (stage_arrival sweeps when full).
+    arena_ = std::make_unique<dataplane::BumpArena>(
+        dataplane::PacketBatch::arena_bytes(config_.batch_size));
+    batch_.emplace(*arena_, config_.batch_size);
+    pending_.reserve(config_.batch_size);
+  }
 }
 
 const dataplane::EdgeNode& Network::edge_at(topo::NodeId node) const {
@@ -66,6 +76,7 @@ void Network::inject(topo::NodeId edge, Packet packet) {
   if (topo_->port_count(edge) == 0) {
     throw std::logic_error("Network::inject: edge node has no uplink");
   }
+  maybe_flush();  // the inject trace must not overtake staged decisions
   packet.packet_id = next_packet_id_++;
   packet.created_at = now();
   ++counters_.injected;
@@ -75,21 +86,84 @@ void Network::inject(topo::NodeId edge, Packet packet) {
   transmit(edge, 0, std::move(packet));
 }
 
+void Network::inject_burst(topo::NodeId edge, std::vector<Packet> packets) {
+  if (edge >= edges_.size() || !edges_[edge]) {
+    throw std::invalid_argument("Network::inject_burst: not an edge node");
+  }
+  if (topo_->port_count(edge) == 0) {
+    throw std::logic_error("Network::inject_burst: edge node has no uplink");
+  }
+  maybe_flush();
+  if (packets.empty()) return;
+  for (Packet& packet : packets) {
+    packet.packet_id = next_packet_id_++;
+    packet.created_at = now();
+    ++counters_.injected;
+    trace(TraceEvent{TraceEvent::Kind::kInject, now(), packet.packet_id, edge,
+                     0, false, DropReason::kNoViablePort, 0, &packet});
+  }
+  const topo::LinkId link_id = topo_->link_at(edge, 0);
+  if (link_id == topo::kInvalidLink) {
+    for (const Packet& packet : packets) {
+      drop(packet, edge, DropReason::kNoViablePort);
+    }
+    return;
+  }
+  const topo::Link& link = topo_->link(link_id);
+  if (!link.up) {
+    for (const Packet& packet : packets) {
+      drop(packet, edge, DropReason::kLinkFailed);
+    }
+    return;
+  }
+  const int dir = (link.a.node == edge) ? 0 : 1;
+  DirectionState& state = link_state_[link_id][static_cast<std::size_t>(dir)];
+  // Per-packet admission against the drop-tail queue, then the admitted
+  // train serializes back to back; every admitted packet arrives at the
+  // train's last-byte instant (one batch at the ingress switch).
+  const double start = std::max(now(), state.busy_until);
+  double total_tx = 0.0;
+  std::size_t admitted = 0;
+  for (const Packet& packet : packets) {
+    if (state.queued + admitted >= link.params.queue_packets) break;
+    total_tx +=
+        static_cast<double>(packet.size_bytes) * 8.0 / link.params.rate_bps;
+    ++admitted;
+  }
+  for (std::size_t i = admitted; i < packets.size(); ++i) {
+    drop(packets[i], edge, DropReason::kQueueOverflow);
+  }
+  if (admitted == 0) return;
+  state.busy_until = start + total_tx;
+  const double arrival = state.busy_until + link.params.delay_s;
+  state.queued += admitted;
+
+  const topo::LinkEnd& far = (dir == 0) ? link.b : link.a;
+  const std::uint64_t epoch = state.epoch;
+  for (std::size_t i = 0; i < admitted; ++i) {
+    schedule_link_delivery(link_id, dir, arrival, epoch, far.node, far.port,
+                           std::move(packets[i]));
+  }
+}
+
 void Network::transmit(topo::NodeId from, topo::PortIndex out_port,
                        Packet&& packet) {
   const topo::LinkId link_id = topo_->link_at(from, out_port);
   if (link_id == topo::kInvalidLink) {
+    maybe_flush();
     drop(packet, from, DropReason::kNoViablePort);
     return;
   }
   const topo::Link& link = topo_->link(link_id);
   if (!link.up) {
+    maybe_flush();
     drop(packet, from, DropReason::kLinkFailed);
     return;
   }
   const int dir = (link.a.node == from) ? 0 : 1;
   DirectionState& state = link_state_[link_id][static_cast<std::size_t>(dir)];
   if (state.queued >= link.params.queue_packets) {
+    maybe_flush();
     drop(packet, from, DropReason::kQueueOverflow);
     return;
   }
@@ -101,9 +175,15 @@ void Network::transmit(topo::NodeId from, topo::PortIndex out_port,
   ++state.queued;
 
   const topo::LinkEnd& far = (dir == 0) ? link.b : link.a;
-  const std::uint64_t epoch = state.epoch;
-  const topo::NodeId far_node = far.node;
-  const topo::PortIndex far_port = far.port;
+  schedule_link_delivery(link_id, dir, arrival, state.epoch, far.node,
+                         far.port, std::move(packet));
+}
+
+void Network::schedule_link_delivery(topo::LinkId link_id, int dir,
+                                     double arrival, std::uint64_t epoch,
+                                     topo::NodeId far_node,
+                                     topo::PortIndex far_port,
+                                     Packet&& packet) {
   events_.schedule_at(
       arrival, EventKind::kLinkArrival,
       [this, link_id, dir, epoch, far_node, far_port,
@@ -114,6 +194,7 @@ void Network::transmit(topo::NodeId from, topo::PortIndex out_port,
         // it was dead all along and the sender had not detected it yet.
         if (st.epoch != epoch || !physically_up_[link_id] ||
             !topo_->link(link_id).up) {
+          maybe_flush();  // this drop's trace must stay in arrival order
           drop(pkt, far_node, DropReason::kLinkFailed);
           return;
         }
@@ -124,6 +205,9 @@ void Network::transmit(topo::NodeId from, topo::PortIndex out_port,
 void Network::arrive_at(topo::NodeId node, topo::PortIndex in_port,
                         Packet&& packet) {
   if (edges_[node]) {
+    // Edge processing traces (deliver/reencode/bounce) must land after the
+    // decisions of every switch arrival that preceded this event.
+    maybe_flush();
     Packet pkt = std::move(packet);
     const auto verdict = edges_[node]->receive(pkt);
     switch (verdict) {
@@ -166,7 +250,6 @@ void Network::arrive_at(topo::NodeId node, topo::PortIndex in_port,
 
 void Network::forward_from_switch(topo::NodeId node, topo::PortIndex in_port,
                                   Packet&& packet) {
-  ForwardDecision decision;
   if (config_.mode == DataPlaneMode::kFailoverFib) {
     // Table-driven fast-failover baseline: the route ID is ignored.
     const auto selection =
@@ -178,12 +261,25 @@ void Network::forward_from_switch(topo::NodeId node, topo::PortIndex in_port,
       drop(packet, node, DropReason::kNoViablePort);
       return;
     }
+    ForwardDecision decision;
     decision.action = ForwardDecision::Action::kForward;
     decision.out_port = selection->port;
     decision.deflected = selection->failed_over;
-  } else {
-    decision = switches_[node]->forward(packet, in_port, rng_);
+    apply_decision(node, in_port, std::move(packet), decision);
+    return;
   }
+  if (batching()) {
+    stage_arrival(node, in_port, std::move(packet));
+    return;
+  }
+  const ForwardDecision decision =
+      switches_[node]->forward(packet, in_port, rng_);
+  apply_decision(node, in_port, std::move(packet), decision);
+}
+
+void Network::apply_decision(topo::NodeId node, topo::PortIndex in_port,
+                             Packet&& packet,
+                             const ForwardDecision& decision) {
   if (decision.action == ForwardDecision::Action::kDrop) {
     drop(packet, node, decision.drop_reason);
     return;
@@ -209,7 +305,61 @@ void Network::forward_from_switch(topo::NodeId node, topo::PortIndex in_port,
                       });
 }
 
+void Network::stage_arrival(topo::NodeId node, topo::PortIndex in_port,
+                            Packet&& packet) {
+  pending_.push_back(PendingArrival{node, in_port, std::move(packet)});
+  ++batch_stats_.staged;
+  if (pending_.size() >= config_.batch_size) {
+    // Full: sweep now. Any flush event still in the queue finds nothing.
+    flush_batches();
+    return;
+  }
+  if (!flush_scheduled_) {
+    // Same-instant flush: scheduled now, so its sequence number is larger
+    // than every already-queued arrival at this timestamp — all of them
+    // stage before the sweep runs. Whenever pending_ is non-empty exactly
+    // one such event is in flight, so no staged decision can outlive the
+    // current instant.
+    flush_scheduled_ = true;
+    events_.schedule_at(now(), EventKind::kBatchFlush, [this] {
+      flush_scheduled_ = false;
+      flush_batches();
+    });
+  }
+}
+
+void Network::flush_batches() {
+  const std::size_t total = pending_.size();
+  if (total == 0) return;
+  // Sweep in arrival order, grouping consecutive same-switch runs — the
+  // order (and thus every trace, counter and RNG draw) is exactly the
+  // per-packet path's.
+  std::size_t i = 0;
+  while (i < total) {
+    const topo::NodeId node = pending_[i].node;
+    batch_->clear();
+    std::size_t j = i;
+    while (j < total && pending_[j].node == node && !batch_->full()) {
+      batch_->push(&pending_[j].packet, pending_[j].in_port);
+      ++j;
+    }
+    switches_[node]->forward_batch(*batch_, rng_);
+    ++batch_stats_.batches;
+    if (batch_->size() > batch_stats_.max_occupancy) {
+      batch_stats_.max_occupancy = batch_->size();
+    }
+    const dataplane::ForwardDecision* decisions = batch_->decisions();
+    for (std::size_t k = i; k < j; ++k) {
+      apply_decision(node, pending_[k].in_port, std::move(pending_[k].packet),
+                     decisions[k - i]);
+    }
+    i = j;
+  }
+  pending_.clear();
+}
+
 void Network::fail_link_now(topo::LinkId link) {
+  maybe_flush();  // staged decisions must not observe the new link state
   // Physical failure: everything queued or in flight dies immediately.
   physically_up_[link] = false;
   for (auto& dir : link_state_[link]) {
@@ -226,6 +376,7 @@ void Network::fail_link_now(topo::LinkId link) {
     events_.schedule_in(config_.failure_detection_delay_s, EventKind::kLinkState,
                         [this, link, epoch] {
       if (link_state_[link][0].epoch != epoch) return;  // repaired meanwhile
+      maybe_flush();  // detection flips what staged decisions would observe
       topo_->set_link_up(link, false);
       if (link_state_hook_) link_state_hook_(link, /*up=*/false);
     });
@@ -236,6 +387,7 @@ void Network::fail_link_now(topo::LinkId link) {
 }
 
 void Network::repair_link_now(topo::LinkId link) {
+  maybe_flush();  // staged decisions must not observe the new link state
   physically_up_[link] = true;
   topo_->set_link_up(link, true);
   for (auto& dir : link_state_[link]) {
@@ -247,6 +399,7 @@ void Network::repair_link_now(topo::LinkId link) {
 
 void Network::install_routes(std::uint64_t version,
                              const std::vector<RouteInstall>& batch) {
+  maybe_flush();  // table swaps sit between decision generations
   if (version < route_table_version_) {
     throw std::invalid_argument(
         "Network::install_routes: stale epoch " + std::to_string(version) +

@@ -16,6 +16,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -23,6 +24,8 @@
 
 #include "common/rng.hpp"
 #include "ctrlplane/engine_mode.hpp"
+#include "dataplane/arena.hpp"
+#include "dataplane/batch.hpp"
 #include "dataplane/edge.hpp"
 #include "obs/metrics.hpp"
 #include "routing/failover_fib.hpp"
@@ -70,6 +73,16 @@ struct NetworkConfig {
   /// (sim::ReactiveController) runs: affected-set incremental (default) or
   /// the full-recompute oracle. The data plane ignores this knob.
   ctrlplane::EngineMode route_engine = ctrlplane::EngineMode::kIncremental;
+  /// Core-switch batch size. 0 (default) is the per-packet path — the
+  /// differential oracle. N > 0 stages same-instant switch arrivals into
+  /// PacketBatches of up to N and sweeps each through
+  /// KarSwitch::forward_batch; any event that could change what a staged
+  /// decision observes (link state, route installs, edge traffic) flushes
+  /// open batches first, which keeps traces and counters byte-identical to
+  /// the per-packet path at every batch size
+  /// (tests/test_fastpath_differential.cpp, docs/dataplane_batching.md).
+  /// Ignored in kFailoverFib mode.
+  std::size_t batch_size = 0;
 };
 
 /// Aggregate data-plane counters.
@@ -147,6 +160,17 @@ class Network {
   /// packet must already be stamped (see EdgeNode::stamp).
   void inject(topo::NodeId edge, dataplane::Packet packet);
 
+  /// Batch admission: injects a burst of stamped packets from `edge` as
+  /// one back-to-back train. The train serializes on the uplink for its
+  /// total wire time and every packet is handed to the far switch at the
+  /// train's arrival instant — which is what lets the batched data plane
+  /// sweep the whole burst as one PacketBatch. Admission (ids, inject
+  /// traces, queue-overflow drops) is per packet in order, and the event
+  /// schedule is identical whether the network then forwards per packet or
+  /// per batch, so this is the workload the differential suite drives both
+  /// modes with.
+  void inject_burst(topo::NodeId edge, std::vector<dataplane::Packet> packets);
+
   /// Schedules a bidirectional link failure / repair.
   void fail_link_at(double time, const std::string& node_a, const std::string& node_b);
   void repair_link_at(double time, const std::string& node_a, const std::string& node_b);
@@ -190,6 +214,18 @@ class Network {
   /// Sum of the per-switch residue-cache stats (tests, benches).
   [[nodiscard]] dataplane::ResidueCache::Stats residue_cache_stats() const;
 
+  /// Counters of the batched forwarding path (all zero in per-packet mode).
+  struct BatchPathStats {
+    std::uint64_t staged = 0;         ///< Packets routed through staging.
+    std::uint64_t batches = 0;        ///< forward_batch sweeps performed.
+    std::uint64_t state_flushes = 0;  ///< Flushes forced by non-arrival events
+                                      ///< (link state, injects, edge traffic).
+    std::size_t max_occupancy = 0;    ///< Largest batch swept.
+  };
+  [[nodiscard]] const BatchPathStats& batch_stats() const noexcept {
+    return batch_stats_;
+  }
+
  private:
   struct DirectionState {
     double busy_until = 0.0;
@@ -200,9 +236,38 @@ class Network {
   void arrive_at(topo::NodeId node, topo::PortIndex in_port, dataplane::Packet&& packet);
   void forward_from_switch(topo::NodeId node, topo::PortIndex in_port,
                            dataplane::Packet&& packet);
+  /// Everything after a forwarding decision: counters, TTL, trace, and the
+  /// switch-latency transmit — shared by the per-packet and batched paths.
+  void apply_decision(topo::NodeId node, topo::PortIndex in_port,
+                      dataplane::Packet&& packet,
+                      const dataplane::ForwardDecision& decision);
   void transmit(topo::NodeId from, topo::PortIndex out_port, dataplane::Packet&& packet);
+  /// Schedules one packet's delivery at the far end of a link (the shared
+  /// tail of transmit() and inject_burst()).
+  void schedule_link_delivery(topo::LinkId link_id, int dir, double arrival,
+                              std::uint64_t epoch, topo::NodeId far_node,
+                              topo::PortIndex far_port, dataplane::Packet&& packet);
   void drop(const dataplane::Packet& packet, topo::NodeId at, dataplane::DropReason reason);
   void trace(TraceEvent event);
+
+  // -- batched forwarding (config_.batch_size > 0, kKar mode only) -----------
+  [[nodiscard]] bool batching() const noexcept { return batch_.has_value(); }
+  /// Stages a switch arrival into the open batch; schedules the flush event
+  /// and sweeps early when the batch fills.
+  void stage_arrival(topo::NodeId node, topo::PortIndex in_port,
+                     dataplane::Packet&& packet);
+  /// Sweeps every staged arrival now, in arrival order, grouping
+  /// consecutive same-switch runs into PacketBatches.
+  void flush_batches();
+  /// Cooperative flush: called before any operation whose observable order
+  /// relative to staged decisions matters (link state changes, route
+  /// installs, injects, edge processing, drops). No-op when idle.
+  void maybe_flush() {
+    if (batching() && !pending_.empty()) {
+      ++batch_stats_.state_flushes;
+      flush_batches();
+    }
+  }
 
   topo::Topology* topo_;
   const routing::Controller* controller_;
@@ -224,6 +289,20 @@ class Network {
   /// Control-plane route table (install_routes); keyed by RouteKey.
   std::unordered_map<std::uint64_t, routing::EncodedRoute> installed_;
   std::uint64_t route_table_version_ = 0;
+
+  /// Batched-path state (engaged iff config_.batch_size > 0 in kKar mode).
+  /// All capacity is reserved at construction; the steady-state staging /
+  /// sweep cycle allocates nothing.
+  struct PendingArrival {
+    topo::NodeId node;
+    topo::PortIndex in_port;
+    dataplane::Packet packet;
+  };
+  std::vector<PendingArrival> pending_;
+  bool flush_scheduled_ = false;
+  std::unique_ptr<dataplane::BumpArena> arena_;
+  std::optional<dataplane::PacketBatch> batch_;
+  BatchPathStats batch_stats_;
 };
 
 }  // namespace kar::sim

@@ -1,0 +1,324 @@
+// Property tests for the batched data plane (PacketBatch + BumpArena +
+// KarSwitch::forward_batch + the simulator's batch admission path).
+//
+// The batched path is an amortization, never a semantics change. Three
+// properties pin that:
+//   * element equivalence: forward_batch over any packet mix — narrow and
+//     wide routes, HP random-walk packets, dead ports forcing deflection
+//     draws — is decision-for-decision AND RNG-draw-for-RNG-draw identical
+//     to calling forward() in push order;
+//   * the SoA residue sweep agrees with scalar BigUint::mod_u64 over
+//     random 64–1024-bit routes, computing each distinct route once;
+//   * batch split/merge invariance: a full simulation produces the same
+//     byte-exact trace whether arrivals are swept in batches of 1, 7 or
+//     32 — or not batched at all.
+// Plus the BumpArena unit behaviors the zero-alloc path leans on:
+// alignment, O(1) reset/reuse with a stable high-water mark, and
+// bad_alloc (never growth) on exhaustion.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dataplane/arena.hpp"
+#include "dataplane/batch.hpp"
+#include "dataplane/switch.hpp"
+#include "faultgen/campaign.hpp"
+#include "routing/controller.hpp"
+#include "sim/network.hpp"
+#include "sim/trace_csv.hpp"
+#include "support/testsupport.hpp"
+#include "topology/builders.hpp"
+
+namespace kar::dataplane {
+namespace {
+
+using common::Rng;
+
+/// Random BigUint with roughly `bits` significant bits.
+rns::BigUint random_biguint(Rng& rng, std::size_t bits) {
+  rns::BigUint value;
+  for (std::size_t produced = 0; produced < bits; produced += 32) {
+    value <<= 32;
+    value += rns::BigUint(rng.below(std::uint64_t{1} << 32));
+  }
+  return value;
+}
+
+TEST(ForwardBatch, MatchesSequentialForwardAndRngStream) {
+  topo::Scenario s = topo::make_fig1_network();
+  // Kill one of SW7's links so residues regularly point at a dead port and
+  // every technique's deflection draw actually runs.
+  const topo::NodeId sw7 = s.topology.at("SW7");
+  const auto dead = s.topology.link_at(sw7, 1);
+  ASSERT_NE(dead, topo::kInvalidLink);
+  s.topology.set_link_up(dead, false);
+
+  for (const auto technique :
+       {DeflectionTechnique::kNone, DeflectionTechnique::kHotPotato,
+        DeflectionTechnique::kAnyValidPort,
+        DeflectionTechnique::kNotInputPort}) {
+    const KarSwitch sw(s.topology, sw7, technique, ResiduePath::kFast);
+    auto rng = testsupport::make_rng(20260809, "ForwardBatchMix");
+    for (int round = 0; round < 50; ++round) {
+      const std::size_t n = 1 + rng.below(32);
+      std::vector<Packet> packets(n);
+      std::vector<topo::PortIndex> in_ports(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        // Mix: mostly narrow routes with duplicates, some wide (up to
+        // ~512-bit) ones, some HP packets already in random-walk mode,
+        // and the occasional "locally originated" no-input-port packet.
+        if (rng.chance(0.25)) {
+          packets[i].kar.route_id = random_biguint(rng, 65 + rng.below(448));
+        } else {
+          packets[i].kar.route_id = rns::BigUint(rng.below(2000));
+        }
+        packets[i].kar.deflected = rng.chance(0.2);
+        in_ports[i] = rng.chance(0.1)
+                          ? kNoInPort
+                          : static_cast<topo::PortIndex>(
+                                rng.below(s.topology.port_count(sw7)));
+      }
+
+      BumpArena arena(1 << 16);
+      PacketBatch batch(arena, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push(&packets[i], in_ports[i]);
+      }
+
+      const std::uint64_t seed = rng();
+      Rng rng_batch(seed);
+      Rng rng_seq(seed);
+      sw.forward_batch(batch, rng_batch);
+
+      BatchStats manual;
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto in = in_ports[i] == kNoInPort
+                            ? std::nullopt
+                            : std::optional<topo::PortIndex>(in_ports[i]);
+        const ForwardDecision expected =
+            sw.forward(packets[i], in, rng_seq);
+        const ForwardDecision& got = batch.decisions()[i];
+        ASSERT_EQ(got.action, expected.action)
+            << to_string(technique) << " round " << round << " packet " << i;
+        ASSERT_EQ(got.out_port, expected.out_port)
+            << to_string(technique) << " round " << round << " packet " << i;
+        ASSERT_EQ(got.deflected, expected.deflected);
+        ASSERT_EQ(got.marked_hot_potato, expected.marked_hot_potato);
+        ASSERT_EQ(got.drop_reason, expected.drop_reason);
+        if (expected.action == ForwardDecision::Action::kForward) {
+          ++manual.forwarded;
+          if (expected.deflected) ++manual.deflected;
+          if (expected.marked_hot_potato) ++manual.marked_hot_potato;
+        } else {
+          ++manual.dropped;
+        }
+      }
+      // Identical draw count and order: the two generators must now be in
+      // the same state, i.e. produce the same next raw word.
+      ASSERT_EQ(rng_batch(), rng_seq())
+          << to_string(technique) << " round " << round;
+      // The folded stats are exactly the per-packet fold.
+      EXPECT_EQ(batch.stats().forwarded, manual.forwarded);
+      EXPECT_EQ(batch.stats().dropped, manual.dropped);
+      EXPECT_EQ(batch.stats().deflected, manual.deflected);
+      EXPECT_EQ(batch.stats().marked_hot_potato, manual.marked_hot_potato);
+    }
+  }
+}
+
+TEST(ForwardBatch, SoAResidueSweepMatchesScalarModU64) {
+  topo::Scenario s = topo::make_fig1_network();
+  const topo::NodeId sw7 = s.topology.at("SW7");
+  const KarSwitch sw(s.topology, sw7, DeflectionTechnique::kNone,
+                     ResiduePath::kFast);
+  auto rng = testsupport::make_rng(20260809, "ResidueSweep");
+  BumpArena arena(1 << 18);
+
+  for (int round = 0; round < 40; ++round) {
+    arena.reset();
+    const std::size_t distinct = 1 + rng.below(12);
+    std::vector<rns::BigUint> routes;
+    for (std::size_t i = 0; i < distinct; ++i) {
+      routes.push_back(random_biguint(rng, 64 + rng.below(961)));
+    }
+    const std::size_t n = distinct + rng.below(24);
+    std::vector<Packet> packets(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Every distinct route appears at least once; the rest are repeats.
+      packets[i].kar.route_id =
+          routes[i < distinct ? i : rng.below(distinct)];
+    }
+    PacketBatch batch(arena, n);
+    for (std::size_t i = 0; i < n; ++i) batch.push(&packets[i], 0);
+
+    Rng unused(1);
+    sw.forward_batch(batch, unused);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(batch.residues()[i],
+                packets[i].kar.route_id.mod_u64(sw.switch_id()))
+          << "round " << round << " packet " << i;
+    }
+    // One reduction per distinct route, not per packet. (Distinct values,
+    // not distinct pointers: repeats share a group even when they alias
+    // different BigUint objects.)
+    std::size_t unique = 0;
+    for (std::size_t i = 0; i < distinct; ++i) {
+      bool seen = false;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (routes[j] == routes[i]) { seen = true; break; }
+      }
+      if (!seen) ++unique;
+    }
+    EXPECT_EQ(batch.stats().distinct_routes, unique) << "round " << round;
+  }
+}
+
+/// One seeded fig2 simulation (bursts + mid-run failure/repair) at a given
+/// batch size; returns the full trace CSV + counters.
+std::string traced_sim(std::size_t batch_size, std::uint64_t seed) {
+  topo::Scenario s = faultgen::make_campaign_scenario("fig2");
+  const routing::Controller controller(s.topology);
+  const auto route =
+      controller.encode_scenario(s.route, topo::ProtectionLevel::kPartial);
+
+  sim::NetworkConfig config;
+  config.technique = DeflectionTechnique::kNotInputPort;
+  config.seed = common::derive_seed(seed, 1);
+  config.batch_size = batch_size;
+  sim::Network net(s.topology, controller, config);
+
+  std::ostringstream out;
+  sim::TraceCsvWriter writer(out);
+  net.set_trace_hook(writer.hook(net));
+
+  Rng rng(common::derive_seed(seed, 2));
+  const auto& core = s.route.core_path;
+  const double fail_at = 0.001 + rng.uniform() * 0.004;
+  net.fail_link_at(fail_at, core[0], core[1]);
+  net.repair_link_at(fail_at + 0.005, core[0], core[1]);
+
+  double time = 0.0;
+  for (int b = 0; b < 3; ++b) {
+    time += 1e-4 + rng.uniform() * 2e-3;
+    const std::size_t bytes = 64 + rng.below(1200);
+    const std::size_t count = 2 + rng.below(9);
+    net.events().schedule_at(time, [&net, &route, bytes, count] {
+      std::vector<Packet> burst(count);
+      for (auto& p : burst) {
+        p.transport = Datagram{0};
+        net.edge_at(route.src_edge).stamp(p, route, bytes);
+      }
+      net.inject_burst(route.src_edge, std::move(burst));
+    });
+  }
+  net.events().run_all();
+
+  std::ostringstream counters;
+  const auto& c = net.counters();
+  counters << " injected=" << c.injected << " delivered=" << c.delivered
+           << " hops=" << c.hops << " deflections=" << c.deflections
+           << " drops=" << c.total_drops();
+  return out.str() + counters.str();
+}
+
+TEST(BatchSplitMerge, AnyBatchSizeYieldsIdenticalTraces) {
+  for (std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{77},
+                             testsupport::seed_or(20260809)}) {
+    const std::string reference = traced_sim(/*batch_size=*/0, seed);
+    for (const std::size_t batch_size :
+         {std::size_t{1}, std::size_t{7}, std::size_t{32}}) {
+      EXPECT_EQ(traced_sim(batch_size, seed), reference)
+          << "batch_size=" << batch_size << " seed=" << seed;
+    }
+  }
+}
+
+TEST(BumpArena, AllocationsAreAlignedAndBumpTheHighWater) {
+  BumpArena arena(4096);
+  EXPECT_EQ(arena.capacity(), 4096u);
+  EXPECT_EQ(arena.used(), 0u);
+
+  void* a = arena.allocate(3, 1);
+  void* b = arena.allocate(8, 8);
+  void* c = arena.allocate(1, 64);
+  EXPECT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0u);
+  EXPECT_GT(arena.used(), 0u);
+  EXPECT_EQ(arena.high_water(), arena.used());
+
+  auto* doubles = arena.alloc_array<double>(16);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(doubles) % alignof(double), 0u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(doubles[i], 0.0);  // value-init
+}
+
+TEST(BumpArena, ResetRecyclesWithStableHighWater) {
+  BumpArena arena(1 << 14);
+  std::size_t first_used = 0;
+  // The same allocation pattern after reset() must land on the same bytes
+  // and never move the high-water mark — the "campaigns do not creep"
+  // property the zero-alloc regression test leans on.
+  void* first_ptr = nullptr;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    arena.reset();
+    EXPECT_EQ(arena.used(), 0u);
+    auto* p = arena.alloc_array<std::uint64_t>(100);
+    p[0] = 42;
+    p[99] = 7;
+    auto* q = arena.alloc_array<std::uint32_t>(33);
+    q[32] = 9;
+    if (cycle == 0) {
+      first_used = arena.used();
+      first_ptr = p;
+    } else {
+      EXPECT_EQ(arena.used(), first_used);
+      EXPECT_EQ(static_cast<void*>(p), first_ptr);
+    }
+  }
+  EXPECT_EQ(arena.high_water(), first_used);
+}
+
+TEST(BumpArena, ExhaustionThrowsBadAllocInsteadOfGrowing) {
+  BumpArena arena(256);
+  (void)arena.allocate(200, 1);
+  EXPECT_THROW((void)arena.allocate(100, 1), std::bad_alloc);
+  // The failed allocation must not have corrupted the arena.
+  const std::size_t used = arena.used();
+  (void)arena.allocate(8, 1);
+  EXPECT_GT(arena.used(), used);
+}
+
+TEST(PacketBatchCtor, ZeroCapacityThrows) {
+  BumpArena arena(4096);
+  EXPECT_THROW(PacketBatch(arena, 0), std::invalid_argument);
+}
+
+TEST(PacketBatchCtor, ArenaResetThenRebuildIsSafe) {
+  BumpArena arena(1 << 16);
+  topo::Scenario s = topo::make_fig1_network();
+  const topo::NodeId sw7 = s.topology.at("SW7");
+  const KarSwitch sw(s.topology, sw7, DeflectionTechnique::kAnyValidPort);
+  Packet p;
+  p.kar.route_id = rns::BigUint(44);
+
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    arena.reset();
+    PacketBatch batch(arena, 8);
+    EXPECT_TRUE(batch.empty());
+    batch.push(&p, 0);
+    EXPECT_EQ(batch.size(), 1u);
+    Rng rng(9);
+    sw.forward_batch(batch, rng);
+    EXPECT_EQ(batch.residues()[0], rns::BigUint(44).mod_u64(sw.switch_id()));
+    batch.clear();
+    EXPECT_TRUE(batch.empty());
+    EXPECT_EQ(batch.stats().forwarded + batch.stats().dropped, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace kar::dataplane

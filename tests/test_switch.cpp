@@ -215,7 +215,7 @@ TEST_F(Fig1Fixture, FastResiduePathMatchesNaiveDecisionForDecision) {
   EXPECT_EQ(naive.residue_path(), ResiduePath::kNaive);
   Rng rng_fast{99};
   Rng rng_naive{99};
-  for (int pass = 0; pass < 2; ++pass) {  // second pass hits the memo
+  for (int pass = 0; pass < 2; ++pass) {
     for (std::uint64_t r : {0u, 1u, 7u, 44u, 660u, 123456u}) {
       const Packet p = make_packet(r);
       const auto a = fast.forward(p, 0, rng_fast);
@@ -225,7 +225,26 @@ TEST_F(Fig1Fixture, FastResiduePathMatchesNaiveDecisionForDecision) {
       EXPECT_EQ(a.deflected, b.deflected) << r;
     }
   }
-  // Every repeated route ID above was answered from the memo.
+  // Width gating: <= 64-bit routes reduce directly and never consult the
+  // memo (the narrow-route fast-path regression fix).
+  EXPECT_EQ(fast.residue_cache().stats().hits, 0u);
+  EXPECT_EQ(fast.residue_cache().stats().misses, 0u);
+
+  // Wide routes do go through the memo; adding a multiple of the switch ID
+  // (7 << 200) widens the route without changing any residue, so decisions
+  // still match naive bit for bit — and the second pass is answered from
+  // the memo.
+  for (int pass = 0; pass < 2; ++pass) {  // second pass hits the memo
+    for (std::uint64_t r : {0u, 1u, 7u, 44u, 660u, 123456u}) {
+      Packet p = make_packet(r);
+      p.kar.route_id += rns::BigUint(7) << 200;
+      const auto a = fast.forward(p, 0, rng_fast);
+      const auto b = naive.forward(p, 0, rng_naive);
+      EXPECT_EQ(a.action, b.action) << r;
+      EXPECT_EQ(a.out_port, b.out_port) << r;
+      EXPECT_EQ(a.deflected, b.deflected) << r;
+    }
+  }
   EXPECT_GT(fast.residue_cache().stats().hits, 0u);
   EXPECT_EQ(naive.residue_cache().stats().hits, 0u);
   EXPECT_EQ(naive.residue_cache().stats().misses, 0u);
