@@ -161,6 +161,35 @@ void ReconvergenceEngine::reconverge_group(RouteKey rep,
   }
 }
 
+bool ReconvergenceEngine::preview(topo::NodeId src, topo::NodeId dst,
+                                  routing::EncodedRoute& route_out,
+                                  std::vector<topo::NodeId>& core_out) {
+  if (topo_->kind(src) != topo::NodeKind::kEdgeNode) {
+    throw std::invalid_argument("preview: source " + topo_->name(src) +
+                                " is not an edge node");
+  }
+  if (topo_->kind(dst) != topo::NodeKind::kEdgeNode) {
+    throw std::invalid_argument("preview: destination " + topo_->name(dst) +
+                                " is not an edge node");
+  }
+  if (!extract_core(src, dst, core_out)) return false;
+  if (config_.mode == EngineMode::kIncremental) {
+    route_out = lookup_encoding(src, dst, core_out).route;
+  } else {
+    static const std::vector<std::pair<topo::NodeId, topo::NodeId>>
+        kNoProtection;
+    const auto& protection = config_.plan_protection
+                                 ? protection_for(dst, core_out)
+                                 : kNoProtection;
+    route_out = controller_.encode_path(src, core_out, dst, protection);
+  }
+  return true;
+}
+
+void ReconvergenceEngine::warm_spts() {
+  for (const topo::NodeId dst : store_->destinations()) (void)spt_for(dst);
+}
+
 RouteKey ReconvergenceEngine::add_route(topo::NodeId src, topo::NodeId dst) {
   const RouteKey key = store_->add(src, dst);
   (void)spt_for(dst);
@@ -172,6 +201,14 @@ RouteKey ReconvergenceEngine::add_route(topo::NodeId src, topo::NodeId dst) {
 }
 
 EpochResult ReconvergenceEngine::apply(const std::vector<LinkChange>& events) {
+  return apply(events, {}, {}, nullptr);
+}
+
+EpochResult ReconvergenceEngine::apply(
+    const std::vector<LinkChange>& events,
+    const std::vector<std::pair<topo::NodeId, topo::NodeId>>& installs,
+    const std::vector<RouteKey>& withdraws,
+    std::vector<RouteKey>* installed_keys) {
   EpochResult result;
   {
     obs::SpanTimer timer(&result.stats.wall_s, trace_, "ctrlplane.apply");
@@ -247,14 +284,34 @@ EpochResult ReconvergenceEngine::apply(const std::vector<LinkChange>& events) {
       for (const RouteKey rep : key_scratch_) {
         reconverge_group(rep, result.updated, result.stats);
       }
-      std::sort(result.updated.begin(), result.updated.end());
     }
+
+    // Admissions converge against the post-event SPTs, under this epoch's
+    // version; withdrawals last, so a key installed above can be
+    // tombstoned in the same epoch.
+    for (const auto& [src, dst] : installs) {
+      const RouteKey key = store_->add(src, dst);
+      reconverge_one(key, result.updated, result.stats);
+      if (installed_keys != nullptr) installed_keys->push_back(key);
+      ++result.stats.installed;
+    }
+    for (const RouteKey key : withdraws) {
+      store_->set_withdrawn(key, version_);
+      result.updated.push_back(key);
+      ++result.stats.tombstoned;
+    }
+    std::sort(result.updated.begin(), result.updated.end());
+    result.updated.erase(
+        std::unique(result.updated.begin(), result.updated.end()),
+        result.updated.end());
   }
 
   totals_.events += result.stats.events;
   totals_.candidates += result.stats.candidates;
   totals_.reencoded += result.stats.reencoded;
   totals_.withdrawn += result.stats.withdrawn;
+  totals_.installed += result.stats.installed;
+  totals_.tombstoned += result.stats.tombstoned;
   totals_.spt_fallbacks += result.stats.spt_fallbacks;
   totals_.spt_dirty += result.stats.spt_dirty;
   totals_.wall_s += result.stats.wall_s;

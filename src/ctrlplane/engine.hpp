@@ -77,6 +77,8 @@ struct EpochStats {
   std::size_t candidates = 0;
   std::size_t reencoded = 0;     ///< Routes freshly encoded.
   std::size_t withdrawn = 0;     ///< Routes that went dead.
+  std::size_t installed = 0;     ///< Routes admitted this epoch.
+  std::size_t tombstoned = 0;    ///< Routes withdrawn by request (hidden).
   std::size_t spt_fallbacks = 0; ///< Dynamic-SPT full-rebuild escapes.
   std::size_t spt_dirty = 0;     ///< Sum of per-SPT dirty node counts.
   double wall_s = 0.0;
@@ -118,9 +120,47 @@ class ReconvergenceEngine {
   /// not edge nodes.
   RouteKey add_route(topo::NodeId src, topo::NodeId dst);
 
+  /// Computes — without installing — the canonical encoding for (src, dst)
+  /// on the current topology state (the daemon's `encode` verb). Returns
+  /// false when no usable path exists. Shares the SPT and memo caches, so
+  /// it must be serialized with apply() by the caller. Throws
+  /// std::invalid_argument when the endpoints are not edge nodes.
+  bool preview(topo::NodeId src, topo::NodeId dst,
+               routing::EncodedRoute& route_out,
+               std::vector<topo::NodeId>& core_out);
+
   /// Applies one event epoch (the link states in the topology must already
   /// reflect every change) and reconverges the store.
   EpochResult apply(const std::vector<LinkChange>& events);
+
+  /// The admission-batching seam (docs/daemon.md): applies link events,
+  /// route admissions and withdrawals as ONE atomically-versioned epoch —
+  /// a coalesced burst costs a single version bump and a single SPT
+  /// advance. Order within the epoch: events, then installs (each admitted
+  /// route converges against the post-event SPTs; its key is appended to
+  /// `installed_keys` when non-null), then withdrawals (tombstones — the
+  /// keys must be valid and not yet withdrawn; installs from this same
+  /// epoch may be withdrawn). Endpoints of every install must already be
+  /// validated as edge nodes.
+  EpochResult apply(
+      const std::vector<LinkChange>& events,
+      const std::vector<std::pair<topo::NodeId, topo::NodeId>>& installs,
+      const std::vector<RouteKey>& withdraws,
+      std::vector<RouteKey>* installed_keys = nullptr);
+
+  /// Adopts the epoch version recorded in a snapshot so versions keep
+  /// ascending across a restart. Call once, before any apply()/add_route(),
+  /// on an engine whose store was just restored (docs/daemon.md).
+  void restore_version(std::uint64_t version) noexcept { version_ = version; }
+
+  /// Builds the per-destination SPT for every destination in the store
+  /// against the topology's *current* link states. Required after a
+  /// snapshot restore, before the first apply(): add_route() normally
+  /// creates each SPT at install time, so restored destinations have none,
+  /// and an SPT created lazily inside apply() would be born on the
+  /// post-event topology and miss that epoch's distance deltas — dead
+  /// routes would never revive on repair (docs/daemon.md).
+  void warm_spts();
 
   /// Running totals across every epoch so far (wall time included).
   [[nodiscard]] const EpochStats& totals() const noexcept { return totals_; }

@@ -47,6 +47,7 @@ void RouteStore::set_encoding(RouteKey key, std::vector<topo::NodeId> core_path,
                               std::uint64_t version,
                               const IndexFootprint* footprint) {
   StoredRoute& entry = routes_[key];
+  if (!entry.live) ++live_;
   entry.live = true;
   entry.route = std::move(route);
   entry.core_path = std::move(core_path);
@@ -56,11 +57,52 @@ void RouteStore::set_encoding(RouteKey key, std::vector<topo::NodeId> core_path,
 
 void RouteStore::set_dead(RouteKey key, std::uint64_t version) {
   StoredRoute& entry = routes_[key];
+  if (entry.live) --live_;
   entry.live = false;
   entry.route = routing::EncodedRoute{};
   entry.core_path.clear();
   entry.version = version;
   reindex(entry, nullptr);
+}
+
+void RouteStore::set_withdrawn(RouteKey key, std::uint64_t version) {
+  StoredRoute& entry = routes_[key];
+  if (!entry.withdrawn) ++withdrawn_;
+  entry.withdrawn = true;
+  entry.version = version;
+}
+
+std::size_t RouteStore::compact_postings() {
+  std::size_t dropped = 0;
+  const auto rewrite = [&](std::vector<RouteKey>& posting, const auto& keep) {
+    std::vector<RouteKey> fresh;
+    fresh.reserve(posting.size());
+    for (const RouteKey key : posting) {
+      if (keep(key)) fresh.push_back(key);
+    }
+    std::sort(fresh.begin(), fresh.end());
+    fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+    dropped += posting.size() - fresh.size();
+    posting = std::move(fresh);
+  };
+  for (topo::LinkId link = 0; link < link_index_.size(); ++link) {
+    rewrite(link_index_[link], [&](RouteKey key) {
+      return route_uses_link(routes_[key], link);
+    });
+  }
+  for (topo::NodeId node = 0; node < node_index_.size(); ++node) {
+    for (auto& [dst, posting] : node_index_[node]) {
+      (void)dst;
+      rewrite(posting,
+              [&](RouteKey key) { return routes_[key].deps.test(node); });
+    }
+    for (auto& [dst, posting] : path_index_[node]) {
+      (void)dst;
+      rewrite(posting,
+              [&](RouteKey key) { return routes_[key].path_nodes.test(node); });
+    }
+  }
+  return dropped;
 }
 
 IndexFootprint RouteStore::build_footprint(

@@ -104,6 +104,13 @@ struct StoredRoute {
   topo::NodeId src = topo::kInvalidNode;
   topo::NodeId dst = topo::kInvalidNode;
   bool live = false;
+  /// Tombstone: the route was withdrawn by an operator and is hidden from
+  /// clients. Keys are dense and never reused, so the slot remains and —
+  /// to preserve the representative invariant (all members of an endpoint
+  /// group carry identical path/encoding state) — keeps tracking its
+  /// group's state through reconvergence; `withdrawn` is a pure
+  /// visibility flag layered on top (docs/daemon.md).
+  bool withdrawn = false;
   routing::EncodedRoute route;
   /// The primary core path (switch handles, ingress to egress) the current
   /// encoding was built from; empty when dead. Two encodings over the same
@@ -147,6 +154,11 @@ class RouteStore {
   [[nodiscard]] std::size_t size() const noexcept { return routes_.size(); }
   [[nodiscard]] const StoredRoute& get(RouteKey key) const { return routes_[key]; }
 
+  /// Routes currently live (usable path installed).
+  [[nodiscard]] std::size_t live_count() const noexcept { return live_; }
+  /// Routes tombstoned by set_withdrawn().
+  [[nodiscard]] std::size_t withdrawn_count() const noexcept { return withdrawn_; }
+
   /// Destination edges with at least one route, first-appearance order.
   [[nodiscard]] const std::vector<topo::NodeId>& destinations() const noexcept {
     return destinations_;
@@ -175,6 +187,18 @@ class RouteStore {
   /// Marks `key` dead (no usable path) and shrinks its index footprint to
   /// the revive trigger (the source edge's distance).
   void set_dead(RouteKey key, std::uint64_t version);
+
+  /// Tombstones `key`: hides it from clients without disturbing its slot
+  /// (see StoredRoute::withdrawn). Idempotent apart from the version stamp;
+  /// callers reject double-withdrawal before reaching the store.
+  void set_withdrawn(RouteKey key, std::uint64_t version);
+
+  /// Eager sweep of every posting list: drops entries whose route no longer
+  /// carries the indexed link/node in its current footprint (the same
+  /// predicate the lazy per-lookup compaction applies), then sorts and
+  /// dedups each rewritten list. Intended for idle windows between epochs
+  /// (the daemon's background compaction); returns entries dropped.
+  std::size_t compact_postings();
 
   /// Appends the representative of every group whose current encoding
   /// references `link`. May append a key more than once; callers dedup.
@@ -216,6 +240,8 @@ class RouteStore {
   mutable std::vector<std::vector<RouteKey>> link_index_;
   mutable std::vector<DstBuckets> node_index_;
   mutable std::vector<DstBuckets> path_index_;
+  std::size_t live_ = 0;
+  std::size_t withdrawn_ = 0;
 };
 
 }  // namespace kar::ctrlplane

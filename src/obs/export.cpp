@@ -189,4 +189,16 @@ void write_chrome_trace_file(const std::string& path,
   write_chrome_trace(out, processes);
 }
 
+std::string http_scrape_response(const MetricsSnapshot& snapshot) {
+  const std::string body = snapshot.prometheus_text();
+  std::string out;
+  out.reserve(body.size() + 160);
+  out += "HTTP/1.0 200 OK\r\n";
+  out += "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
 }  // namespace kar::obs

@@ -49,6 +49,11 @@ void write_chrome_trace(std::ostream& out,
 void write_prometheus_file(const std::string& path,
                            const MetricsSnapshot& snapshot);
 
+/// A complete HTTP/1.0 scrape response carrying the snapshot's Prometheus
+/// text (Content-Type text/plain; version=0.0.4, Connection: close) — what
+/// a scrape endpoint writes verbatim to an accepted connection.
+[[nodiscard]] std::string http_scrape_response(const MetricsSnapshot& snapshot);
+
 /// Writes a Chrome trace to `path` (truncating). Throws std::runtime_error
 /// when the file cannot be opened.
 void write_chrome_trace_file(const std::string& path,

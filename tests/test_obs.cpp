@@ -11,14 +11,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "daemon/daemon.hpp"
 #include "obs/export.hpp"
 #include "obs/instrument.hpp"
 #include "obs/metrics.hpp"
@@ -603,6 +606,374 @@ TEST(NetworkObserver, DeflectionCountersReconcileWithGoldenTrace) {
   const auto& latency =
       snap.families.at("kar_delivery_latency_seconds").series.at("");
   EXPECT_EQ(latency.count, golden_delivered);
+}
+
+// ---------------------------------------------------------------------------
+// Daemon metric families (src/daemon/): Prometheus exposition-format
+// conformance for the kar_daemon_* scrape, plus a committed golden of the
+// rendering with synthetic deterministic values.
+
+struct ParsedFamily {
+  std::string help;
+  std::string type;
+  std::vector<std::string> samples;  ///< Raw sample lines, in order.
+};
+
+/// Splits the label body of a sample line (the text between `{` and `}`)
+/// into `key="value"` pairs, honouring `\"` and `\\` escapes inside values.
+std::vector<std::pair<std::string, std::string>> split_labels(
+    const std::string& body) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::size_t i = 0;
+  while (i < body.size()) {
+    const std::size_t eq = body.find('=', i);
+    EXPECT_NE(eq, std::string::npos) << "label without '=': " << body;
+    if (eq == std::string::npos) return out;
+    std::string key = body.substr(i, eq - i);
+    EXPECT_EQ(body[eq + 1], '"') << "unquoted label value: " << body;
+    std::string value;
+    std::size_t j = eq + 2;
+    while (j < body.size() && body[j] != '"') {
+      if (body[j] == '\\') {
+        EXPECT_LT(j + 1, body.size()) << "dangling escape: " << body;
+        // Only \\, \" and \n are legal escapes in the exposition format.
+        const char escaped = body[j + 1];
+        EXPECT_TRUE(escaped == '\\' || escaped == '"' || escaped == 'n')
+            << "illegal escape \\" << escaped << " in: " << body;
+        value += body[j + 1];
+        j += 2;
+      } else {
+        EXPECT_NE(body[j], '\n') << "raw newline in label value: " << body;
+        value += body[j++];
+      }
+    }
+    EXPECT_LT(j, body.size()) << "unterminated label value: " << body;
+    out.emplace_back(std::move(key), std::move(value));
+    i = j + 1;
+    if (i < body.size()) {
+      EXPECT_EQ(body[i], ',') << "label separator missing: " << body;
+      ++i;
+    }
+  }
+  return out;
+}
+
+/// Parses exposition text into families while enforcing the structural
+/// rules: each family is introduced by exactly one `# HELP` line followed
+/// immediately by its `# TYPE` line, every sample belongs to the family
+/// introduced most recently (histogram samples may append _bucket/_sum/
+/// _count), and every label string is canonical (keys sorted, values
+/// quoted and escaped).
+std::map<std::string, ParsedFamily> parse_exposition(const std::string& text) {
+  std::map<std::string, ParsedFamily> families;
+  std::string current;
+  std::istringstream in(text);
+  std::string line;
+  bool expect_type = false;
+  while (std::getline(in, line)) {
+    EXPECT_FALSE(line.empty()) << "blank line in exposition text";
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) {
+      EXPECT_FALSE(expect_type) << "HELP not followed by TYPE: " << line;
+      const std::size_t space = line.find(' ', 7);
+      EXPECT_NE(space, std::string::npos) << line;
+      if (space == std::string::npos) continue;
+      current = line.substr(7, space - 7);
+      EXPECT_EQ(families.count(current), 0u)
+          << "family introduced twice: " << current;
+      families[current].help = line.substr(space + 1);
+      expect_type = true;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      EXPECT_TRUE(expect_type) << "TYPE without preceding HELP: " << line;
+      expect_type = false;
+      EXPECT_EQ(line.rfind("# TYPE " + current + ' ', 0), 0u)
+          << "TYPE names a different family than HELP: " << line;
+      const std::string type = line.substr(8 + current.size());
+      EXPECT_TRUE(type == "counter" || type == "gauge" || type == "histogram")
+          << line;
+      families[current].type = type;
+      continue;
+    }
+    // Sample line. Must belong to the current family.
+    EXPECT_FALSE(expect_type) << "sample before TYPE: " << line;
+    EXPECT_FALSE(current.empty()) << "sample before any HELP: " << line;
+    if (current.empty()) continue;
+    const std::size_t name_end = line.find_first_of("{ ");
+    EXPECT_NE(name_end, std::string::npos) << line;
+    if (name_end == std::string::npos) continue;
+    const std::string name = line.substr(0, name_end);
+    if (families.at(current).type == "histogram") {
+      EXPECT_TRUE(name == current + "_bucket" || name == current + "_sum" ||
+                  name == current + "_count")
+          << "sample " << name << " outside family " << current;
+    } else {
+      EXPECT_EQ(name, current) << "sample outside family " << current;
+    }
+    if (line[name_end] == '{') {
+      const std::size_t close = line.rfind('}');
+      EXPECT_NE(close, std::string::npos) << line;
+      if (close == std::string::npos) continue;
+      const auto labels =
+          split_labels(line.substr(name_end + 1, close - name_end - 1));
+      for (std::size_t i = 1; i < labels.size(); ++i) {
+        EXPECT_LT(labels[i - 1].first, labels[i].first)
+            << "label keys not strictly sorted: " << line;
+      }
+    }
+    families.at(current).samples.push_back(line);
+  }
+  EXPECT_FALSE(expect_type) << "text ends between HELP and TYPE";
+  return families;
+}
+
+/// The numeric value of a sample line (the token after the name or the
+/// closing brace).
+double sample_value(const std::string& line) {
+  const std::size_t close = line.rfind('}');
+  const std::size_t space =
+      line.find(' ', close == std::string::npos ? 0 : close);
+  return std::stod(line.substr(space + 1));
+}
+
+/// Histogram invariants per series: le strictly ascending and ending at
+/// +Inf, cumulative bucket counts non-decreasing, and _count equal to the
+/// +Inf bucket.
+void expect_conformant_histogram(const std::string& name,
+                                 const ParsedFamily& family) {
+  ASSERT_EQ(family.type, "histogram") << name;
+  // Series key (labels minus le) -> bucket (le, cumulative) in file order.
+  std::map<std::string, std::vector<std::pair<double, double>>> buckets;
+  std::map<std::string, double> sums;
+  std::map<std::string, double> counts;
+  for (const std::string& line : family.samples) {
+    const std::size_t name_end = line.find_first_of("{ ");
+    const std::string sample_name = line.substr(0, name_end);
+    std::string series;
+    double le = 0.0;
+    bool has_le = false;
+    if (line[name_end] == '{') {
+      const std::size_t close = line.rfind('}');
+      for (const auto& [key, value] :
+           split_labels(line.substr(name_end + 1, close - name_end - 1))) {
+        if (key == "le") {
+          has_le = true;
+          le = value == "+Inf" ? std::numeric_limits<double>::infinity()
+                               : std::stod(value);
+        } else {
+          series += key + '=' + value + ';';
+        }
+      }
+    }
+    if (sample_name == name + "_bucket") {
+      ASSERT_TRUE(has_le) << "bucket without le: " << line;
+      buckets[series].emplace_back(le, sample_value(line));
+    } else if (sample_name == name + "_sum") {
+      sums[series] = sample_value(line);
+    } else {
+      counts[series] = sample_value(line);
+    }
+  }
+  ASSERT_FALSE(buckets.empty()) << name << " has no bucket samples";
+  for (const auto& [series, rows] : buckets) {
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+      EXPECT_LT(rows[i - 1].first, rows[i].first)
+          << name << "{" << series << "}: le not ascending";
+      EXPECT_LE(rows[i - 1].second, rows[i].second)
+          << name << "{" << series << "}: buckets not cumulative";
+    }
+    EXPECT_TRUE(std::isinf(rows.back().first))
+        << name << "{" << series << "}: last bucket is not +Inf";
+    ASSERT_EQ(counts.count(series), 1u) << name << " missing _count";
+    ASSERT_EQ(sums.count(series), 1u) << name << " missing _sum";
+    EXPECT_EQ(counts.at(series), rows.back().second)
+        << name << "{" << series << "}: _count != +Inf bucket";
+  }
+}
+
+/// Every kar_daemon_* family the daemon registers, with its expected type
+/// (src/daemon/daemon.cpp register_metrics()).
+const std::map<std::string, std::string>& daemon_family_types() {
+  static const std::map<std::string, std::string> kTypes = {
+      {"kar_daemon_requests_total", "counter"},
+      {"kar_daemon_request_errors_total", "counter"},
+      {"kar_daemon_epochs_total", "counter"},
+      {"kar_daemon_coalesced_events_total", "counter"},
+      {"kar_daemon_snapshots_total", "counter"},
+      {"kar_daemon_compactions_total", "counter"},
+      {"kar_daemon_compacted_entries_total", "counter"},
+      {"kar_daemon_routes", "gauge"},
+      {"kar_daemon_live_routes", "gauge"},
+      {"kar_daemon_queue_depth", "gauge"},
+      {"kar_daemon_snapshot_bytes", "gauge"},
+      {"kar_daemon_request_seconds", "histogram"},
+      {"kar_daemon_epoch_seconds", "histogram"},
+      {"kar_daemon_epoch_ops", "histogram"},
+  };
+  return kTypes;
+}
+
+TEST(DaemonMetrics, LiveScrapeIsConformant) {
+  daemon::KardConfig config;
+  config.topology = "fig1";
+  config.flush_interval_s = 0.001;
+  config.snapshot_on_shutdown = false;
+  daemon::Kard kard(config);
+  kard.start();
+  // Exercise every family: successful mutations, errors, an epoch with a
+  // link event, and a query.
+  EXPECT_NE(kard.execute_line("install S D").find("\"ok\":true"),
+            std::string::npos);
+  EXPECT_NE(kard.execute_line("install S NOPE").find("\"ok\":false"),
+            std::string::npos);
+  EXPECT_NE(kard.execute_line("link-down SW4 SW7").find("\"ok\":true"),
+            std::string::npos);
+  EXPECT_NE(kard.execute_line("query 0").find("\"ok\":true"),
+            std::string::npos);
+  EXPECT_NE(kard.execute_line("definitely-not-a-verb").find("\"ok\":false"),
+            std::string::npos);
+  const std::string text = kard.prometheus_text();
+  kard.stop();
+
+  const auto families = parse_exposition(text);
+  for (const auto& [name, type] : daemon_family_types()) {
+    ASSERT_EQ(families.count(name), 1u) << "missing family " << name;
+    EXPECT_EQ(families.at(name).type, type) << name;
+    EXPECT_FALSE(families.at(name).help.empty()) << name;
+    if (type == "histogram") {
+      expect_conformant_histogram(name, families.at(name));
+    }
+  }
+  // The per-verb request counter carries the verbs we exercised, and the
+  // error counter saw both structured failures.
+  const auto& requests = families.at("kar_daemon_requests_total");
+  auto has_sample = [&](const std::string& needle) {
+    for (const std::string& line : requests.samples) {
+      if (line.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_sample("verb=\"install\""));
+  EXPECT_TRUE(has_sample("verb=\"link-down\""));
+  EXPECT_TRUE(has_sample("verb=\"query\""));
+  EXPECT_GE(
+      sample_value(families.at("kar_daemon_request_errors_total").samples.at(0)),
+      2.0);
+  // The install + link-down epochs moved the gauges and epoch histograms.
+  EXPECT_GE(sample_value(families.at("kar_daemon_routes").samples.at(0)), 1.0);
+  EXPECT_GE(sample_value(families.at("kar_daemon_epochs_total").samples.at(0)),
+            2.0);
+  // The ctrlplane engine exports through the same registry (one scrape
+  // covers the whole daemon).
+  EXPECT_EQ(families.count("kar_ctrlplane_epochs_total"), 1u);
+}
+
+TEST(DaemonMetrics, HttpScrapeResponseWrapsThePrometheusText) {
+  MetricsRegistry registry(true);
+  registry.counter("kar_daemon_epochs_total", "Epochs.").inc(3);
+  const MetricsSnapshot snap = registry.snapshot();
+  const std::string response = http_scrape_response(snap);
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << response;
+  const std::size_t split = response.find("\r\n\r\n");
+  ASSERT_NE(split, std::string::npos);
+  const std::string head = response.substr(0, split);
+  const std::string body = response.substr(split + 4);
+  EXPECT_EQ(body, snap.prometheus_text());
+  EXPECT_NE(head.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos)
+      << head;
+  EXPECT_NE(head.find("Content-Length: " + std::to_string(body.size())),
+            std::string::npos)
+      << head;
+}
+
+TEST(Exporters, DaemonPrometheusTextMatchesGolden) {
+  // Mirrors the daemon's register_metrics() families with fixed synthetic
+  // values so the kar_daemon_* rendering (HELP/TYPE lines, bucket layout,
+  // label escaping) is pinned by a committed golden. The escaping sample
+  // uses a hostile verb value on purpose.
+  MetricsRegistry registry(true);
+  registry
+      .counter("kar_daemon_requests_total", "Requests accepted, by verb.",
+               {{"verb", "install"}})
+      .inc(5);
+  registry
+      .counter("kar_daemon_requests_total", "Requests accepted, by verb.",
+               {{"verb", "query"}})
+      .inc(9);
+  registry
+      .counter("kar_daemon_requests_total", "Requests accepted, by verb.",
+               {{"verb", "quo\"te\\back\nline"}})
+      .inc(1);
+  registry
+      .counter("kar_daemon_request_errors_total",
+               "Requests answered with a structured error.")
+      .inc(2);
+  registry
+      .counter("kar_daemon_epochs_total",
+               "Batched mutation epochs applied to the engine.")
+      .inc(3);
+  registry
+      .counter("kar_daemon_coalesced_events_total",
+               "Link-state requests absorbed by per-batch coalescing (flaps "
+               "and already-in-state transitions that cost no reconvergence).")
+      .inc(4);
+  registry.counter("kar_daemon_snapshots_total", "Snapshots written.").inc(1);
+  registry
+      .counter("kar_daemon_compactions_total",
+               "Posting-list compaction sweeps.")
+      .inc(2);
+  registry
+      .counter("kar_daemon_compacted_entries_total",
+               "Stale posting entries dropped by compaction sweeps.")
+      .inc(37);
+  registry.gauge("kar_daemon_routes", "Route slots in the store (dense keys).")
+      .set(6);
+  registry
+      .gauge("kar_daemon_live_routes", "Routes currently live (usable path).")
+      .set(5);
+  registry
+      .gauge("kar_daemon_queue_depth", "Mutations waiting for the next epoch.")
+      .set(0);
+  registry
+      .gauge("kar_daemon_snapshot_bytes", "Size of the most recent snapshot.")
+      .set(1234);
+  Histogram request_seconds = registry.histogram(
+      "kar_daemon_request_seconds",
+      "Request latency from admission to response (batched verbs include "
+      "their wait for the epoch flush).",
+      {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0});
+  request_seconds.observe(5e-7);
+  request_seconds.observe(1e-6);  // boundary: lands in le="1e-06"
+  request_seconds.observe(3e-4);
+  request_seconds.observe(0.5);
+  request_seconds.observe(2.0);  // +Inf
+  Histogram epoch_seconds = registry.histogram(
+      "kar_daemon_epoch_seconds", "Engine wall time per batched epoch.",
+      {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0});
+  epoch_seconds.observe(5e-4);
+  epoch_seconds.observe(0.02);
+  Histogram epoch_ops = registry.histogram(
+      "kar_daemon_epoch_ops", "Mutation requests coalesced into one epoch.",
+      {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0});
+  epoch_ops.observe(1.0);
+  epoch_ops.observe(3.0);
+  epoch_ops.observe(100.0);
+  epoch_ops.observe(5000.0);
+
+  const std::string text = registry.snapshot().prometheus_text();
+  // The golden itself must be a conformant exposition.
+  const auto families = parse_exposition(text);
+  for (const auto& [name, type] : daemon_family_types()) {
+    ASSERT_EQ(families.count(name), 1u) << name;
+    EXPECT_EQ(families.at(name).type, type) << name;
+    if (type == "histogram") {
+      expect_conformant_histogram(name, families.at(name));
+    }
+  }
+  compare_with_golden(KAR_TESTS_SOURCE_DIR "/golden/obs_daemon_metrics.prom",
+                      text);
 }
 
 }  // namespace
