@@ -1,31 +1,53 @@
-// Control-plane churn benchmark: incremental affected-set reconvergence vs
-// the full-recompute oracle (ISSUE: incremental control plane).
+// Control-plane churn benchmark: incremental affected-set reconvergence,
+// its sharded variant and the cross-epoch coalescing window, against the
+// full-recompute oracle (ISSUE: sharded, coalescing reconvergence).
 //
 // For every (topology x route-count) configuration:
 //   1. build the scenario, attach a host edge to every core switch with a
 //      spare residue (so random src-dst pairs exist at scale), and register
 //      `routes` random edge-pair routes;
-//   2. generate `rounds` seeded link-churn schedules (src/faultgen,
-//      kRandomUpDown: independent fail/repair episodes on core links) and
-//      group their events into epochs by timestamp — mostly single-link
-//      churn, replayed back to back to measure *sustained* reconvergence
-//      throughput rather than first-epoch warmup;
-//   3. drive a ctrlplane::ReconvergenceEngine through the epochs once in
-//      incremental mode and once in full-recompute mode — identical
-//      topology states, identical event epochs — timing every epoch;
-//   4. verify the two final route tables are identical (liveness, route
-//      IDs, core paths), then report events/s and p50/p99 per-epoch
-//      reconvergence latency for both engines.
+//   2. generate `rounds` seeded link-churn schedules, alternating two
+//      families: kRandomUpDown (independent fail/repair episodes — the
+//      multi-destination churn mix, since random routes spread over every
+//      host edge) and kFlapping (a few links oscillating on a short
+//      period — the storm the coalescing window is built for);
+//   3. drive four ctrlplane::ReconvergenceEngine passes over identical
+//      inputs, timing every epoch:
+//        incremental — serial affected-set engine, one epoch per distinct
+//                      event timestamp (the baseline);
+//        sharded     — same epochs, EngineConfig::shards = --shards;
+//                      asserted *bit-identical* to the baseline (versions
+//                      included);
+//        coalesced   — sharded engine fed through a LinkCoalescer with a
+//                      --window bounded-staleness window: raw transitions
+//                      net per link and a whole storm window becomes one
+//                      epoch. Throughput is raw events / wall, so absorbed
+//                      flaps count toward events/s — that is the point;
+//        full        — the recompute oracle, skipped above
+//                      --full-max-routes (a 1M-route full rebuild per
+//                      event is ~1000x the incremental wall and adds no
+//                      information at the margin);
+//   4. verify final-table identity (liveness, route IDs, core paths; exact
+//      versions for the sharded pass) and report events/s plus p50/p99
+//      per-epoch reconvergence latency for every pass.
 //
-// Acceptance (the gate behind --min-speedup): at >= 10000 routes on rnp28
-// the incremental engine sustains >= 10x the full engine's events/s. The
-// committed record lives in BENCH_ctrlplane.json (regenerate with:
-// churn_convergence --out=BENCH_ctrlplane.json).
+// Acceptance gates:
+//   --min-speedup           at >= 10000 routes, full wall / incremental
+//                           wall must exceed this (the PR-6 gate, kept);
+//   --min-coalesced-speedup at >= 100000 routes, coalesced events/s /
+//                           incremental events/s must exceed this (the
+//                           flap-storm absorption gate; 4 in the
+//                           committed record).
+// The committed record lives in BENCH_ctrlplane.json (regenerate with:
+// churn_convergence --routes=1000,10000,100000,1000000
+//                   --min-coalesced-speedup=4 --out=BENCH_ctrlplane.json).
 //
 // Usage: churn_convergence [--topologies=fig2,rnp28]
 //                          [--routes=1000,10000,100000] [--horizon=2.0]
-//                          [--rounds=5] [--failure-probability=0.6]
-//                          [--seed=1] [--min-speedup=0] [--out=PATH]
+//                          [--rounds=6] [--failure-probability=0.6]
+//                          [--seed=1] [--shards=4] [--window=0.05]
+//                          [--full-max-routes=100000] [--min-speedup=0]
+//                          [--min-coalesced-speedup=0] [--out=PATH]
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
@@ -36,6 +58,7 @@
 #include "common/flags.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
+#include "ctrlplane/coalesce.hpp"
 #include "ctrlplane/engine.hpp"
 #include "ctrlplane/route_store.hpp"
 #include "faultgen/schedule.hpp"
@@ -48,9 +71,18 @@ namespace {
 using kar::ctrlplane::EngineConfig;
 using kar::ctrlplane::EngineMode;
 using kar::ctrlplane::LinkChange;
+using kar::ctrlplane::LinkCoalescer;
 using kar::ctrlplane::ReconvergenceEngine;
 using kar::ctrlplane::RouteKey;
 using kar::ctrlplane::RouteStore;
+
+/// One engine pass's configuration.
+struct RunSpec {
+  EngineMode mode = EngineMode::kIncremental;
+  std::size_t shards = 1;
+  /// > 0: feed events through a LinkCoalescer, one epoch per window.
+  double window_s = 0.0;
+};
 
 struct EngineRun {
   std::size_t epochs = 0;
@@ -58,10 +90,16 @@ struct EngineRun {
   std::size_t reencoded = 0;
   std::size_t withdrawn = 0;
   std::size_t spt_fallbacks = 0;
+  /// Net link changes actually applied to the engine (== raw events for
+  /// per-epoch passes; smaller for the coalesced pass).
+  std::size_t applied_events = 0;
+  /// Raw transitions netted away by the window (coalesced pass only).
+  std::size_t absorbed = 0;
   double total_s = 0.0;
   double p50_s = 0.0;
   double p99_s = 0.0;
 
+  /// Raw-event throughput: every pass is charged the same raw stream.
   [[nodiscard]] double events_per_s(std::size_t events) const {
     return total_s > 0.0 ? static_cast<double>(events) / total_s : 0.0;
   }
@@ -73,11 +111,21 @@ struct CaseResult {
   std::size_t events = 0;
   std::size_t epochs = 0;
   EngineRun incremental;
+  EngineRun sharded;
+  EngineRun coalesced;
   EngineRun full;
+  bool full_ran = false;
+  bool sharded_identical = true;
+  bool coalesced_identical = true;
 
   [[nodiscard]] double speedup() const {
-    return full.total_s > 0.0 && incremental.total_s > 0.0
+    return full_ran && full.total_s > 0.0 && incremental.total_s > 0.0
                ? full.total_s / incremental.total_s
+               : 0.0;
+  }
+  [[nodiscard]] double coalesced_speedup() const {
+    return coalesced.total_s > 0.0 && incremental.total_s > 0.0
+               ? incremental.total_s / coalesced.total_s
                : 0.0;
   }
 };
@@ -90,8 +138,8 @@ kar::topo::Scenario make_scenario(const std::string& name) {
 }
 
 /// One engine pass over the schedule. Rebuilds topology + routes from the
-/// same seeds, so both modes see bit-identical inputs.
-EngineRun run_engine(const std::string& topology, EngineMode mode,
+/// same seeds, so every pass sees bit-identical inputs.
+EngineRun run_engine(const std::string& topology, const RunSpec& spec,
                      std::size_t route_count, std::uint64_t seed,
                      const std::vector<kar::faultgen::FailureSchedule>& rounds,
                      RouteStore* final_store_out) {
@@ -102,7 +150,8 @@ EngineRun run_engine(const std::string& topology, EngineMode mode,
 
   RouteStore store(t);
   EngineConfig config;
-  config.mode = mode;
+  config.mode = spec.mode;
+  config.shards = spec.shards;
   ReconvergenceEngine engine(t, store, config);
 
   kar::common::Rng route_rng(kar::common::derive_seed(seed, 0x9017e5));
@@ -115,27 +164,60 @@ EngineRun run_engine(const std::string& topology, EngineMode mode,
 
   EngineRun run;
   std::vector<double> epoch_wall;
-  for (const kar::faultgen::FailureSchedule& schedule : rounds) {
-    std::size_t i = 0;
-    while (i < schedule.events.size()) {
-      std::size_t j = i;
-      std::vector<LinkChange> events;
-      while (j < schedule.events.size() &&
-             schedule.events[j].time == schedule.events[i].time) {
-        const kar::faultgen::LinkEvent& e = schedule.events[j];
-        t.set_link_up(e.link, !e.fail);
-        events.push_back(LinkChange{e.link, !e.fail});
-        ++j;
+  const auto apply_epoch = [&](const std::vector<LinkChange>& events) {
+    const auto result = engine.apply(events);
+    epoch_wall.push_back(result.stats.wall_s);
+    run.applied_events += events.size();
+    run.candidates += result.stats.candidates;
+    run.reencoded += result.stats.reencoded;
+    run.withdrawn += result.stats.withdrawn;
+    run.spt_fallbacks += result.stats.spt_fallbacks;
+    run.total_s += result.stats.wall_s;
+  };
+  if (spec.window_s <= 0.0) {
+    // One epoch per distinct event timestamp.
+    for (const kar::faultgen::FailureSchedule& schedule : rounds) {
+      std::size_t i = 0;
+      while (i < schedule.events.size()) {
+        std::size_t j = i;
+        std::vector<LinkChange> events;
+        while (j < schedule.events.size() &&
+               schedule.events[j].time == schedule.events[i].time) {
+          const kar::faultgen::LinkEvent& e = schedule.events[j];
+          t.set_link_up(e.link, !e.fail);
+          events.push_back(LinkChange{e.link, !e.fail});
+          ++j;
+        }
+        apply_epoch(events);
+        i = j;
       }
-      const auto result = engine.apply(events);
-      epoch_wall.push_back(result.stats.wall_s);
-      run.candidates += result.stats.candidates;
-      run.reencoded += result.stats.reencoded;
-      run.withdrawn += result.stats.withdrawn;
-      run.spt_fallbacks += result.stats.spt_fallbacks;
-      run.total_s += result.stats.wall_s;
-      i = j;
     }
+  } else {
+    // Bounded-staleness replay: raw transitions accumulate in the
+    // coalescer until the window (opened by its first transition)
+    // expires, then the net changes land on the topology and reconverge
+    // as one epoch — exactly the daemon flusher's --coalesce-window
+    // behavior, minus the wall-clock waits.
+    LinkCoalescer coalescer;
+    double window_start = 0.0;
+    const auto drain = [&] {
+      const std::vector<LinkChange> events = coalescer.drain();
+      for (const LinkChange& event : events) {
+        t.set_link_up(event.link, event.up);
+      }
+      apply_epoch(events);
+    };
+    for (const kar::faultgen::FailureSchedule& schedule : rounds) {
+      for (const kar::faultgen::LinkEvent& e : schedule.events) {
+        if (!coalescer.empty() && e.time >= window_start + spec.window_s) {
+          drain();
+        }
+        if (coalescer.empty()) window_start = e.time;
+        coalescer.note(e.link, !e.fail, t.link_up(e.link));
+      }
+      if (!coalescer.empty()) drain();  // rounds replay back to back
+    }
+    run.absorbed = coalescer.stats().absorbed;
   }
   run.epochs = epoch_wall.size();
   if (!epoch_wall.empty()) {
@@ -146,14 +228,19 @@ EngineRun run_engine(const std::string& topology, EngineMode mode,
   return run;
 }
 
-/// Final-table equality between the two modes (the light form of
-/// tests/test_ctrlplane_differential.cpp's per-epoch proof).
-bool tables_identical(const RouteStore& a, const RouteStore& b) {
+/// Final-table equality (the light form of the differential tests'
+/// per-epoch proof). `exact_versions` additionally requires every slot's
+/// update-epoch stamp to match — the sharded pass runs the same epoch
+/// sequence as the serial baseline, so even those must be bit-identical;
+/// the coalesced pass legitimately runs fewer epochs.
+bool tables_identical(const RouteStore& a, const RouteStore& b,
+                      bool exact_versions) {
   if (a.size() != b.size()) return false;
   for (RouteKey key = 0; key < a.size(); ++key) {
     const auto& ra = a.get(key);
     const auto& rb = b.get(key);
     if (ra.live != rb.live) return false;
+    if (exact_versions && ra.version != rb.version) return false;
     if (!ra.live) continue;
     if (ra.core_path != rb.core_path) return false;
     if (!(ra.route.route_id == rb.route.route_id)) return false;
@@ -170,11 +257,17 @@ int main(int argc, char** argv) {
   const std::string routes_flag = flags.get_string("routes", "1000,10000,100000");
   const double horizon_s = flags.get_double("horizon", 2.0);
   const auto rounds_count =
-      static_cast<std::size_t>(flags.get_int("rounds", 5));
+      static_cast<std::size_t>(flags.get_int("rounds", 6));
   const double failure_probability =
       flags.get_double("failure-probability", 0.6);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto shards = static_cast<std::size_t>(flags.get_int("shards", 4));
+  const double window_s = flags.get_double("window", 0.05);
+  const auto full_max_routes =
+      static_cast<std::size_t>(flags.get_int("full-max-routes", 100000));
   const double min_speedup = flags.get_double("min-speedup", 0.0);
+  const double min_coalesced_speedup =
+      flags.get_double("min-coalesced-speedup", 0.0);
   const std::string out_path = flags.get_string("out", "");
 
   std::vector<std::size_t> route_counts;
@@ -187,19 +280,26 @@ int main(int argc, char** argv) {
   for (const std::string& topology :
        kar::common::split(topologies_flag, ',')) {
     // `rounds` independently seeded schedules per topology, replayed back
-    // to back and shared by every route count and both engine modes: link
-    // IDs are deterministic in the builders. A generator round caps at one
-    // fail/repair episode per link, so sustained churn needs several.
+    // to back and shared by every route count and engine pass: link IDs
+    // are deterministic in the builders. Rounds alternate between random
+    // up/down churn and flap storms (see file comment); a generator round
+    // caps episodes per link, so sustained churn needs several.
     kar::topo::Scenario schedule_scenario = make_scenario(topology);
     (void)kar::topo::attach_host_edges(schedule_scenario.topology);
-    kar::faultgen::ScheduleConfig schedule_config;
-    schedule_config.kind = kar::faultgen::ScheduleKind::kRandomUpDown;
-    schedule_config.horizon_s = horizon_s;
-    schedule_config.per_link_failure_probability = failure_probability;
-    schedule_config.mean_downtime_s = horizon_s / 8.0;
     std::vector<kar::faultgen::FailureSchedule> schedules;
     std::size_t total_events = 0;
     for (std::size_t r = 0; r < rounds_count; ++r) {
+      kar::faultgen::ScheduleConfig schedule_config;
+      schedule_config.horizon_s = horizon_s;
+      if (r % 2 == 0) {
+        schedule_config.kind = kar::faultgen::ScheduleKind::kRandomUpDown;
+        schedule_config.per_link_failure_probability = failure_probability;
+        schedule_config.mean_downtime_s = horizon_s / 8.0;
+      } else {
+        schedule_config.kind = kar::faultgen::ScheduleKind::kFlapping;
+        schedule_config.flapping_links = 4;
+        schedule_config.flap_half_period_s = horizon_s / 200.0;
+      }
       kar::common::Rng schedule_rng(
           kar::common::derive_seed(seed, 0x5c4ed + r));
       schedules.push_back(kar::faultgen::generate_schedule(
@@ -212,52 +312,98 @@ int main(int argc, char** argv) {
       result.topology = topology;
       result.routes = routes;
       result.events = total_events;
-      RouteStore inc_final(schedule_scenario.topology);
-      RouteStore full_final(schedule_scenario.topology);
-      result.incremental = run_engine(topology, EngineMode::kIncremental,
-                                      routes, seed, schedules, &inc_final);
-      result.full = run_engine(topology, EngineMode::kFullRecompute, routes,
-                               seed, schedules, &full_final);
+      RouteStore serial_final(schedule_scenario.topology);
+      RouteStore other_final(schedule_scenario.topology);
+      result.incremental =
+          run_engine(topology, RunSpec{EngineMode::kIncremental, 1, 0.0},
+                     routes, seed, schedules, &serial_final);
       result.epochs = result.incremental.epochs;
-      if (!tables_identical(inc_final, full_final)) {
-        std::cerr << "churn_convergence: final route tables diverge on "
+
+      result.sharded =
+          run_engine(topology, RunSpec{EngineMode::kIncremental, shards, 0.0},
+                     routes, seed, schedules, &other_final);
+      if (!tables_identical(serial_final, other_final,
+                            /*exact_versions=*/true)) {
+        std::cerr << "churn_convergence: sharded table diverges on "
                   << topology << " with " << routes << " routes\n";
+        result.sharded_identical = false;
         identical = false;
+      }
+
+      result.coalesced = run_engine(
+          topology, RunSpec{EngineMode::kIncremental, shards, window_s},
+          routes, seed, schedules, &other_final);
+      if (!tables_identical(serial_final, other_final,
+                            /*exact_versions=*/false)) {
+        std::cerr << "churn_convergence: coalesced table diverges on "
+                  << topology << " with " << routes << " routes\n";
+        result.coalesced_identical = false;
+        identical = false;
+      }
+
+      if (routes <= full_max_routes) {
+        result.full =
+            run_engine(topology, RunSpec{EngineMode::kFullRecompute, 1, 0.0},
+                       routes, seed, schedules, &other_final);
+        result.full_ran = true;
+        if (!tables_identical(serial_final, other_final,
+                              /*exact_versions=*/false)) {
+          std::cerr << "churn_convergence: full-recompute table diverges on "
+                    << topology << " with " << routes << " routes\n";
+          identical = false;
+        }
       }
       results.push_back(result);
     }
   }
 
   bool pass = identical;
-  std::cout << "=== control-plane churn: incremental vs full recompute ===\n";
+  std::cout << "=== control-plane churn: incremental / sharded / coalesced "
+               "vs full recompute ===\n";
   kar::common::TextTable table(
-      {"topology", "routes", "events", "epochs", "engine", "events/s",
-       "p50 ms", "p99 ms", "candidates", "reencoded", "fallbacks"});
+      {"topology", "routes", "events", "engine", "epochs", "events/s",
+       "p50 ms", "p99 ms", "candidates", "reencoded", "absorbed"});
   for (const auto& c : results) {
     const auto row = [&](const char* name, const EngineRun& run) {
       table.add_row({c.topology, std::to_string(c.routes),
-                     std::to_string(c.events), std::to_string(c.epochs), name,
+                     std::to_string(c.events), name,
+                     std::to_string(run.epochs),
                      kar::common::fmt_double(run.events_per_s(c.events), 0),
                      kar::common::fmt_double(run.p50_s * 1e3, 3),
                      kar::common::fmt_double(run.p99_s * 1e3, 3),
                      std::to_string(run.candidates),
                      std::to_string(run.reencoded),
-                     std::to_string(run.spt_fallbacks)});
+                     std::to_string(run.absorbed)});
     };
     row("incremental", c.incremental);
-    row("full", c.full);
-    // The gate: large tables on the backbone must reconverge an order of
-    // magnitude faster incrementally.
-    if (c.routes >= 10000) pass = pass && c.speedup() > min_speedup;
+    row("sharded", c.sharded);
+    row("coalesced", c.coalesced);
+    if (c.full_ran) row("full", c.full);
+    // Gates: large tables must beat the oracle by an order of magnitude,
+    // and the coalescing window must absorb the flap storms.
+    if (c.full_ran && c.routes >= 10000) {
+      pass = pass && c.speedup() > min_speedup;
+    }
+    if (c.routes >= 100000) {
+      pass = pass && c.coalesced_speedup() > min_coalesced_speedup;
+    }
   }
-  std::cout << table.render() << "\nspeedups (full wall / incremental wall):";
+  std::cout << table.render()
+            << "\nspeedups (full wall / incremental wall):";
   for (const auto& c : results) {
     std::cout << ' ' << c.topology << '/' << c.routes << "="
               << kar::common::fmt_double(c.speedup(), 1) << 'x';
   }
-  std::cout << "\nacceptance: identical tables and, at >= 10000 routes, "
-            << "speedup > " << kar::common::fmt_double(min_speedup, 1)
-            << " -> " << (pass ? "PASS" : "FAIL") << '\n';
+  std::cout << "\ncoalesced speedups (incremental wall / coalesced wall):";
+  for (const auto& c : results) {
+    std::cout << ' ' << c.topology << '/' << c.routes << "="
+              << kar::common::fmt_double(c.coalesced_speedup(), 1) << 'x';
+  }
+  std::cout << "\nacceptance: identical tables; at >= 10000 routes speedup > "
+            << kar::common::fmt_double(min_speedup, 1)
+            << "; at >= 100000 routes coalesced speedup > "
+            << kar::common::fmt_double(min_coalesced_speedup, 1) << " -> "
+            << (pass ? "PASS" : "FAIL") << '\n';
 
   if (!out_path.empty()) {
     std::ofstream out(out_path, std::ios::trunc);
@@ -272,6 +418,10 @@ int main(int argc, char** argv) {
             .field("total_s", run.total_s)
             .field("p50_s", run.p50_s)
             .field("p99_s", run.p99_s)
+            .field("epochs", static_cast<std::uint64_t>(run.epochs))
+            .field("applied_events",
+                   static_cast<std::uint64_t>(run.applied_events))
+            .field("absorbed", static_cast<std::uint64_t>(run.absorbed))
             .field("candidates", static_cast<std::uint64_t>(run.candidates))
             .field("reencoded", static_cast<std::uint64_t>(run.reencoded))
             .field("withdrawn", static_cast<std::uint64_t>(run.withdrawn))
@@ -288,10 +438,17 @@ int main(int argc, char** argv) {
           .field("seed", seed)
           .field("horizon_s", horizon_s)
           .field("rounds", static_cast<std::uint64_t>(rounds_count))
+          .field("shards", static_cast<std::uint64_t>(shards))
+          .field("window_s", window_s)
           .raw("incremental", engine_json(c.incremental))
-          .raw("full", engine_json(c.full))
-          .field("speedup", c.speedup())
-          .field("tables_identical", identical);
+          .raw("sharded", engine_json(c.sharded))
+          .raw("coalesced", engine_json(c.coalesced));
+      if (c.full_ran) record.raw("full", engine_json(c.full));
+      record.field("speedup", c.speedup())
+          .field("coalesced_speedup", c.coalesced_speedup())
+          .field("tables_identical", identical)
+          .field("sharded_identical", c.sharded_identical)
+          .field("coalesced_identical", c.coalesced_identical);
       out << record.str() << '\n';
     }
     std::cout << "recorded " << out_path << '\n';

@@ -1,0 +1,44 @@
+#include "ctrlplane/coalesce.hpp"
+
+namespace kar::ctrlplane {
+
+void LinkCoalescer::note(topo::LinkId link, bool up, bool present) {
+  ++stats_.noted;
+  ++window_noted_;
+  const auto [it, inserted] = pending_.try_emplace(link, entries_.size());
+  if (inserted) {
+    Entry entry;
+    entry.link = link;
+    entry.baseline = present;
+    entry.final = up;
+    entries_.push_back(entry);
+  } else {
+    entries_[it->second].final = up;
+  }
+}
+
+bool LinkCoalescer::final_state(topo::LinkId link, bool fallback) const {
+  const auto it = pending_.find(link);
+  if (it == pending_.end()) return fallback;
+  return entries_[it->second].final;
+}
+
+std::vector<LinkChange> LinkCoalescer::drain() {
+  std::vector<LinkChange> net;
+  if (entries_.empty()) return net;
+  ++stats_.drains;
+  net.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    if (entry.final != entry.baseline) {
+      net.push_back(LinkChange{entry.link, entry.final});
+    }
+  }
+  stats_.emitted += net.size();
+  stats_.absorbed += window_noted_ - net.size();
+  window_noted_ = 0;
+  entries_.clear();
+  pending_.clear();
+  return net;
+}
+
+}  // namespace kar::ctrlplane

@@ -1,0 +1,76 @@
+// Cross-epoch link-event coalescing: the bounded-staleness window that
+// turns a flap storm into one reconvergence (docs/ctrlplane.md).
+//
+// A LinkCoalescer accumulates raw link transitions for one window and, at
+// drain time, nets them per link against the link's state when it first
+// entered the window: a link that flapped down→up (or any even-length
+// sequence returning to its baseline) contributes *no* event, and any odd
+// sequence contributes exactly one. Net changes are emitted in first-note
+// order, so replaying the drained batch against the topology reproduces
+// the raw sequence's final state deterministically.
+//
+// Correctness: the reconvergence engine is state-based, not edge-based —
+// an epoch's outcome is a pure function of the topology's post-epoch link
+// states (the differential suite proves incremental ≡ full recompute,
+// and full recompute reads only current state). Dropping intermediate
+// transitions therefore changes *when* tables converge (bounded by the
+// window), never *what* they converge to;
+// tests/test_ctrlplane_coalesce.cpp enforces the final-table identity
+// against per-event serial application.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ctrlplane/engine.hpp"
+#include "topology/graph.hpp"
+
+namespace kar::ctrlplane {
+
+/// Running totals across every window (noted == emitted + absorbed holds
+/// after each drain).
+struct CoalesceStats {
+  std::uint64_t noted = 0;     ///< Raw transitions recorded.
+  std::uint64_t emitted = 0;   ///< Net changes handed to the engine.
+  std::uint64_t absorbed = 0;  ///< Raw transitions netted away.
+  std::uint64_t drains = 0;    ///< Windows drained with pending state.
+};
+
+class LinkCoalescer {
+ public:
+  /// Records one raw transition of `link` to state `up`. `present` is the
+  /// link's current real state (before this window's pending transitions
+  /// are applied); it is read only on the link's first note of the window,
+  /// as the netting baseline.
+  void note(topo::LinkId link, bool up, bool present);
+
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+  /// Distinct links with a pending transition this window.
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+  /// The final noted state of a pending link, or `fallback` when the link
+  /// has no pending transition (the daemon answers state queries through
+  /// this, so a held transition is already visible to its issuer).
+  [[nodiscard]] bool final_state(topo::LinkId link, bool fallback) const;
+
+  /// Closes the window: returns the net change per link (first-note order,
+  /// baseline-returning links omitted) and resets for the next window.
+  std::vector<LinkChange> drain();
+
+  [[nodiscard]] const CoalesceStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Entry {
+    topo::LinkId link = topo::kInvalidLink;
+    bool baseline = false;  ///< State when the link entered the window.
+    bool final = false;     ///< Last noted state.
+  };
+
+  std::vector<Entry> entries_;  // first-note order
+  std::unordered_map<topo::LinkId, std::size_t> pending_;
+  std::uint64_t window_noted_ = 0;  ///< Raw transitions this window.
+  CoalesceStats stats_;
+};
+
+}  // namespace kar::ctrlplane

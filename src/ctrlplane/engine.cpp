@@ -1,8 +1,10 @@
 #include "ctrlplane/engine.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "obs/profile.hpp"
+#include "runner/fork_join.hpp"
 
 namespace kar::ctrlplane {
 
@@ -18,16 +20,35 @@ std::size_t ReconvergenceEngine::threshold() const {
   return std::max<std::size_t>(topo_->node_count() / 4, 8);
 }
 
-DynamicSpt& ReconvergenceEngine::spt_for(topo::NodeId dst) {
-  auto it = spts_.find(dst);
-  if (it == spts_.end()) {
-    it = spts_
-             .emplace(dst, std::make_unique<DynamicSpt>(*topo_, dst,
-                                                        config_.metric,
-                                                        threshold()))
-             .first;
+std::size_t ReconvergenceEngine::shard_count() const {
+  if (config_.shards == 0) return runner::ThreadPool::default_threads();
+  return std::max<std::size_t>(config_.shards, 1);
+}
+
+ReconvergenceEngine::DstState& ReconvergenceEngine::dst_state(
+    topo::NodeId dst) {
+  auto it = dsts_.find(dst);
+  if (it == dsts_.end()) {
+    it = dsts_.emplace(dst, std::make_unique<DstState>()).first;
   }
-  return *it->second;
+  DstState& state = *it->second;
+  if (!state.spt) {
+    state.spt =
+        std::make_unique<DynamicSpt>(*topo_, dst, config_.metric, threshold());
+  }
+  return state;
+}
+
+DynamicSpt& ReconvergenceEngine::spt_for(topo::NodeId dst) {
+  return *dst_state(dst).spt;
+}
+
+runner::ThreadPool& ReconvergenceEngine::pool(std::size_t shards) {
+  // Shard 0 runs on the applying thread, so the pool backs shards - 1.
+  if (!pool_ || pool_->size() < shards - 1) {
+    pool_ = std::make_unique<runner::ThreadPool>(shards - 1);
+  }
+  return *pool_;
 }
 
 void ReconvergenceEngine::attach_metrics(obs::MetricsRegistry& registry,
@@ -60,13 +81,12 @@ void ReconvergenceEngine::attach_metrics(obs::MetricsRegistry& registry,
 }
 
 const std::vector<std::pair<topo::NodeId, topo::NodeId>>&
-ReconvergenceEngine::protection_for(topo::NodeId dst,
+ReconvergenceEngine::protection_for(DstState& state, topo::NodeId dst,
                                     const std::vector<topo::NodeId>& core_path) {
-  auto key = std::make_pair(dst, core_path);
-  auto it = protection_cache_.find(key);
-  if (it == protection_cache_.end()) {
-    it = protection_cache_
-             .emplace(std::move(key),
+  auto it = state.protection.find(core_path);
+  if (it == state.protection.end()) {
+    it = state.protection
+             .emplace(core_path,
                       routing::plan_driven_deflections(*topo_, core_path, dst,
                                                        config_.planner))
              .first;
@@ -74,10 +94,9 @@ ReconvergenceEngine::protection_for(topo::NodeId dst,
   return it->second;
 }
 
-bool ReconvergenceEngine::extract_core(topo::NodeId src, topo::NodeId dst,
+bool ReconvergenceEngine::extract_core(DstState& state, topo::NodeId src,
                                        std::vector<topo::NodeId>& core) {
-  DynamicSpt& spt = spt_for(dst);
-  const auto path = spt.canonical_path(src);
+  const auto path = state.spt->canonical_path(src);
   // A usable route needs src + at least one core switch + dst.
   if (!path.has_value() || path->size() < 3) return false;
   core.assign(path->begin() + 1, path->end() - 1);
@@ -85,19 +104,20 @@ bool ReconvergenceEngine::extract_core(topo::NodeId src, topo::NodeId dst,
 }
 
 const ReconvergenceEngine::CachedEncoding& ReconvergenceEngine::lookup_encoding(
-    topo::NodeId src, topo::NodeId dst,
+    DstState& state, topo::NodeId src, topo::NodeId dst,
     const std::vector<topo::NodeId>& core) {
-  auto cache_key = std::make_tuple(src, dst, core);
-  auto it = encoding_cache_.find(cache_key);
-  if (it == encoding_cache_.end()) {
+  auto cache_key = std::make_pair(src, core);
+  auto it = state.encodings.find(cache_key);
+  if (it == state.encodings.end()) {
     static const std::vector<std::pair<topo::NodeId, topo::NodeId>>
         kNoProtection;
-    const auto& protection =
-        config_.plan_protection ? protection_for(dst, core) : kNoProtection;
+    const auto& protection = config_.plan_protection
+                                 ? protection_for(state, dst, core)
+                                 : kNoProtection;
     CachedEncoding cached;
     cached.route = controller_.encode_path(src, core, dst, protection);
     cached.footprint = store_->build_footprint(src, core, cached.route);
-    it = encoding_cache_.emplace(std::move(cache_key), std::move(cached)).first;
+    it = state.encodings.emplace(std::move(cache_key), std::move(cached)).first;
   }
   return it->second;
 }
@@ -106,8 +126,9 @@ void ReconvergenceEngine::reconverge_one(RouteKey key,
                                          std::vector<RouteKey>& updated,
                                          EpochStats& stats) {
   const StoredRoute& entry = store_->get(key);
+  DstState& state = dst_state(entry.dst);
   std::vector<topo::NodeId> core;
-  if (!extract_core(entry.src, entry.dst, core)) {
+  if (!extract_core(state, entry.src, core)) {
     if (entry.live) {
       store_->set_dead(key, version_);
       updated.push_back(key);
@@ -117,14 +138,15 @@ void ReconvergenceEngine::reconverge_one(RouteKey key,
   }
   if (entry.live && core == entry.core_path) return;  // canonical path held
   if (config_.mode == EngineMode::kIncremental) {
-    const CachedEncoding& enc = lookup_encoding(entry.src, entry.dst, core);
+    const CachedEncoding& enc =
+        lookup_encoding(state, entry.src, entry.dst, core);
     store_->set_encoding(key, std::move(core), enc.route, version_,
                          &enc.footprint);
   } else {
     static const std::vector<std::pair<topo::NodeId, topo::NodeId>>
         kNoProtection;
     const auto& protection = config_.plan_protection
-                                 ? protection_for(entry.dst, core)
+                                 ? protection_for(state, entry.dst, core)
                                  : kNoProtection;
     routing::EncodedRoute encoded =
         controller_.encode_path(entry.src, core, entry.dst, protection);
@@ -136,16 +158,17 @@ void ReconvergenceEngine::reconverge_one(RouteKey key,
 
 void ReconvergenceEngine::reconverge_group(RouteKey rep,
                                            std::vector<RouteKey>& updated,
-                                           EpochStats& stats) {
+                                           EpochStats& stats, ShardLog* log) {
   const StoredRoute& head = store_->get(rep);
   const topo::NodeId src = head.src;
   const topo::NodeId dst = head.dst;
   const bool was_live = head.live;
+  DstState& state = dst_state(dst);
   std::vector<topo::NodeId> core;
-  if (!extract_core(src, dst, core)) {
+  if (!extract_core(state, src, core)) {
     if (was_live) {
       for (const RouteKey member : store_->group(rep)) {
-        store_->set_dead(member, version_);
+        store_->set_dead(member, version_, log);
         updated.push_back(member);
         ++stats.withdrawn;
       }
@@ -153,9 +176,10 @@ void ReconvergenceEngine::reconverge_group(RouteKey rep,
     return;
   }
   if (was_live && core == head.core_path) return;  // canonical path held
-  const CachedEncoding& enc = lookup_encoding(src, dst, core);
+  const CachedEncoding& enc = lookup_encoding(state, src, dst, core);
   for (const RouteKey member : store_->group(rep)) {
-    store_->set_encoding(member, core, enc.route, version_, &enc.footprint);
+    store_->set_encoding(member, core, enc.route, version_, &enc.footprint,
+                         log);
     updated.push_back(member);
     ++stats.reencoded;
   }
@@ -172,14 +196,15 @@ bool ReconvergenceEngine::preview(topo::NodeId src, topo::NodeId dst,
     throw std::invalid_argument("preview: destination " + topo_->name(dst) +
                                 " is not an edge node");
   }
-  if (!extract_core(src, dst, core_out)) return false;
+  DstState& state = dst_state(dst);
+  if (!extract_core(state, src, core_out)) return false;
   if (config_.mode == EngineMode::kIncremental) {
-    route_out = lookup_encoding(src, dst, core_out).route;
+    route_out = lookup_encoding(state, src, dst, core_out).route;
   } else {
     static const std::vector<std::pair<topo::NodeId, topo::NodeId>>
         kNoProtection;
     const auto& protection = config_.plan_protection
-                                 ? protection_for(dst, core_out)
+                                 ? protection_for(state, dst, core_out)
                                  : kNoProtection;
     route_out = controller_.encode_path(src, core_out, dst, protection);
   }
@@ -187,12 +212,36 @@ bool ReconvergenceEngine::preview(topo::NodeId src, topo::NodeId dst,
 }
 
 void ReconvergenceEngine::warm_spts() {
-  for (const topo::NodeId dst : store_->destinations()) (void)spt_for(dst);
+  // Register every destination's state serially, then build the missing
+  // SPTs — each an independent Dijkstra over the shared const topology —
+  // across the shard pool. After a 1M-route snapshot restore this is the
+  // dominant startup cost, and it parallelises embarrassingly.
+  std::vector<std::pair<topo::NodeId, DstState*>> missing;
+  for (const topo::NodeId dst : store_->destinations()) {
+    auto it = dsts_.find(dst);
+    if (it == dsts_.end()) {
+      it = dsts_.emplace(dst, std::make_unique<DstState>()).first;
+    }
+    if (!it->second->spt) missing.emplace_back(dst, it->second.get());
+  }
+  if (missing.empty()) return;
+  const std::size_t shards = std::min(shard_count(), missing.size());
+  const auto build = [&](std::size_t shard) {
+    for (std::size_t i = shard; i < missing.size(); i += shards) {
+      const auto& [dst, state] = missing[i];
+      state->spt = std::make_unique<DynamicSpt>(*topo_, dst, config_.metric,
+                                                threshold());
+    }
+  };
+  if (shards <= 1) {
+    build(0);
+  } else {
+    runner::fork_join(pool(shards), shards, build);
+  }
 }
 
 RouteKey ReconvergenceEngine::add_route(topo::NodeId src, topo::NodeId dst) {
   const RouteKey key = store_->add(src, dst);
-  (void)spt_for(dst);
   std::vector<RouteKey> updated;
   EpochStats scratch;
   reconverge_one(key, updated, scratch);
@@ -226,46 +275,83 @@ EpochResult ReconvergenceEngine::apply(
       }
     } else {
       key_scratch_.clear();
-      // 1. Advance every per-destination SPT through the epoch event by
-      //    event, collecting routes (to that destination) that depend on a
-      //    moved distance. The event direction bounds the sweep: a repair
-      //    only *decreases* distances, and a decrease at node n can steal
-      //    the argmin at any neighbor of n — so it takes the full
-      //    neighborhood dependency index. A failure only *increases*
-      //    distances, and a worsened candidate can only matter where it
-      //    was the one chosen — so only routes whose path contains the
-      //    node need the path index. (Masks are indexed against each
-      //    route's epoch-start path; the first event that changes a
-      //    route's path sees those masks still valid, which is enough for
-      //    the superset argument — see docs/ctrlplane.md.)
-      for (const topo::NodeId dst : store_->destinations()) {
-        DynamicSpt& spt = spt_for(dst);
-        for (const LinkChange& event : events) {
-          changed_scratch_.clear();
-          const SptUpdateStats s =
-              spt.apply_link_event(event.link, event.up, changed_scratch_);
-          result.stats.spt_dirty += s.dirty;
-          if (s.fallback) ++result.stats.spt_fallbacks;
-          std::sort(changed_scratch_.begin(), changed_scratch_.end());
-          changed_scratch_.erase(
-              std::unique(changed_scratch_.begin(), changed_scratch_.end()),
-              changed_scratch_.end());
-          for (const topo::NodeId node : changed_scratch_) {
-            if (event.up) {
-              store_->collect_node_dependents(node, dst, key_scratch_);
-            } else {
-              store_->collect_path_dependents(node, dst, key_scratch_);
+      const auto& dsts = store_->destinations();
+      const std::size_t shards =
+          std::max<std::size_t>(1, std::min(shard_count(), dsts.size()));
+      // Serial preamble: every destination gets its state (SPT + memos)
+      // before any fork — forked phases look states up but never create
+      // them, so the map is frozen while workers read it.
+      for (const topo::NodeId dst : dsts) (void)dst_state(dst);
+
+      /// Per-shard working set; shard s owns destinations s, s+shards, ...
+      /// in first-appearance order.
+      struct ShardScratch {
+        std::vector<topo::NodeId> changed;
+        std::vector<RouteKey> keys;        // phase A candidates
+        std::vector<RouteKey> candidates;  // phase C input (reps)
+        std::vector<RouteKey> updated;
+        EpochStats stats;
+        ShardLog log;
+      };
+      std::vector<ShardScratch> shard_scratch(shards);
+      const auto forked = [&](const std::function<void(std::size_t)>& body) {
+        if (shards == 1) {
+          body(0);
+        } else {
+          runner::fork_join(pool(shards), shards, body);
+        }
+      };
+
+      // Phase A (forked): advance each owned destination's SPT through the
+      // epoch event by event, collecting routes (to that destination) that
+      // depend on a moved distance. The event direction bounds the sweep:
+      // a repair only *decreases* distances, and a decrease at node n can
+      // steal the argmin at any neighbor of n — so it takes the full
+      // neighborhood dependency index. A failure only *increases*
+      // distances, and a worsened candidate can only matter where it was
+      // the one chosen — so only routes whose path contains the node need
+      // the path index. (Masks are indexed against each route's
+      // epoch-start path; the first event that changes a route's path sees
+      // those masks still valid, which is enough for the superset argument
+      // — see docs/ctrlplane.md.) Every structure touched — the SPT, the
+      // destination's posting slabs, the indexed routes' masks — belongs
+      // to the shard's own destinations.
+      if (!events.empty()) {
+        forked([&](std::size_t shard) {
+          ShardScratch& sc = shard_scratch[shard];
+          for (std::size_t i = shard; i < dsts.size(); i += shards) {
+            const topo::NodeId dst = dsts[i];
+            DynamicSpt& spt = *dsts_.find(dst)->second->spt;
+            for (const LinkChange& event : events) {
+              sc.changed.clear();
+              const SptUpdateStats s =
+                  spt.apply_link_event(event.link, event.up, sc.changed);
+              sc.stats.spt_dirty += s.dirty;
+              if (s.fallback) ++sc.stats.spt_fallbacks;
+              std::sort(sc.changed.begin(), sc.changed.end());
+              sc.changed.erase(
+                  std::unique(sc.changed.begin(), sc.changed.end()),
+                  sc.changed.end());
+              for (const topo::NodeId node : sc.changed) {
+                if (event.up) {
+                  store_->collect_node_dependents(node, dst, sc.keys);
+                } else {
+                  store_->collect_path_dependents(node, dst, sc.keys);
+                }
+              }
             }
           }
-        }
+        });
       }
-      // 2. Routes whose encoding references an event link; for link-up
-      //    events additionally every route choosing a next hop at an
-      //    endpoint — a repaired link can appear as a new equal-cost
-      //    candidate there and flip the tie-break without moving any
-      //    distance. (A link-down needs no endpoint sweep: removing a
-      //    candidate only changes an argmin if it *was* the argmin, i.e.
-      //    the link was on the chosen path and is in the link index.)
+      // Phase B (serial): routes whose encoding references an event link;
+      // for link-up events additionally every route choosing a next hop at
+      // an endpoint — a repaired link can appear as a new equal-cost
+      // candidate there and flip the tie-break without moving any
+      // distance. (A link-down needs no endpoint sweep: removing a
+      // candidate only changes an argmin if it *was* the argmin, i.e. the
+      // link was on the chosen path and is in the link index.) Then merge
+      // every shard's phase-A candidates and canonicalise: sort + unique
+      // makes the representative list identical at every shard width.
       for (const LinkChange& event : events) {
         store_->collect_link_dependents(event.link, key_scratch_);
         if (event.up) {
@@ -274,15 +360,47 @@ EpochResult ReconvergenceEngine::apply(
           store_->collect_path_dependents(link.b.node, key_scratch_);
         }
       }
+      for (const ShardScratch& sc : shard_scratch) {
+        key_scratch_.insert(key_scratch_.end(), sc.keys.begin(),
+                            sc.keys.end());
+      }
       std::sort(key_scratch_.begin(), key_scratch_.end());
       key_scratch_.erase(std::unique(key_scratch_.begin(), key_scratch_.end()),
                          key_scratch_.end());
       result.stats.candidates = key_scratch_.size();
-      // 3. Reconverge once per endpoint group: the collected keys are
-      //    group representatives; installs fan out to the members, so the
-      //    updated list is re-sorted below.
-      for (const RouteKey rep : key_scratch_) {
-        reconverge_group(rep, result.updated, result.stats);
+      // Route each candidate group to the shard owning its destination.
+      if (shards == 1) {
+        shard_scratch[0].candidates.swap(key_scratch_);
+      } else {
+        std::vector<std::uint32_t> owner(topo_->node_count(), 0);
+        for (std::size_t i = 0; i < dsts.size(); ++i) {
+          owner[dsts[i]] = static_cast<std::uint32_t>(i % shards);
+        }
+        for (const RouteKey rep : key_scratch_) {
+          shard_scratch[owner[store_->get(rep).dst]].candidates.push_back(rep);
+        }
+      }
+      // Phase C (forked): reconverge once per endpoint group — the
+      // decision (extract core, memo-encode, install or withdraw) reads
+      // only the group's own SPT, memos and route slots, all owned by this
+      // shard; side effects on cross-shard structures are buffered in the
+      // shard's log.
+      forked([&](std::size_t shard) {
+        ShardScratch& sc = shard_scratch[shard];
+        for (const RouteKey rep : sc.candidates) {
+          reconverge_group(rep, sc.updated, sc.stats, &sc.log);
+        }
+      });
+      // Serial epilogue: replay the shard logs and merge results in shard
+      // order (the updated list is canonicalised by the sort below).
+      for (ShardScratch& sc : shard_scratch) {
+        store_->apply_shard_log(sc.log);
+        result.updated.insert(result.updated.end(), sc.updated.begin(),
+                              sc.updated.end());
+        result.stats.reencoded += sc.stats.reencoded;
+        result.stats.withdrawn += sc.stats.withdrawn;
+        result.stats.spt_dirty += sc.stats.spt_dirty;
+        result.stats.spt_fallbacks += sc.stats.spt_fallbacks;
       }
     }
 

@@ -29,6 +29,26 @@
 // failures, mirroring the paper's controller), so a route's protection set
 // is a pure function of (destination, primary core path) — the engine
 // memoises it and never invalidates the cache.
+//
+// Sharded incremental mode (EngineConfig::shards > 1): every per-destination
+// structure — the DynamicSpt, the protection and encoding memos, the store's
+// posting slabs — is owned by exactly one shard (destination index mod shard
+// count), so the expensive phases fork across the runner's ThreadPool with
+// no locks:
+//   A. each shard advances its own destinations' SPTs through the epoch and
+//      collects distance-driven candidates into a shard-local vector;
+//   B. (serial) the link-index sweep runs, then all candidate vectors merge
+//      — sort + unique — into one deterministic representative list;
+//   C. each shard reconverges the candidate groups whose destination it
+//      owns, buffering cross-shard store side effects (link-posting
+//      appends, the live counter) in a ShardLog; the logs replay serially
+//      after the join, in shard order.
+// Every decision is a pure function of the quiescent post-advance SPT
+// distances and epoch-start store state, groups are disjoint across shards,
+// and the only order-sensitive merge points (candidate list, updated list)
+// are sorted — so the epoch result is bit-identical for every shard count,
+// which tests/test_ctrlplane_differential.cpp enforces at 1, 4, and
+// hardware width.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +66,7 @@
 #include "obs/trace.hpp"
 #include "routing/controller.hpp"
 #include "routing/protection.hpp"
+#include "runner/thread_pool.hpp"
 #include "topology/graph.hpp"
 
 namespace kar::ctrlplane {
@@ -67,6 +88,11 @@ struct EngineConfig {
   /// Affected-subtree size beyond which a DynamicSpt delete falls back to
   /// a full Dijkstra rebuild. 0 = auto (node_count / 4, at least 8).
   std::size_t spt_fallback_threshold = 0;
+  /// Reconvergence shards incremental epochs fork across (destinations are
+  /// distributed round-robin). 1 = serial, no pool spawned; 0 = one shard
+  /// per hardware thread. Results are bit-identical at every width (see
+  /// file comment), so this is purely a throughput knob.
+  std::size_t shards = 1;
 };
 
 /// Per-epoch accounting.
@@ -176,42 +202,66 @@ class ReconvergenceEngine {
     IndexFootprint footprint;
   };
 
+  /// Everything the engine keeps per destination, bundled so one shard
+  /// owns it outright during a forked epoch: the dynamic SPT plus the
+  /// protection and encoding memos (both keyed with the destination
+  /// implicit). States are created only on the serial path (add_route,
+  /// warm_spts, epoch preamble), never inside a forked phase.
+  struct DstState {
+    std::unique_ptr<DynamicSpt> spt;
+    /// Protection memo: core path -> planned assignments (pure function
+    /// of the intended topology; never invalidated).
+    std::map<std::vector<topo::NodeId>,
+             std::vector<std::pair<topo::NodeId, topo::NodeId>>>
+        protection;
+    /// Encoding memo: (src, core path) -> CachedEncoding (incremental
+    /// mode only; see CachedEncoding).
+    std::map<std::pair<topo::NodeId, std::vector<topo::NodeId>>,
+             CachedEncoding>
+        encodings;
+  };
+
   [[nodiscard]] std::size_t threshold() const;
+  /// Resolved shard width for this epoch: config_.shards with 0 mapped to
+  /// the hardware thread count, clamped to at least 1.
+  [[nodiscard]] std::size_t shard_count() const;
+  /// Finds or creates the destination's state (serial path only).
+  DstState& dst_state(topo::NodeId dst);
   DynamicSpt& spt_for(topo::NodeId dst);
   /// Canonical core path for (src, dst) from the destination's SPT; false
   /// when no usable path exists (a route needs src + >= 1 switch + dst).
-  bool extract_core(topo::NodeId src, topo::NodeId dst,
+  bool extract_core(DstState& state, topo::NodeId src,
                     std::vector<topo::NodeId>& core);
   /// Finds or builds the persistent encoding-cache entry for
   /// (src, dst, core) — incremental mode's encode path.
-  const CachedEncoding& lookup_encoding(topo::NodeId src, topo::NodeId dst,
+  const CachedEncoding& lookup_encoding(DstState& state, topo::NodeId src,
+                                        topo::NodeId dst,
                                         const std::vector<topo::NodeId>& core);
-  /// Naive per-route reconvergence (full reference mode and add_route).
+  /// Naive per-route reconvergence (full reference mode, add_route and
+  /// epoch admissions — all serial).
   void reconverge_one(RouteKey key, std::vector<RouteKey>& updated,
                       EpochStats& stats);
   /// Group reconvergence (incremental mode): decide once per endpoint
   /// group via its representative, fan the install out to every member.
+  /// `log` non-null routes cross-shard store side effects through a
+  /// ShardLog (forked phase C); null writes the store directly (serial).
   void reconverge_group(RouteKey rep, std::vector<RouteKey>& updated,
-                        EpochStats& stats);
+                        EpochStats& stats, ShardLog* log);
   [[nodiscard]] const std::vector<std::pair<topo::NodeId, topo::NodeId>>&
-  protection_for(topo::NodeId dst, const std::vector<topo::NodeId>& core_path);
+  protection_for(DstState& state, topo::NodeId dst,
+                 const std::vector<topo::NodeId>& core_path);
+  /// Lazily builds the pool backing fork_join (shard_count() - 1 workers;
+  /// shard 0 runs on the applying thread).
+  runner::ThreadPool& pool(std::size_t shards);
 
   const topo::Topology* topo_;
   RouteStore* store_;
   EngineConfig config_;
   routing::Controller controller_;
-  std::unordered_map<topo::NodeId, std::unique_ptr<DynamicSpt>> spts_;
+  std::unordered_map<topo::NodeId, std::unique_ptr<DstState>> dsts_;
+  std::unique_ptr<runner::ThreadPool> pool_;
   std::uint64_t version_ = 0;
   EpochStats totals_;
-  /// Protection memo: (dst, core path) -> planned assignments (pure
-  /// function of the intended topology; never invalidated).
-  std::map<std::pair<topo::NodeId, std::vector<topo::NodeId>>,
-           std::vector<std::pair<topo::NodeId, topo::NodeId>>>
-      protection_cache_;
-  /// Encoding memo (incremental mode only; see CachedEncoding).
-  std::map<std::tuple<topo::NodeId, topo::NodeId, std::vector<topo::NodeId>>,
-           CachedEncoding>
-      encoding_cache_;
   obs::TraceRecorder* trace_ = nullptr;
   // Metric handles (inert until attach_metrics).
   obs::Counter events_total_;
@@ -223,8 +273,8 @@ class ReconvergenceEngine {
   obs::Histogram reconvergence_seconds_;
   obs::Histogram affected_routes_;
   obs::Histogram updated_routes_;
-  // Scratch
-  std::vector<topo::NodeId> changed_scratch_;
+  // Scratch for the serial merge phase (per-shard scratch lives on the
+  // apply() stack).
   std::vector<RouteKey> key_scratch_;
 };
 

@@ -7,10 +7,7 @@
 namespace kar::ctrlplane {
 
 RouteStore::RouteStore(const topo::Topology& topology)
-    : topo_(&topology),
-      link_index_(topology.link_count()),
-      node_index_(topology.node_count()),
-      path_index_(topology.node_count()) {
+    : topo_(&topology), link_index_(topology.link_count()) {
   dst_seen_.assign(topology.node_count(), false);
 }
 
@@ -37,32 +34,49 @@ RouteKey RouteStore::add(topo::NodeId src, topo::NodeId dst) {
   if (!dst_seen_[dst]) {
     dst_seen_[dst] = true;
     destinations_.push_back(dst);
+    // The destination's posting slab is born here, while the store is
+    // quiescent: shards later index into existing slabs only.
+    DstPostings& slab = dst_postings_[dst];
+    slab.node.resize(topo_->node_count());
+    slab.path.resize(topo_->node_count());
   }
-  reindex(routes_.back(), nullptr);
+  reindex(routes_.back(), nullptr, nullptr);
   return key;
 }
 
 void RouteStore::set_encoding(RouteKey key, std::vector<topo::NodeId> core_path,
                               routing::EncodedRoute route,
                               std::uint64_t version,
-                              const IndexFootprint* footprint) {
+                              const IndexFootprint* footprint, ShardLog* log) {
   StoredRoute& entry = routes_[key];
-  if (!entry.live) ++live_;
+  if (!entry.live) {
+    if (log != nullptr) {
+      ++log->live_delta;
+    } else {
+      ++live_;
+    }
+  }
   entry.live = true;
   entry.route = std::move(route);
   entry.core_path = std::move(core_path);
   entry.version = version;
-  reindex(entry, footprint);
+  reindex(entry, footprint, log);
 }
 
-void RouteStore::set_dead(RouteKey key, std::uint64_t version) {
+void RouteStore::set_dead(RouteKey key, std::uint64_t version, ShardLog* log) {
   StoredRoute& entry = routes_[key];
-  if (entry.live) --live_;
+  if (entry.live) {
+    if (log != nullptr) {
+      --log->live_delta;
+    } else {
+      --live_;
+    }
+  }
   entry.live = false;
   entry.route = routing::EncodedRoute{};
   entry.core_path.clear();
   entry.version = version;
-  reindex(entry, nullptr);
+  reindex(entry, nullptr, log);
 }
 
 void RouteStore::set_withdrawn(RouteKey key, std::uint64_t version) {
@@ -70,6 +84,15 @@ void RouteStore::set_withdrawn(RouteKey key, std::uint64_t version) {
   if (!entry.withdrawn) ++withdrawn_;
   entry.withdrawn = true;
   entry.version = version;
+}
+
+void RouteStore::apply_shard_log(const ShardLog& log) {
+  live_ = static_cast<std::size_t>(
+      static_cast<std::ptrdiff_t>(live_) + log.live_delta);
+  for (const auto& [link, key] : log.link_appends) {
+    std::vector<RouteKey>& posting = link_index_[link];
+    if (posting.empty() || posting.back() != key) posting.push_back(key);
+  }
 }
 
 std::size_t RouteStore::compact_postings() {
@@ -90,15 +113,12 @@ std::size_t RouteStore::compact_postings() {
       return route_uses_link(routes_[key], link);
     });
   }
-  for (topo::NodeId node = 0; node < node_index_.size(); ++node) {
-    for (auto& [dst, posting] : node_index_[node]) {
-      (void)dst;
-      rewrite(posting,
+  for (const topo::NodeId dst : destinations_) {
+    DstPostings& slab = postings_for(dst);
+    for (topo::NodeId node = 0; node < slab.node.size(); ++node) {
+      rewrite(slab.node[node],
               [&](RouteKey key) { return routes_[key].deps.test(node); });
-    }
-    for (auto& [dst, posting] : path_index_[node]) {
-      (void)dst;
-      rewrite(posting,
+      rewrite(slab.path[node],
               [&](RouteKey key) { return routes_[key].path_nodes.test(node); });
     }
   }
@@ -142,7 +162,8 @@ IndexFootprint RouteStore::build_footprint(
   return f;
 }
 
-void RouteStore::reindex(StoredRoute& entry, const IndexFootprint* footprint) {
+void RouteStore::reindex(StoredRoute& entry, const IndexFootprint* footprint,
+                         ShardLog* log) {
   // Diff-append: a bit already set in the old mask means the key is already
   // in that posting (scans only drop a key once its bit clears), so only
   // newly set bits and newly referenced links need an append. This keeps
@@ -156,13 +177,12 @@ void RouteStore::reindex(StoredRoute& entry, const IndexFootprint* footprint) {
       posting.push_back(entry.key);
     }
   };
+  DstPostings& slab = postings_for(entry.dst);
   if (!entry.live) {
     // A dead route revives only via d(src) changing.
     if (is_rep) {
-      if (!entry.deps.test(entry.src)) post(node_index_[entry.src][entry.dst]);
-      if (!entry.path_nodes.test(entry.src)) {
-        post(path_index_[entry.src][entry.dst]);
-      }
+      if (!entry.deps.test(entry.src)) post(slab.node[entry.src]);
+      if (!entry.path_nodes.test(entry.src)) post(slab.path[entry.src]);
     }
     entry.deps.clear();
     entry.path_nodes.clear();
@@ -178,14 +198,17 @@ void RouteStore::reindex(StoredRoute& entry, const IndexFootprint* footprint) {
   }
   if (is_rep) {
     footprint->deps.for_each_not_in(entry.deps, [&](std::size_t node) {
-      post(node_index_[node][entry.dst]);
+      post(slab.node[node]);
     });
     footprint->path_nodes.for_each_not_in(
-        entry.path_nodes,
-        [&](std::size_t node) { post(path_index_[node][entry.dst]); });
+        entry.path_nodes, [&](std::size_t node) { post(slab.path[node]); });
     for (const topo::LinkId link : footprint->links) {
       if (!std::binary_search(entry.links.begin(), entry.links.end(), link)) {
-        post(link_index_[link]);
+        if (log != nullptr) {
+          log->link_appends.emplace_back(link, entry.key);
+        } else {
+          post(link_index_[link]);
+        }
       }
     }
   }
@@ -233,39 +256,33 @@ void RouteStore::collect_link_dependents(topo::LinkId link,
 
 void RouteStore::collect_node_dependents(topo::NodeId node, topo::NodeId dst,
                                          std::vector<RouteKey>& out) const {
-  const auto it = node_index_[node].find(dst);
-  if (it == node_index_[node].end()) return;
+  const auto it = dst_postings_.find(dst);
+  if (it == dst_postings_.end()) return;
   scan_posting(
-      it->second, [&](RouteKey key) { return routes_[key].deps.test(node); },
-      out);
+      it->second.node[node],
+      [&](RouteKey key) { return routes_[key].deps.test(node); }, out);
 }
 
 void RouteStore::collect_node_dependents(topo::NodeId node,
                                          std::vector<RouteKey>& out) const {
-  for (auto& [dst, posting] : node_index_[node]) {
-    (void)dst;
-    scan_posting(
-        posting, [&](RouteKey key) { return routes_[key].deps.test(node); },
-        out);
+  for (const topo::NodeId dst : destinations_) {
+    collect_node_dependents(node, dst, out);
   }
 }
 
 void RouteStore::collect_path_dependents(topo::NodeId node, topo::NodeId dst,
                                          std::vector<RouteKey>& out) const {
-  const auto it = path_index_[node].find(dst);
-  if (it == path_index_[node].end()) return;
+  const auto it = dst_postings_.find(dst);
+  if (it == dst_postings_.end()) return;
   scan_posting(
-      it->second,
+      it->second.path[node],
       [&](RouteKey key) { return routes_[key].path_nodes.test(node); }, out);
 }
 
 void RouteStore::collect_path_dependents(topo::NodeId node,
                                          std::vector<RouteKey>& out) const {
-  for (auto& [dst, posting] : path_index_[node]) {
-    (void)dst;
-    scan_posting(
-        posting,
-        [&](RouteKey key) { return routes_[key].path_nodes.test(node); }, out);
+  for (const topo::NodeId dst : destinations_) {
+    collect_path_dependents(node, dst, out);
   }
 }
 

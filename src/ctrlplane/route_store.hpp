@@ -21,7 +21,15 @@
 //   * node and path postings are bucketed by destination: the engine's
 //     distance-change sweep runs per destination SPT, and a flat posting
 //     would make every sweep scan (then discard) the other destinations'
-//     routes — a |destinations|-fold overscan at scale;
+//     routes — a |destinations|-fold overscan at scale. The buckets are
+//     *slabs owned by the destination* (one posting vector per node), so a
+//     reconvergence shard that owns a set of destinations touches only its
+//     own slabs — the sharded engine mutates disjoint memory without locks;
+//   * the link index and the live-route counter are the only structures
+//     shared across destinations: sharded mutators buffer those side
+//     effects in a ShardLog and the engine replays the logs serially after
+//     the join (append order within a link posting is not observable —
+//     every consumer sorts or dedups);
 //   * only each (src, dst) group's *representative* route is posted: all
 //     routes sharing endpoints carry identical state, so indexing every
 //     member would multiply scan and dedup cost by the mean group size.
@@ -138,6 +146,17 @@ struct IndexFootprint {
   std::vector<topo::LinkId> links;
 };
 
+/// Side effects of a sharded mutation that land in structures shared
+/// *across* destination shards (the link index and the live counter).
+/// A reconvergence worker passes one to set_encoding()/set_dead() instead
+/// of letting them write shared state; the engine replays every shard's
+/// log serially with apply_shard_log() after the join. Replay order only
+/// permutes link-posting append order, which no consumer observes.
+struct ShardLog {
+  std::vector<std::pair<topo::LinkId, RouteKey>> link_appends;
+  std::ptrdiff_t live_delta = 0;
+};
+
 /// Owns the routes and the inverted indexes. Mutation goes through the
 /// engine: add() registers a (src, dst) pair dead, set_encoding()/set_dead()
 /// swap in the reconverged state and reindex.
@@ -179,14 +198,22 @@ class RouteStore {
   /// Installs a fresh encoding for `key` (computed from `core_path`) and
   /// reindexes the route. When `footprint` is non-null it is copied in
   /// instead of being rebuilt from the topology (it must equal
-  /// build_footprint(src, core_path, route)).
+  /// build_footprint(src, core_path, route)). When `log` is non-null the
+  /// cross-shard side effects (link-posting appends, live-count delta) go
+  /// to the log instead of the shared structures — required whenever
+  /// another thread may be mutating a different destination concurrently.
   void set_encoding(RouteKey key, std::vector<topo::NodeId> core_path,
                     routing::EncodedRoute route, std::uint64_t version,
-                    const IndexFootprint* footprint = nullptr);
+                    const IndexFootprint* footprint = nullptr,
+                    ShardLog* log = nullptr);
 
   /// Marks `key` dead (no usable path) and shrinks its index footprint to
-  /// the revive trigger (the source edge's distance).
-  void set_dead(RouteKey key, std::uint64_t version);
+  /// the revive trigger (the source edge's distance). `log` as above.
+  void set_dead(RouteKey key, std::uint64_t version, ShardLog* log = nullptr);
+
+  /// Serially replays a shard's buffered cross-shard side effects. Must not
+  /// run concurrently with any other store access.
+  void apply_shard_log(const ShardLog& log);
 
   /// Tombstones `key`: hides it from clients without disturbing its slot
   /// (see StoredRoute::withdrawn). Idempotent apart from the version stamp;
@@ -223,11 +250,22 @@ class RouteStore {
   void collect_path_dependents(topo::NodeId node, std::vector<RouteKey>& out) const;
 
  private:
-  void reindex(StoredRoute& entry, const IndexFootprint* footprint);
+  void reindex(StoredRoute& entry, const IndexFootprint* footprint,
+               ShardLog* log);
   [[nodiscard]] bool route_uses_link(const StoredRoute& entry, topo::LinkId link) const;
 
-  /// Per-node postings bucketed by the routes' destination.
-  using DstBuckets = std::map<topo::NodeId, std::vector<RouteKey>>;
+  /// Every node/path posting for routes to one destination, as a slab the
+  /// destination owns (vectors indexed by NodeId). Slabs are created only
+  /// in add() — always serial — so concurrent shards may look up and
+  /// rewrite *different* destinations' slabs without synchronisation.
+  struct DstPostings {
+    std::vector<std::vector<RouteKey>> node;
+    std::vector<std::vector<RouteKey>> path;
+  };
+
+  [[nodiscard]] DstPostings& postings_for(topo::NodeId dst) const {
+    return dst_postings_.find(dst)->second;
+  }
 
   const topo::Topology* topo_;
   std::vector<StoredRoute> routes_;
@@ -236,10 +274,10 @@ class RouteStore {
   /// (src, dst) -> representative key; groups_[rep] lists the members.
   std::map<std::pair<topo::NodeId, topo::NodeId>, RouteKey> rep_of_;
   std::vector<std::vector<RouteKey>> groups_;
-  // Postings by LinkId / NodeId; lazily compacted (see file comment).
+  // Postings by LinkId (shared across shards) and per-destination slabs;
+  // lazily compacted (see file comment).
   mutable std::vector<std::vector<RouteKey>> link_index_;
-  mutable std::vector<DstBuckets> node_index_;
-  mutable std::vector<DstBuckets> path_index_;
+  mutable std::map<topo::NodeId, DstPostings> dst_postings_;
   std::size_t live_ = 0;
   std::size_t withdrawn_ = 0;
 };

@@ -1,9 +1,8 @@
 #include "daemon/daemon.hpp"
 
-#include <algorithm>
 #include <exception>
-#include <map>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
 #include "runner/jsonl.hpp"
@@ -115,7 +114,7 @@ void Kard::register_metrics() {
       "Batched mutation epochs applied to the engine.");
   coalesced_events_total_ = registry_.counter(
       "kar_daemon_coalesced_events_total",
-      "Link-state requests absorbed by per-batch coalescing (flaps and "
+      "Link-state requests absorbed by coalescing (flaps and "
       "already-in-state transitions that cost no reconvergence).");
   snapshots_total_ =
       registry_.counter("kar_daemon_snapshots_total", "Snapshots written.");
@@ -130,6 +129,9 @@ void Kard::register_metrics() {
       "kar_daemon_live_routes", "Routes currently live (usable path).");
   queue_depth_gauge_ = registry_.gauge(
       "kar_daemon_queue_depth", "Mutations waiting for the next epoch.");
+  held_links_gauge_ = registry_.gauge(
+      "kar_daemon_held_links",
+      "Link requests held open in the coalescing window.");
   snapshot_bytes_gauge_ = registry_.gauge(
       "kar_daemon_snapshot_bytes", "Size of the most recent snapshot.");
   request_seconds_ = registry_.histogram(
@@ -302,6 +304,9 @@ std::string Kard::handle_stats() {
       .field("version", engine_->version())
       .field("epochs", epochs_applied_.load(std::memory_order_relaxed))
       .field("queue_depth", static_cast<std::uint64_t>(depth))
+      .field("held_links",
+             static_cast<std::uint64_t>(
+                 held_links_count_.load(std::memory_order_relaxed)))
       .field("events", static_cast<std::uint64_t>(totals.events))
       .field("reencoded", static_cast<std::uint64_t>(totals.reencoded))
       .field("installed", static_cast<std::uint64_t>(totals.installed))
@@ -433,8 +438,25 @@ void Kard::enqueue_mutation(const ParsedRequest& parsed,
 void Kard::flusher_loop() {
   std::unique_lock<std::mutex> lock(queue_mutex_);
   while (true) {
+    // held_links_ / window_deadline_ are flusher-private; reading them
+    // here (under queue_mutex_, not state_mutex_) is single-threaded.
+    const bool window_open = !held_links_.empty();
     if (pending_.empty()) {
       if (stop_flusher_) break;
+      if (window_open) {
+        // Sleep at most until the coalescing window expires, then drain
+        // it even with no new work.
+        queue_cv_.wait_until(lock, window_deadline_, [this] {
+          return !pending_.empty() || stop_flusher_;
+        });
+        if (pending_.empty() && !stop_flusher_ &&
+            Clock::now() >= window_deadline_) {
+          lock.unlock();
+          flush_batch({}, /*drain_window=*/true);
+          lock.lock();
+        }
+        continue;
+      }
       if (config_.compact_every_epochs > 0 &&
           epochs_since_compact_ >= config_.compact_every_epochs) {
         lock.unlock();
@@ -447,11 +469,13 @@ void Kard::flusher_loop() {
       continue;
     }
     // Bounded-latency flush: wait for a full batch, but never keep the
-    // oldest op waiting past the flush interval.
-    const auto deadline =
+    // oldest op waiting past the flush interval — nor an open coalescing
+    // window past its own deadline.
+    auto deadline =
         pending_.front().enqueued +
         std::chrono::duration_cast<Clock::duration>(
             std::chrono::duration<double>(config_.flush_interval_s));
+    if (window_open && window_deadline_ < deadline) deadline = window_deadline_;
     queue_cv_.wait_until(lock, deadline, [this] {
       return pending_.size() >= config_.flush_max_ops || stop_flusher_;
     });
@@ -459,9 +483,14 @@ void Kard::flusher_loop() {
     batch.swap(pending_);
     queue_depth_gauge_.set(0.0);
     lock.unlock();
-    flush_batch(std::move(batch));
+    flush_batch(std::move(batch),
+                window_open && Clock::now() >= window_deadline_);
     lock.lock();
   }
+  // Shutdown: a still-open window must drain — held promises would
+  // otherwise never resolve and the netted transitions would be lost.
+  lock.unlock();
+  if (!held_links_.empty()) flush_batch({}, /*drain_window=*/true);
 }
 
 void Kard::maybe_compact_idle() {
@@ -475,20 +504,10 @@ void Kard::maybe_compact_idle() {
   compacted_entries_total_.inc(dropped);
 }
 
-void Kard::flush_batch(std::vector<PendingOp> batch) {
-  // Coalesce link requests to their final intended state, first-appearance
-  // order: a down+up flap inside one batch nets out to nothing.
-  std::map<topo::LinkId, bool> link_final;
-  std::vector<topo::LinkId> link_order;
+void Kard::flush_batch(std::vector<PendingOp> batch, bool drain_window) {
   std::vector<std::pair<topo::NodeId, topo::NodeId>> installs;
   for (const PendingOp& op : batch) {
-    if (op.verb == Verb::kLinkUp || op.verb == Verb::kLinkDown) {
-      if (link_final.insert_or_assign(op.link, op.up).second) {
-        link_order.push_back(op.link);
-      }
-    } else if (op.verb == Verb::kInstall) {
-      installs.emplace_back(op.src, op.dst);
-    }
+    if (op.verb == Verb::kInstall) installs.emplace_back(op.src, op.dst);
   }
 
   std::vector<ctrlplane::RouteKey> installed_keys;
@@ -497,44 +516,65 @@ void Kard::flush_batch(std::vector<PendingOp> batch) {
   {
     std::unique_lock<std::shared_mutex> lock(state_mutex_);
     // Withdraw validation needs the store, so it happens here: in range,
-    // not yet withdrawn, not duplicated within the batch.
+    // not yet withdrawn, not duplicated within the batch. The seen-set
+    // makes duplicate detection O(1) per op — a batch of N withdrawals of
+    // the same key used to scan the accepted list per op, O(N²) across a
+    // replayed burst.
     std::vector<ctrlplane::RouteKey> withdraws;
+    std::unordered_set<ctrlplane::RouteKey> withdraw_seen;
     for (PendingOp& op : batch) {
       if (op.verb != Verb::kWithdraw) continue;
       if (op.key >= store_.size()) {
-        op.verb = Verb::kPing;  // mark answered
+        op.answered = true;
         request_errors_total_.inc();
         op.promise.set_value(error_response(
             "unknown-key", "no route with key " + std::to_string(op.key)));
-      } else if (store_.get(op.key).withdrawn ||
-                 std::find(withdraws.begin(), withdraws.end(), op.key) !=
-                     withdraws.end()) {
-        op.verb = Verb::kPing;
+      } else if (store_.get(op.key).withdrawn || withdraw_seen.count(op.key)) {
+        op.answered = true;
         request_errors_total_.inc();
         op.promise.set_value(error_response(
             "already-withdrawn",
             "route " + std::to_string(op.key) + " is already withdrawn"));
       } else {
+        withdraw_seen.insert(op.key);
         withdraws.push_back(op.key);
       }
     }
-    // Emit only net link-state changes and apply them to the topology.
+    // Link requests enter the coalescer (netting them per link against the
+    // topology's real state) and are held; with the default zero window
+    // they drain again below, inside this same flush.
+    for (PendingOp& op : batch) {
+      if (op.verb != Verb::kLinkUp && op.verb != Verb::kLinkDown) continue;
+      if (held_links_.empty()) {
+        window_deadline_ =
+            op.enqueued + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(
+                                  config_.coalesce_window_s));
+      }
+      coalescer_.note(op.link, op.up, scenario_.topology.link_up(op.link));
+      op.answered = true;  // the held copy answers at drain time
+      held_links_.push_back(std::move(op));
+    }
+    // Close the window when configured off, when its deadline passed, or
+    // on shutdown: apply the net transitions to the topology and let the
+    // epoch below reconverge them.
     std::vector<ctrlplane::LinkChange> events;
-    std::map<topo::LinkId, bool> link_changed;
-    for (const topo::LinkId link : link_order) {
-      const bool up = link_final.at(link);
-      if (scenario_.topology.link_up(link) == up) continue;
-      scenario_.topology.set_link_up(link, up);
-      events.push_back(ctrlplane::LinkChange{link, up});
-      link_changed[link] = true;
+    std::vector<PendingOp> answered_links;
+    std::unordered_set<topo::LinkId> changed_links;
+    if (!held_links_.empty() &&
+        (config_.coalesce_window_s <= 0.0 || drain_window)) {
+      const std::uint64_t absorbed_before = coalescer_.stats().absorbed;
+      events = coalescer_.drain();
+      for (const ctrlplane::LinkChange& event : events) {
+        scenario_.topology.set_link_up(event.link, event.up);
+        changed_links.insert(event.link);
+      }
+      coalesced_events_total_.inc(coalescer_.stats().absorbed -
+                                  absorbed_before);
+      answered_links.swap(held_links_);
     }
-    std::size_t raw_link_ops = 0;
-    for (const PendingOp& op : batch) {
-      raw_link_ops += (op.verb == Verb::kLinkUp || op.verb == Verb::kLinkDown)
-                          ? 1
-                          : 0;
-    }
-    coalesced_events_total_.inc(raw_link_ops - events.size());
+    held_links_count_.store(held_links_.size(), std::memory_order_relaxed);
+    held_links_gauge_.set(static_cast<double>(held_links_.size()));
 
     if (!events.empty() || !installs.empty() || !withdraws.empty()) {
       epoch_active_.store(true, std::memory_order_relaxed);
@@ -544,7 +584,9 @@ void Kard::flush_batch(std::vector<PendingOp> batch) {
       ++epochs_since_compact_;
       epochs_total_.inc();
       epoch_seconds_.observe(result.stats.wall_s);
-      epoch_ops_.observe(static_cast<double>(batch.size()));
+      if (!batch.empty()) {
+        epoch_ops_.observe(static_cast<double>(batch.size()));
+      }
     } else {
       result.version = engine_->version();
     }
@@ -555,10 +597,9 @@ void Kard::flush_batch(std::vector<PendingOp> batch) {
     std::size_t install_index = 0;
     const Clock::time_point now = Clock::now();
     for (PendingOp& op : batch) {
+      if (op.answered) continue;  // rejected above, or riding the window
       std::string response;
       switch (op.verb) {
-        case Verb::kPing:
-          continue;  // answered during validation above
         case Verb::kInstall: {
           const ctrlplane::RouteKey key = installed_keys[install_index++];
           const ctrlplane::StoredRoute& entry = store_.get(key);
@@ -580,16 +621,6 @@ void Kard::flush_batch(std::vector<PendingOp> batch) {
           response = o.str();
           break;
         }
-        case Verb::kLinkUp:
-        case Verb::kLinkDown: {
-          runner::JsonObject o;
-          o.field("ok", true)
-              .field("up", scenario_.topology.link_up(op.link))
-              .field("version", result.version)
-              .field("changed", link_changed.count(op.link) > 0);
-          response = o.str();
-          break;
-        }
         default:
           response = error_response("internal", "unexpected batched verb");
           break;
@@ -597,6 +628,18 @@ void Kard::flush_batch(std::vector<PendingOp> batch) {
       request_seconds_.observe(
           std::chrono::duration<double>(now - op.enqueued).count());
       op.promise.set_value(std::move(response));
+    }
+    // Held link requests answer when their window drains; the latency
+    // histogram then shows the full hold (bounded by the window).
+    for (PendingOp& op : answered_links) {
+      runner::JsonObject o;
+      o.field("ok", true)
+          .field("up", scenario_.topology.link_up(op.link))
+          .field("version", result.version)
+          .field("changed", changed_links.count(op.link) > 0);
+      request_seconds_.observe(
+          std::chrono::duration<double>(now - op.enqueued).count());
+      op.promise.set_value(o.str());
     }
   }
 }

@@ -17,6 +17,15 @@
 //     (a flap inside one batch costs zero reconvergence), installs and
 //     withdrawals ride the same version. So a burst of N requests costs
 //     one SPT advance, not N.
+//   * Cross-epoch link coalescing — with coalesce_window_s > 0, link
+//     transitions are additionally *held* in a ctrlplane::LinkCoalescer
+//     for a bounded-staleness window opened by the first held transition:
+//     a flap storm spanning many batches nets to at most one event per
+//     link per window and costs one reconvergence when the window drains.
+//     Held requests answer at the drain (latency bounded by the window);
+//     installs and withdrawals keep flushing on the fast timer. The
+//     default window of 0 drains every batch — exactly the per-batch
+//     behavior above.
 //   * Zero-downtime reconvergence — queries take a shared lock, epochs an
 //     exclusive one: a query issued during an epoch waits for that epoch
 //     (bounded by the epoch wall time) instead of being refused; the
@@ -47,6 +56,7 @@
 #include <thread>
 #include <vector>
 
+#include "ctrlplane/coalesce.hpp"
 #include "ctrlplane/engine.hpp"
 #include "ctrlplane/route_store.hpp"
 #include "daemon/protocol.hpp"
@@ -69,6 +79,13 @@ struct KardConfig {
   /// Bounded-latency flush timer: flush once the oldest pending op has
   /// waited this long, even if the batch is small.
   double flush_interval_s = 0.002;
+  /// Cross-epoch link-coalescing window (seconds): link transitions are
+  /// held and netted per link until the window (opened by the first held
+  /// transition) expires, so a flap storm costs one reconvergence per
+  /// window instead of one per batch. Held link requests answer at the
+  /// drain. 0 (default) = drain with every batch (per-batch coalescing
+  /// only; see the file comment).
+  double coalesce_window_s = 0.0;
   /// Eagerly compact posting lists every N epochs when idle (0 = never).
   std::size_t compact_every_epochs = 64;
   /// Snapshot file ("" = stateless daemon; `snapshot` verb then needs an
@@ -150,6 +167,9 @@ class Kard {
     topo::NodeId src = topo::kInvalidNode;
     topo::NodeId dst = topo::kInvalidNode;
     ctrlplane::RouteKey key = 0;
+    /// Promise already fulfilled (validation rejected the op, or a link op
+    /// moved into the coalescing window) — the response loop skips it.
+    bool answered = false;
     std::promise<std::string> promise;
     Clock::time_point enqueued;
   };
@@ -167,7 +187,11 @@ class Kard {
   void enqueue_mutation(const ParsedRequest& parsed,
                         std::promise<std::string> promise);
   void flusher_loop();
-  void flush_batch(std::vector<PendingOp> batch);
+  /// Applies one batch as an epoch. `drain_window` forces the coalescing
+  /// window closed (deadline reached or shutdown); a zero-window config
+  /// drains unconditionally. May be called with an empty batch to drain
+  /// the window alone.
+  void flush_batch(std::vector<PendingOp> batch, bool drain_window);
   void maybe_compact_idle();
 
   KardConfig config_;
@@ -193,6 +217,13 @@ class Kard {
   std::atomic<std::uint64_t> epochs_applied_{0};
   std::size_t epochs_since_compact_ = 0;  // flusher thread only
 
+  // Cross-epoch link-coalescing window (all flusher thread only, except
+  // the atomic mirror of the held count that stats/tests read).
+  ctrlplane::LinkCoalescer coalescer_;
+  std::vector<PendingOp> held_links_;
+  Clock::time_point window_deadline_{};  // valid while held_links_ non-empty
+  std::atomic<std::size_t> held_links_count_{0};
+
   obs::MetricsRegistry registry_;
   std::vector<obs::Counter> requests_by_verb_;  // indexed by Verb value
   obs::Counter request_errors_total_;
@@ -204,6 +235,7 @@ class Kard {
   obs::Gauge routes_gauge_;
   obs::Gauge live_routes_gauge_;
   obs::Gauge queue_depth_gauge_;
+  obs::Gauge held_links_gauge_;
   obs::Gauge snapshot_bytes_gauge_;
   obs::Histogram request_seconds_;
   obs::Histogram epoch_seconds_;

@@ -21,8 +21,11 @@
 //   --no-final-snapshot   skip the shutdown snapshot
 //   --flush-interval=S    bounded-latency epoch flush timer (default 0.002)
 //   --flush-max=N         flush as soon as N mutations pend (default 4096)
+//   --coalesce-window=S   hold + net link flaps for S seconds before
+//                         reconverging (default 0 = per-batch only)
 //   --compact-every=N     idle posting compaction every N epochs (default 64)
 //   --engine=MODE         incremental | full (default incremental)
+//   --shards=N            reconvergence shards (1 = serial, 0 = hw threads)
 //   --no-host-edges       do not attach per-switch host edge nodes
 //   --no-metrics          disable the metrics registry
 //
@@ -49,6 +52,9 @@ int main(int argc, char** argv) {
     config.flush_interval_s = flags.get_double("flush-interval", 0.002);
     config.flush_max_ops =
         static_cast<std::size_t>(flags.get_int("flush-max", 4096));
+    config.coalesce_window_s = flags.get_double("coalesce-window", 0.0);
+    config.engine.shards =
+        static_cast<std::size_t>(flags.get_int("shards", 1));
     config.compact_every_epochs =
         static_cast<std::size_t>(flags.get_int("compact-every", 64));
     config.snapshot_path = flags.get_string("snapshot", "");

@@ -1,0 +1,40 @@
+#include "runner/fork_join.hpp"
+
+#include <exception>
+#include <future>
+#include <vector>
+
+namespace kar::runner {
+
+void fork_join(ThreadPool& pool, std::size_t shards,
+               const std::function<void(std::size_t)>& body) {
+  if (shards == 0) return;
+  if (shards == 1) {
+    body(0);
+    return;
+  }
+  std::vector<std::future<void>> forked;
+  forked.reserve(shards - 1);
+  for (std::size_t shard = 1; shard < shards; ++shard) {
+    forked.push_back(pool.submit([&body, shard] { body(shard); }));
+  }
+  // Run shard 0 inline, then join every fork before rethrowing anything:
+  // the futures are collected in shard order, so the surviving exception is
+  // the lowest-indexed shard's no matter which worker finished first.
+  std::exception_ptr first;
+  try {
+    body(0);
+  } catch (...) {
+    first = std::current_exception();
+  }
+  for (std::future<void>& f : forked) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace kar::runner

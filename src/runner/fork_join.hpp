@@ -1,0 +1,28 @@
+// Scoped fork-join over the work-stealing ThreadPool: the shard-parallel
+// primitive the control plane's sharded reconvergence runs on
+// (docs/ctrlplane.md).
+//
+// fork_join(pool, shards, body) invokes body(shard) exactly once for every
+// shard in [0, shards), running shard 0 on the calling thread and the rest
+// on the pool, and returns only after *every* shard finished — no shard
+// ever outlives the call, so `body` may safely capture stack state by
+// reference. When several shards throw, the lowest shard index wins and its
+// exception is rethrown after the join (deterministic error reporting
+// regardless of scheduling).
+//
+// The caller must not be a worker of `pool` itself: shard 0 runs inline
+// while the call blocks on the remaining shards, and a pool of size 1 whose
+// only worker issued the fork would never drain its own deque.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "runner/thread_pool.hpp"
+
+namespace kar::runner {
+
+void fork_join(ThreadPool& pool, std::size_t shards,
+               const std::function<void(std::size_t)>& body);
+
+}  // namespace kar::runner

@@ -13,10 +13,20 @@
 // correlated cuts (kSrlgGroups), flapping and permanent k-failure sweeps;
 // half the sequences plan driven-deflection protection, half encode bare
 // primary paths.
+//
+// A second suite pins the sharded reconvergence path: the same sequences
+// run through incremental engines at shard widths 1, 4 and
+// hardware_concurrency, and every epoch must be *bit-identical* across
+// widths — version stamps and updated-key lists included, not just final
+// tables — because sharding is specified as a pure throughput knob
+// (docs/ctrlplane.md).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -161,6 +171,78 @@ void run_sequence(const std::string& topology, std::uint64_t sequence,
   }
 }
 
+// Serial vs sharded incremental engines over identical epochs. Stricter
+// than expect_identical_tables: a shard width must not even perturb the
+// per-route version stamps.
+void run_sharded_sequence(const std::string& topology, std::uint64_t sequence,
+                          common::Rng& rng) {
+  const std::vector<std::size_t> widths = {
+      1, 4, std::max<std::size_t>(1, std::thread::hardware_concurrency())};
+  Scenario s = make_scenario(topology);
+  topo::Topology& t = s.topology;
+  (void)topo::attach_host_edges(t);
+  const auto edges = t.nodes_of_kind(topo::NodeKind::kEdgeNode);
+
+  std::vector<std::unique_ptr<RouteStore>> stores;
+  std::vector<std::unique_ptr<ReconvergenceEngine>> engines;
+  for (const std::size_t shards : widths) {
+    EngineConfig config;
+    config.shards = shards;
+    config.plan_protection = (sequence % 2 == 0);
+    stores.push_back(std::make_unique<RouteStore>(t));
+    engines.push_back(
+        std::make_unique<ReconvergenceEngine>(t, *stores.back(), config));
+  }
+
+  for (std::size_t i = 0; i < 25; ++i) {
+    const std::size_t si = rng.below(edges.size());
+    std::size_t di = rng.below(edges.size() - 1);
+    if (di >= si) ++di;
+    const RouteKey key = engines[0]->add_route(edges[si], edges[di]);
+    for (std::size_t e = 1; e < engines.size(); ++e) {
+      ASSERT_EQ(engines[e]->add_route(edges[si], edges[di]), key);
+    }
+  }
+
+  const std::string tag =
+      topology + " sharded seq " + std::to_string(sequence);
+  common::Rng schedule_rng(common::derive_seed(0x54a6dedULL, sequence));
+  const FailureSchedule schedule =
+      faultgen::generate_schedule(t, schedule_for(sequence), schedule_rng);
+
+  std::size_t i = 0;
+  std::size_t epoch_index = 0;
+  while (i < schedule.events.size()) {
+    std::size_t j = i;
+    std::vector<LinkChange> events;
+    while (j < schedule.events.size() &&
+           schedule.events[j].time == schedule.events[i].time) {
+      const faultgen::LinkEvent& e = schedule.events[j];
+      t.set_link_up(e.link, !e.fail);
+      events.push_back(LinkChange{e.link, !e.fail});
+      ++j;
+    }
+    const auto serial = engines[0]->apply(events);
+    for (std::size_t e = 1; e < engines.size(); ++e) {
+      const auto sharded = engines[e]->apply(events);
+      const std::string where = tag + " epoch " + std::to_string(epoch_index) +
+                                " shards " + std::to_string(widths[e]);
+      ASSERT_EQ(serial.version, sharded.version) << where;
+      ASSERT_EQ(serial.updated, sharded.updated) << where;
+      ASSERT_EQ(serial.stats.candidates, sharded.stats.candidates) << where;
+      ASSERT_EQ(serial.stats.reencoded, sharded.stats.reencoded) << where;
+      ASSERT_EQ(serial.stats.withdrawn, sharded.stats.withdrawn) << where;
+      expect_identical_tables(t, *stores[0], *stores[e], where);
+      for (RouteKey key = 0; key < stores[0]->size(); ++key) {
+        ASSERT_EQ(stores[0]->get(key).version, stores[e]->get(key).version)
+            << where << ", route " << key << " version stamp";
+      }
+    }
+    i = j;
+    ++epoch_index;
+  }
+}
+
 class CtrlplaneDifferential
     : public ::testing::TestWithParam<std::pair<const char*, int>> {};
 
@@ -180,6 +262,32 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::pair<const char*, int>{"fig1", 70},
                       std::pair<const char*, int>{"fig2", 70},
                       std::pair<const char*, int>{"rnp28", 60}),
+    [](const ::testing::TestParamInfo<std::pair<const char*, int>>& info) {
+      return std::string(info.param.first);
+    });
+
+class CtrlplaneShardedDifferential
+    : public ::testing::TestWithParam<std::pair<const char*, int>> {};
+
+TEST_P(CtrlplaneShardedDifferential, ShardWidthsBitIdentical) {
+  const auto [topology, sequences] = GetParam();
+  common::Rng rng = testsupport::make_rng(
+      0x54a6dULL ^ std::hash<std::string>{}(topology),
+      "CtrlplaneShardedDifferential");
+  for (int sequence = 0; sequence < sequences; ++sequence) {
+    run_sharded_sequence(topology, static_cast<std::uint64_t>(sequence), rng);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// 3 engines x 3 shard widths per sequence keeps this pricier than the
+// serial suite, so fewer sequences; all four schedule families still
+// rotate through on every topology.
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, CtrlplaneShardedDifferential,
+    ::testing::Values(std::pair<const char*, int>{"fig1", 16},
+                      std::pair<const char*, int>{"fig2", 16},
+                      std::pair<const char*, int>{"rnp28", 12}),
     [](const ::testing::TestParamInfo<std::pair<const char*, int>>& info) {
       return std::string(info.param.first);
     });

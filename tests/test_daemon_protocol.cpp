@@ -3,6 +3,11 @@
 //     tolerance, structured error codes;
 //   * frame codec — encode/decode round trip under arbitrary chunking,
 //     zero/oversized length prefixes are fatal, buffer compaction;
+//   * batched-verb semantics against a live Kard — duplicate-withdraw
+//     bursts stay linear and exact, per-verb/coalesced/held counters are
+//     exact, and the cross-epoch coalescing window holds a flap storm to
+//     one reconvergence (answering held requests at the drain, including
+//     the shutdown drain);
 //   * fuzz walls — random bytes and random malformed lines never crash the
 //     parser; a live SocketServer answers garbage payloads with structured
 //     errors and the connection survives to serve the next valid request.
@@ -13,8 +18,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
+#include <future>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "daemon/daemon.hpp"
@@ -162,6 +171,205 @@ TEST(Frames, PartialPrefixNeedsMore) {
   decoder.feed(std::string_view(wire).substr(wire.size() - 1));
   EXPECT_EQ(decoder.next(payload, error), FrameDecoder::Status::kFrame);
   EXPECT_EQ(payload, "hello");
+}
+
+// -- batched-verb semantics & counters ---------------------------------------
+
+/// Value of the first sample line starting with `needle` in the daemon's
+/// Prometheus text (-1 when absent). Pass the full series name, labels
+/// included, e.g. `kar_daemon_requests_total{verb="withdraw"}`.
+double scrape_value(daemon::Kard& kard, const std::string& needle) {
+  std::istringstream in(kard.prometheus_text());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(needle, 0) == 0 && line[0] != '#') {
+      return std::stod(line.substr(line.find_last_of(' ') + 1));
+    }
+  }
+  return -1.0;
+}
+
+/// Integer field from a JSON response (`"held_links":3` → 3; -1 if absent).
+long json_int_field(const std::string& json, const std::string& field) {
+  const std::string key = "\"" + field + "\":";
+  const std::size_t at = json.find(key);
+  if (at == std::string::npos) return -1;
+  return std::stol(json.substr(at + key.size()));
+}
+
+TEST(DaemonBatch, DuplicateWithdrawBurstIsLinearAndExact) {
+  daemon::KardConfig config;
+  config.topology = "fig1";
+  config.flush_interval_s = 0.02;
+  config.snapshot_on_shutdown = false;
+  daemon::Kard kard(config);
+  kard.start();
+
+  // 5000 routes in one group (S -> D): dense keys 0..4999.
+  const std::size_t routes = 5000;
+  {
+    std::vector<std::future<std::string>> installs;
+    installs.reserve(routes);
+    for (std::size_t i = 0; i < routes; ++i) {
+      installs.push_back(kard.submit_line("install S D"));
+    }
+    for (std::size_t i = 0; i < routes; ++i) {
+      const std::string response = installs[i].get();
+      ASSERT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+      ASSERT_EQ(json_int_field(response, "key"), static_cast<long>(i));
+    }
+  }
+
+  // The burst: every key once, plus 5000 repeats of key 0 — 10k withdraw
+  // requests. The dedup scan used to be O(N²) in the accepted-withdraw
+  // count per batch; it must now be a seen-set lookup, and the whole burst
+  // must clear in seconds even on a sanitizer build.
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<std::string>> burst;
+  burst.reserve(2 * routes);
+  for (std::size_t i = 0; i < routes; ++i) {
+    burst.push_back(kard.submit_line("withdraw " + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < routes; ++i) {
+    burst.push_back(kard.submit_line("withdraw 0"));
+  }
+  std::size_t ok = 0;
+  std::size_t already = 0;
+  for (auto& f : burst) {
+    const std::string response = f.get();
+    if (response.find("\"ok\":true") != std::string::npos) {
+      ++ok;
+    } else {
+      ASSERT_NE(response.find("\"code\":\"already-withdrawn\""),
+                std::string::npos)
+          << response;
+      ++already;
+    }
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  // Exact: each key withdraws exactly once no matter how the burst lands
+  // in batches (in-batch dedup via the seen-set, cross-batch via the
+  // store's withdrawn flag).
+  EXPECT_EQ(ok, routes);
+  EXPECT_EQ(already, routes);
+  EXPECT_LT(wall_s, 5.0) << "withdraw dedup is no longer linear";
+
+  // Per-verb and error counters saw every request.
+  EXPECT_EQ(scrape_value(kard, "kar_daemon_requests_total{verb=\"withdraw\"}"),
+            static_cast<double>(2 * routes));
+  EXPECT_GE(scrape_value(kard, "kar_daemon_request_errors_total"),
+            static_cast<double>(routes));
+  kard.stop();
+}
+
+TEST(DaemonCoalescing, PerBatchNettingCountsAbsorbedExactly) {
+  daemon::KardConfig config;
+  config.topology = "fig1";
+  // Long flush timer: back-to-back submissions below land in one batch.
+  config.flush_interval_s = 0.05;
+  config.snapshot_on_shutdown = false;
+  daemon::Kard kard(config);
+  kard.start();
+
+  // Same-batch flap: down + up nets to nothing — no epoch, both answered
+  // with the final (unchanged) state, both counted absorbed.
+  auto down = kard.submit_line("link-down SW4 SW7");
+  auto up = kard.submit_line("link-up SW4 SW7");
+  for (std::string response : {down.get(), up.get()}) {
+    EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+    EXPECT_NE(response.find("\"up\":true"), std::string::npos) << response;
+    EXPECT_NE(response.find("\"changed\":false"), std::string::npos)
+        << response;
+  }
+  EXPECT_EQ(kard.epochs_applied(), 0u);
+  EXPECT_EQ(scrape_value(kard, "kar_daemon_coalesced_events_total"), 2.0);
+
+  // A real transition: one event, one epoch, nothing absorbed.
+  const std::string real = kard.execute_line("link-down SW4 SW7");
+  EXPECT_NE(real.find("\"up\":false"), std::string::npos) << real;
+  EXPECT_NE(real.find("\"changed\":true"), std::string::npos) << real;
+  EXPECT_EQ(kard.epochs_applied(), 1u);
+  EXPECT_EQ(scrape_value(kard, "kar_daemon_coalesced_events_total"), 2.0);
+
+  // Already-in-state: a down for a link that is already down is absorbed
+  // churn — exactly +1, no epoch (the counter used to miss these).
+  const std::string redundant = kard.execute_line("link-down SW4 SW7");
+  EXPECT_NE(redundant.find("\"up\":false"), std::string::npos) << redundant;
+  EXPECT_NE(redundant.find("\"changed\":false"), std::string::npos)
+      << redundant;
+  EXPECT_EQ(kard.epochs_applied(), 1u);
+  EXPECT_EQ(scrape_value(kard, "kar_daemon_coalesced_events_total"), 3.0);
+
+  EXPECT_EQ(scrape_value(kard,
+                         "kar_daemon_requests_total{verb=\"link-down\"}"),
+            3.0);
+  EXPECT_EQ(scrape_value(kard, "kar_daemon_requests_total{verb=\"link-up\"}"),
+            1.0);
+  kard.stop();
+}
+
+TEST(DaemonCoalescing, WindowHoldsFlapStormToOneEpoch) {
+  daemon::KardConfig config;
+  config.topology = "fig1";
+  config.flush_interval_s = 0.001;
+  config.coalesce_window_s = 0.25;
+  config.snapshot_on_shutdown = false;
+  daemon::Kard kard(config);
+  kard.start();
+
+  // Five alternating transitions of one link, spread over many batches
+  // (the fast flush timer flushes between submissions).
+  std::vector<std::future<std::string>> storm;
+  for (int i = 0; i < 5; ++i) {
+    storm.push_back(kard.submit_line(i % 2 == 0 ? "link-down SW4 SW7"
+                                                : "link-up SW4 SW7"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  // The storm is held open: stats report the held requests, queries still
+  // answer immediately (zero-downtime), and no epoch has run yet.
+  long held = 0;
+  for (int i = 0; i < 100 && held <= 0; ++i) {
+    held = json_int_field(kard.execute_line("stats"), "held_links");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(held, 1);
+  EXPECT_EQ(kard.epochs_applied(), 0u);
+
+  // All five answer at the drain with the net outcome: link down (odd
+  // transition count), marked changed. One reconvergence for the storm.
+  for (auto& f : storm) {
+    const std::string response = f.get();
+    EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+    EXPECT_NE(response.find("\"up\":false"), std::string::npos) << response;
+    EXPECT_NE(response.find("\"changed\":true"), std::string::npos)
+        << response;
+  }
+  EXPECT_EQ(kard.epochs_applied(), 1u);
+  EXPECT_EQ(scrape_value(kard, "kar_daemon_coalesced_events_total"), 4.0);
+  EXPECT_EQ(json_int_field(kard.execute_line("stats"), "held_links"), 0);
+  kard.stop();
+}
+
+TEST(DaemonCoalescing, StopDrainsTheWindow) {
+  daemon::KardConfig config;
+  config.topology = "fig1";
+  config.flush_interval_s = 0.001;
+  config.coalesce_window_s = 30.0;  // would outlive the test by far
+  config.snapshot_on_shutdown = false;
+  daemon::Kard kard(config);
+  kard.start();
+
+  auto held = kard.submit_line("link-down SW4 SW7");
+  // stop() must close the window: the held promise resolves with the net
+  // transition applied, never abandoned.
+  kard.stop();
+  const std::string response = held.get();
+  EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"up\":false"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"changed\":true"), std::string::npos) << response;
+  EXPECT_EQ(kard.epochs_applied(), 1u);
 }
 
 // -- fuzz walls ---------------------------------------------------------------

@@ -806,6 +806,7 @@ const std::map<std::string, std::string>& daemon_family_types() {
       {"kar_daemon_routes", "gauge"},
       {"kar_daemon_live_routes", "gauge"},
       {"kar_daemon_queue_depth", "gauge"},
+      {"kar_daemon_held_links", "gauge"},
       {"kar_daemon_snapshot_bytes", "gauge"},
       {"kar_daemon_request_seconds", "histogram"},
       {"kar_daemon_epoch_seconds", "histogram"},
@@ -916,8 +917,8 @@ TEST(Exporters, DaemonPrometheusTextMatchesGolden) {
       .inc(3);
   registry
       .counter("kar_daemon_coalesced_events_total",
-               "Link-state requests absorbed by per-batch coalescing (flaps "
-               "and already-in-state transitions that cost no reconvergence).")
+               "Link-state requests absorbed by coalescing (flaps and "
+               "already-in-state transitions that cost no reconvergence).")
       .inc(4);
   registry.counter("kar_daemon_snapshots_total", "Snapshots written.").inc(1);
   registry
@@ -936,6 +937,10 @@ TEST(Exporters, DaemonPrometheusTextMatchesGolden) {
   registry
       .gauge("kar_daemon_queue_depth", "Mutations waiting for the next epoch.")
       .set(0);
+  registry
+      .gauge("kar_daemon_held_links",
+             "Link requests held open in the coalescing window.")
+      .set(2);
   registry
       .gauge("kar_daemon_snapshot_bytes", "Size of the most recent snapshot.")
       .set(1234);
