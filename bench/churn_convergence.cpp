@@ -64,6 +64,7 @@
 #include "faultgen/schedule.hpp"
 #include "runner/jsonl.hpp"
 #include "stats/summary.hpp"
+#include "topogen/topogen.hpp"
 #include "topology/builders.hpp"
 
 namespace {
@@ -131,10 +132,12 @@ struct CaseResult {
 };
 
 kar::topo::Scenario make_scenario(const std::string& name) {
+  if (kar::topogen::is_gen_spec(name)) return kar::topogen::make_from_spec(name);
   if (name == "fig1") return kar::topo::make_fig1_network();
   if (name == "fig2") return kar::topo::make_experimental15();
   if (name == "rnp28") return kar::topo::make_rnp28();
-  throw std::invalid_argument("churn_convergence: unknown topology " + name);
+  throw std::invalid_argument("churn_convergence: unknown topology " + name +
+                              "\n" + kar::topogen::spec_grammar_help());
 }
 
 /// One engine pass over the schedule. Rebuilds topology + routes from the
@@ -275,10 +278,24 @@ int main(int argc, char** argv) {
     route_counts.push_back(static_cast<std::size_t>(std::stoull(part)));
   }
 
+  // The topologies flag is a comma-separated list, but gen: specs carry
+  // commas of their own (gen:ba:n=200,seed=3): a fragment that is not a
+  // spec or named topology itself but looks like key=value continues the
+  // preceding entry.
+  std::vector<std::string> topologies;
+  for (const std::string& part : kar::common::split(topologies_flag, ',')) {
+    if (!topologies.empty() && kar::topogen::is_gen_spec(topologies.back()) &&
+        part.find('=') != std::string::npos &&
+        !kar::topogen::is_gen_spec(part)) {
+      topologies.back() += ',' + part;
+    } else {
+      topologies.push_back(part);
+    }
+  }
+
   std::vector<CaseResult> results;
   bool identical = true;
-  for (const std::string& topology :
-       kar::common::split(topologies_flag, ',')) {
+  for (const std::string& topology : topologies) {
     // `rounds` independently seeded schedules per topology, replayed back
     // to back and shared by every route count and engine pass: link IDs
     // are deterministic in the builders. Rounds alternate between random

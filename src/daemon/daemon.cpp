@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "runner/jsonl.hpp"
+#include "topogen/topogen.hpp"
 #include "topology/builders.hpp"
 
 namespace kar::daemon {
@@ -14,7 +15,9 @@ namespace {
 
 topo::Scenario build_scenario(const KardConfig& config) {
   topo::Scenario s;
-  if (config.topology == "fig1") {
+  if (topogen::is_gen_spec(config.topology)) {
+    s = topogen::make_from_spec(config.topology);
+  } else if (config.topology == "fig1") {
     s = topo::make_fig1_network();
   } else if (config.topology == "fig2") {
     s = topo::make_experimental15();
@@ -22,7 +25,9 @@ topo::Scenario build_scenario(const KardConfig& config) {
     s = topo::make_rnp28();
   } else {
     throw std::invalid_argument("kard: unknown topology " + config.topology +
-                                " (expected fig1, fig2 or rnp28)");
+                                " (expected fig1, fig2, rnp28 or a gen: "
+                                "spec)\n" +
+                                topogen::spec_grammar_help());
   }
   if (config.host_edges) (void)topo::attach_host_edges(s.topology);
   return s;

@@ -78,6 +78,7 @@ enum class DropReason : std::uint8_t {
   kLinkFailed,     ///< In flight or queued on a link that failed.
   kQueueOverflow,  ///< Drop-tail queue full.
   kTtlExceeded,    ///< Hop budget exhausted (guards random walks).
+  kAqmEarly,       ///< RED early drop before the drop-tail limit.
 };
 
 [[nodiscard]] constexpr const char* to_string(DropReason reason) {
@@ -86,6 +87,7 @@ enum class DropReason : std::uint8_t {
     case DropReason::kLinkFailed: return "link-failed";
     case DropReason::kQueueOverflow: return "queue-overflow";
     case DropReason::kTtlExceeded: return "ttl-exceeded";
+    case DropReason::kAqmEarly: return "aqm-early";
   }
   return "unknown";
 }

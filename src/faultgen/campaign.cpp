@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "obs/instrument.hpp"
 #include "routing/controller.hpp"
+#include "topogen/topogen.hpp"
 #include "topology/builders.hpp"
 
 namespace kar::faultgen {
@@ -14,6 +15,7 @@ namespace kar::faultgen {
 using dataplane::Packet;
 
 topo::Scenario make_campaign_scenario(const std::string& name) {
+  if (topogen::is_gen_spec(name)) return topogen::make_from_spec(name);
   if (name == "fig1") return topo::make_fig1_network();
   if (name == "fig2" || name == "exp15") return topo::make_experimental15();
   if (name == "rnp28") return topo::make_rnp28();
@@ -21,7 +23,7 @@ topo::Scenario make_campaign_scenario(const std::string& name) {
   if (name == "grid") return topo::make_grid(3, 4);
   if (name == "line") return topo::make_line(5);
   throw std::invalid_argument("make_campaign_scenario: unknown topology " +
-                              name);
+                              name + "\n" + topogen::spec_grammar_help());
 }
 
 CampaignEngine::CampaignEngine(CampaignConfig config)
@@ -242,6 +244,7 @@ void CampaignAccumulator::add(const RunResult& run) {
   result_.totals.drop_link_failed += run.counters.drop_link_failed;
   result_.totals.drop_queue_overflow += run.counters.drop_queue_overflow;
   result_.totals.drop_ttl += run.counters.drop_ttl;
+  result_.totals.drop_aqm_early += run.counters.drop_aqm_early;
   if (run.counters.injected > 0) {
     delivery_rates_.push_back(static_cast<double>(run.counters.delivered) /
                               static_cast<double>(run.counters.injected));

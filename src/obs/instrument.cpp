@@ -50,7 +50,8 @@ NetworkObserver::NetworkObserver(sim::Network& network,
   for (const auto reason :
        {dataplane::DropReason::kNoViablePort, dataplane::DropReason::kLinkFailed,
         dataplane::DropReason::kQueueOverflow,
-        dataplane::DropReason::kTtlExceeded}) {
+        dataplane::DropReason::kTtlExceeded,
+        dataplane::DropReason::kAqmEarly}) {
     drops_by_reason_.emplace(
         static_cast<std::uint8_t>(reason),
         reg.counter("kar_drops_total", "Dropped packets",

@@ -112,32 +112,107 @@ bool is_prime_u64(std::uint64_t n) noexcept {
 std::vector<std::uint64_t> next_coprime_ids(
     std::size_t count, std::uint64_t minimum,
     std::span<const std::uint64_t> existing) {
+  CoprimePool pool;
+  for (const std::uint64_t e : existing) pool.block(e);
   std::vector<std::uint64_t> chosen;
   chosen.reserve(count);
-  std::uint64_t candidate = minimum < 2 ? 2 : minimum;
   while (chosen.size() < count) {
-    bool ok = true;
-    for (const std::uint64_t e : existing) {
-      if (std::gcd(candidate, e) != 1) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) {
-      for (const std::uint64_t c : chosen) {
-        if (std::gcd(candidate, c) != 1) {
-          ok = false;
-          break;
-        }
-      }
-    }
-    if (ok) chosen.push_back(candidate);
-    ++candidate;
-    if (candidate == 0) {
-      throw std::overflow_error("next_coprime_ids: candidate space exhausted");
-    }
+    chosen.push_back(pool.take(minimum, /*primes_only=*/false, count));
   }
   return chosen;
+}
+
+IdPoolExhausted::IdPoolExhausted(std::size_t requested, std::size_t assigned,
+                                 std::uint64_t minimum,
+                                 std::uint64_t max_candidate)
+    : std::overflow_error(
+          "coprime ID pool exhausted: assigned " + std::to_string(assigned) +
+          " of " + std::to_string(requested) + " requested IDs (minimum " +
+          std::to_string(minimum) + ", candidate ceiling " +
+          std::to_string(max_candidate) + ")"),
+      requested_(requested),
+      assigned_(assigned),
+      minimum_(minimum),
+      max_candidate_(max_candidate) {}
+
+namespace {
+
+/// Primes below this bound live in the dense bitmap; larger factors (at
+/// most one per 64-bit value after small-prime division) go to the sparse
+/// set.
+constexpr std::uint64_t kSmallPrimeBound = 1ULL << 16;
+
+/// Calls `fn(p)` for every distinct prime factor of `value` (value >= 2).
+template <typename Fn>
+void for_each_prime_factor(std::uint64_t value, Fn&& fn) {
+  if (value % 2 == 0) {
+    fn(2);
+    do { value /= 2; } while (value % 2 == 0);
+  }
+  for (std::uint64_t d = 3; d * d <= value; d += 2) {
+    if (value % d == 0) {
+      fn(d);
+      do { value /= d; } while (value % d == 0);
+    }
+  }
+  if (value > 1) fn(value);
+}
+
+}  // namespace
+
+CoprimePool::CoprimePool(std::uint64_t max_candidate)
+    : used_small_(kSmallPrimeBound, false), max_candidate_(max_candidate) {}
+
+void CoprimePool::block(std::uint64_t value) {
+  if (value == 0) {
+    poisoned_ = true;  // gcd(0, x) == x: nothing is coprime with 0
+    return;
+  }
+  if (value > 1) consume_factors(value);
+}
+
+void CoprimePool::consume_factors(std::uint64_t value) {
+  for_each_prime_factor(value, [this](std::uint64_t p) {
+    if (p < kSmallPrimeBound) {
+      used_small_[p] = true;
+    } else {
+      used_large_.insert(p);
+    }
+  });
+}
+
+bool CoprimePool::admissible(std::uint64_t candidate) const {
+  bool clean = true;
+  for_each_prime_factor(candidate, [&](std::uint64_t p) {
+    if (p < kSmallPrimeBound ? used_small_[p] : used_large_.contains(p)) {
+      clean = false;
+    }
+  });
+  return clean;
+}
+
+std::uint64_t CoprimePool::take(std::uint64_t minimum, bool primes_only,
+                                std::size_t requested_hint) {
+  const std::size_t requested =
+      requested_hint != 0 ? requested_hint : taken_ + 1;
+  if (poisoned_) {
+    throw IdPoolExhausted(requested, taken_, minimum, max_candidate_);
+  }
+  const std::uint64_t start = minimum < 2 ? 2 : minimum;
+  // Candidates below the cursor for this start point are taken or share a
+  // factor with a taken value — and the factor set only grows, so they
+  // never become admissible again.
+  const std::uint64_t key = (start << 1) | static_cast<std::uint64_t>(primes_only);
+  std::uint64_t candidate = std::max(start, resume_[key]);
+  for (; candidate <= max_candidate_; ++candidate) {
+    if (primes_only && !is_prime_u64(candidate)) continue;
+    if (!admissible(candidate)) continue;
+    consume_factors(candidate);
+    ++taken_;
+    resume_[key] = candidate + 1;
+    return candidate;
+  }
+  throw IdPoolExhausted(requested, taken_, minimum, max_candidate_);
 }
 
 }  // namespace kar::rns

@@ -6,6 +6,9 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace kar::rns {
@@ -63,5 +66,89 @@ struct CoprimeViolation {
 [[nodiscard]] std::vector<std::uint64_t> next_coprime_ids(
     std::size_t count, std::uint64_t minimum,
     std::span<const std::uint64_t> existing);
+
+/// Structured "no more valid switch IDs" diagnostic. Thrown by CoprimePool
+/// (and everything layered on it: next_coprime_ids, assign_switch_ids, the
+/// topology generators) instead of wrapping the candidate counter or
+/// spinning to 2^64. Derives from std::overflow_error so callers that
+/// handled the old failure mode keep working, but carries the structured
+/// fields a controller needs to report the condition.
+class IdPoolExhausted : public std::overflow_error {
+ public:
+  IdPoolExhausted(std::size_t requested, std::size_t assigned,
+                  std::uint64_t minimum, std::uint64_t max_candidate);
+
+  /// How many IDs the caller asked for in total.
+  [[nodiscard]] std::size_t requested() const noexcept { return requested_; }
+  /// How many were successfully assigned before the pool ran dry.
+  [[nodiscard]] std::size_t assigned() const noexcept { return assigned_; }
+  /// The minimum the failing allocation demanded.
+  [[nodiscard]] std::uint64_t minimum() const noexcept { return minimum_; }
+  /// The candidate ceiling the pool searched up to.
+  [[nodiscard]] std::uint64_t max_candidate() const noexcept {
+    return max_candidate_;
+  }
+
+ private:
+  std::size_t requested_;
+  std::size_t assigned_;
+  std::uint64_t minimum_;
+  std::uint64_t max_candidate_;
+};
+
+/// Incremental pairwise-coprime ID allocator.
+///
+/// The greedy gcd scan (`next_free_id`) checked every candidate against
+/// every already-taken ID — O(candidates x taken) gcd calls, which turns
+/// quadratic at the 100-1000 switch sizes the topology generators emit.
+/// This pool exploits the structural fact that a candidate is coprime with
+/// every taken value iff it shares no *prime factor* with any of them: it
+/// maintains the set of consumed prime factors and trial-divides each
+/// candidate against only that. Per-minimum resume cursors make repeated
+/// allocations linear in candidates scanned overall (a rejected candidate
+/// stays rejected forever, because the factor set only grows).
+///
+/// Produces exactly the same greedy smallest-first sequence as the gcd
+/// scan, so existing golden-pinned topologies are unchanged.
+class CoprimePool {
+ public:
+  /// Default candidate ceiling: far above any realistic switch-ID pool
+  /// (the 1000th greedy coprime is 7919) but low enough that exhaustion
+  /// surfaces as IdPoolExhausted in bounded time instead of UB/overflow.
+  static constexpr std::uint64_t kDefaultMaxCandidate = 1ULL << 32;
+
+  explicit CoprimePool(std::uint64_t max_candidate = kDefaultMaxCandidate);
+
+  /// Reserves the prime factors of an existing ID so future take() calls
+  /// stay coprime with it. Blocking 0 poisons the pool (gcd(0, x) == x:
+  /// nothing is coprime with 0); blocking 1 reserves nothing.
+  void block(std::uint64_t value);
+
+  /// Smallest untaken candidate >= max(minimum, 2) coprime with everything
+  /// taken or blocked so far. `primes_only` additionally requires the
+  /// candidate to be prime. Throws IdPoolExhausted when the search passes
+  /// the ceiling. `requested_hint` is carried into the exception so batch
+  /// callers can report "assigned a of r".
+  [[nodiscard]] std::uint64_t take(std::uint64_t minimum,
+                                   bool primes_only = false,
+                                   std::size_t requested_hint = 0);
+
+  [[nodiscard]] std::size_t taken() const noexcept { return taken_; }
+
+ private:
+  /// True iff no prime factor of `candidate` has been consumed.
+  [[nodiscard]] bool admissible(std::uint64_t candidate) const;
+  /// Consumes every prime factor of `value`.
+  void consume_factors(std::uint64_t value);
+
+  std::vector<bool> used_small_;  ///< Dense bitmap for primes < 64k.
+  std::unordered_set<std::uint64_t> used_large_;  ///< Sparse tail.
+  /// Resume cursor per distinct (minimum, primes_only) start point: every
+  /// candidate below the cursor is already taken or permanently rejected.
+  std::unordered_map<std::uint64_t, std::uint64_t> resume_;
+  std::uint64_t max_candidate_;
+  std::size_t taken_ = 0;
+  bool poisoned_ = false;  ///< A 0 was blocked: nothing is admissible.
+};
 
 }  // namespace kar::rns

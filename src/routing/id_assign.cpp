@@ -1,39 +1,11 @@
 #include "routing/id_assign.hpp"
 
 #include <algorithm>
-#include <numeric>
 #include <stdexcept>
 
 #include "rns/modular.hpp"
 
 namespace kar::routing {
-
-namespace {
-
-/// The smallest integer >= `minimum` coprime with everything in `taken`.
-topo::SwitchId next_free_id(topo::SwitchId minimum,
-                            const std::vector<topo::SwitchId>& taken,
-                            bool primes_only) {
-  topo::SwitchId candidate = std::max<topo::SwitchId>(minimum, 2);
-  while (true) {
-    bool ok = !primes_only || rns::is_prime_u64(candidate);
-    if (ok) {
-      for (const topo::SwitchId t : taken) {
-        if (std::gcd(candidate, t) != 1) {
-          ok = false;
-          break;
-        }
-      }
-    }
-    if (ok) return candidate;
-    ++candidate;
-    if (candidate == 0) {
-      throw std::overflow_error("assign_switch_ids: candidate space exhausted");
-    }
-  }
-}
-
-}  // namespace
 
 std::unordered_map<topo::NodeId, topo::SwitchId> assign_switch_ids(
     const topo::Topology& topo, IdStrategy strategy) {
@@ -46,17 +18,16 @@ std::unordered_map<topo::NodeId, topo::SwitchId> assign_switch_ids(
                      });
   }
   std::unordered_map<topo::NodeId, topo::SwitchId> out;
-  std::vector<topo::SwitchId> taken;
-  taken.reserve(switches.size());
+  rns::CoprimePool pool;
   for (const topo::NodeId node : switches) {
     // The ID must exceed every port index: ports are 0..count-1, so any
     // id >= port_count works; also >= 2 for a valid modulus.
     const auto minimum = static_cast<topo::SwitchId>(
         std::max<std::size_t>(topo.port_count(node), 2));
-    const topo::SwitchId id = next_free_id(
-        minimum, taken, strategy == IdStrategy::kPrimesAscending);
+    const topo::SwitchId id =
+        pool.take(minimum, strategy == IdStrategy::kPrimesAscending,
+                  switches.size());
     out.emplace(node, id);
-    taken.push_back(id);
   }
   return out;
 }

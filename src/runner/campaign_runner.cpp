@@ -39,7 +39,7 @@ std::string canonical_aggregates(const faultgen::CampaignResult& result) {
       << '\n'
       << "drops=" << totals.drop_no_viable_port << ','
       << totals.drop_link_failed << ',' << totals.drop_queue_overflow << ','
-      << totals.drop_ttl << '\n';
+      << totals.drop_ttl << ',' << totals.drop_aqm_early << '\n';
   append_summary(out, "delivery_rate", result.delivery_rate);
   append_summary(out, "hops_per_delivered", result.hops_per_delivered);
   out << "violating_runs=" << result.reports.size() << '\n';

@@ -1,6 +1,7 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -64,6 +65,7 @@ void Network::drop(const Packet& packet, topo::NodeId at, DropReason reason) {
     case DropReason::kLinkFailed: ++counters_.drop_link_failed; break;
     case DropReason::kQueueOverflow: ++counters_.drop_queue_overflow; break;
     case DropReason::kTtlExceeded: ++counters_.drop_ttl; break;
+    case DropReason::kAqmEarly: ++counters_.drop_aqm_early; break;
   }
   trace(TraceEvent{TraceEvent::Kind::kDrop, now(), packet.packet_id, at, 0,
                    false, reason, 0, &packet});
@@ -162,14 +164,19 @@ void Network::transmit(topo::NodeId from, topo::PortIndex out_port,
   }
   const int dir = (link.a.node == from) ? 0 : 1;
   DirectionState& state = link_state_[link_id][static_cast<std::size_t>(dir)];
+  const double tx_time =
+      static_cast<double>(packet.size_bytes) * 8.0 / link.params.rate_bps;
+  if (link.params.red && !red_admit(*link.params.red, state, tx_time)) {
+    maybe_flush();
+    drop(packet, from, DropReason::kAqmEarly);
+    return;
+  }
   if (state.queued >= link.params.queue_packets) {
     maybe_flush();
     drop(packet, from, DropReason::kQueueOverflow);
     return;
   }
   const double start = std::max(now(), state.busy_until);
-  const double tx_time =
-      static_cast<double>(packet.size_bytes) * 8.0 / link.params.rate_bps;
   state.busy_until = start + tx_time;
   const double arrival = state.busy_until + link.params.delay_s;
   ++state.queued;
@@ -177,6 +184,44 @@ void Network::transmit(topo::NodeId from, topo::PortIndex out_port,
   const topo::LinkEnd& far = (dir == 0) ? link.b : link.a;
   schedule_link_delivery(link_id, dir, arrival, state.epoch, far.node,
                          far.port, std::move(packet));
+}
+
+bool Network::red_admit(const topo::RedParams& red, DirectionState& state,
+                        double tx_time) {
+  // Floyd/Jacobson RED: EWMA the instantaneous queue at every arrival,
+  // decaying through idle periods as if empty-queue arrivals had kept the
+  // average fresh (one virtual arrival per transmission time).
+  double& avg = state.red_avg;
+  if (state.queued == 0 && state.busy_until <= now()) {
+    const double idle_s = now() - state.red_last_arrival;
+    if (tx_time > 0.0 && idle_s > 0.0) {
+      avg *= std::pow(1.0 - red.weight, idle_s / tx_time);
+    }
+  } else {
+    avg = (1.0 - red.weight) * avg +
+          red.weight * static_cast<double>(state.queued);
+  }
+  state.red_last_arrival = now();
+  if (avg < red.min_th) {
+    state.red_count = 0;
+    return true;
+  }
+  if (avg >= red.max_th) {
+    state.red_count = 0;
+    return false;
+  }
+  // Between the thresholds: drop with probability p_a, uniformized by the
+  // count of arrivals since the last drop so drops spread out in time.
+  ++state.red_count;
+  const double pb =
+      red.max_p * (avg - red.min_th) / (red.max_th - red.min_th);
+  const double denom = 1.0 - static_cast<double>(state.red_count - 1) * pb;
+  const double pa = denom <= 0.0 ? 1.0 : std::min(1.0, pb / denom);
+  if (rng_.chance(pa)) {
+    state.red_count = 0;
+    return false;
+  }
+  return true;
 }
 
 void Network::schedule_link_delivery(topo::LinkId link_id, int dir,

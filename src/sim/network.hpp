@@ -98,10 +98,11 @@ struct NetworkCounters {
   std::uint64_t drop_link_failed = 0;
   std::uint64_t drop_queue_overflow = 0;
   std::uint64_t drop_ttl = 0;
+  std::uint64_t drop_aqm_early = 0;
 
   [[nodiscard]] std::uint64_t total_drops() const noexcept {
     return drop_no_viable_port + drop_link_failed + drop_queue_overflow +
-           drop_ttl;
+           drop_ttl + drop_aqm_early;
   }
 };
 
@@ -231,7 +232,16 @@ class Network {
     double busy_until = 0.0;
     std::size_t queued = 0;
     std::uint64_t epoch = 0;  ///< Bumped on failure: invalidates in-flight packets.
+    // RED AQM state (only touched when the link carries RedParams).
+    double red_avg = 0.0;          ///< EWMA of the queue length at arrivals.
+    double red_last_arrival = 0.0; ///< For idle-time decay of the average.
+    std::uint64_t red_count = 0;   ///< Arrivals since the last early drop.
   };
+
+  /// RED admission test for one arrival at a link direction carrying
+  /// RedParams. Updates the EWMA and drop counter; true = enqueue.
+  [[nodiscard]] bool red_admit(const topo::RedParams& red,
+                               DirectionState& state, double tx_time);
 
   void arrive_at(topo::NodeId node, topo::PortIndex in_port, dataplane::Packet&& packet);
   void forward_from_switch(topo::NodeId node, topo::PortIndex in_port,

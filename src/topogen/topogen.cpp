@@ -1,0 +1,676 @@
+#include "topogen/topogen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "common/parse.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "rns/modular.hpp"
+#include "routing/paths.hpp"
+#include "topology/autoroute.hpp"
+
+namespace kar::topogen {
+
+namespace {
+
+using topo::LinkParams;
+using topo::NodeId;
+using topo::Scenario;
+using topo::Topology;
+
+/// Staged graph: structure first, coprime IDs only once every degree is
+/// known (the ID must exceed every port index, and the smallest valid ID
+/// per switch minimizes Eq. 9 route-ID bit length).
+class Draft {
+ public:
+  /// `extra_ports` reserves ID headroom for ports attached after
+  /// realization (host edges); 1 allows the standard one-host attachment.
+  std::size_t add_switch(std::string name, std::size_t extra_ports = 1) {
+    nodes_.push_back({std::move(name), /*is_edge=*/false, 0, extra_ports});
+    return nodes_.size() - 1;
+  }
+
+  std::size_t add_edge(std::string name) {
+    nodes_.push_back({std::move(name), /*is_edge=*/true, 0, 0});
+    return nodes_.size() - 1;
+  }
+
+  void add_link(std::size_t a, std::size_t b, LinkParams params) {
+    ++nodes_[a].degree;
+    ++nodes_[b].degree;
+    links_.push_back({a, b, params});
+  }
+
+  [[nodiscard]] std::size_t degree(std::size_t node) const {
+    return nodes_[node].degree;
+  }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const std::string& name(std::size_t node) const {
+    return nodes_[node].name;
+  }
+  [[nodiscard]] bool linked(std::size_t a, std::size_t b) const {
+    for (const DraftLink& l : links_) {
+      if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) return true;
+    }
+    return false;
+  }
+
+  /// Assigns smallest-first coprime IDs (minimum = degree + extra_ports,
+  /// in insertion order) and materializes the Topology. Throws
+  /// rns::IdPoolExhausted if the candidate space runs out.
+  [[nodiscard]] Topology realize() const {
+    rns::CoprimePool pool;
+    Topology out;
+    for (const DraftNode& node : nodes_) {
+      if (node.is_edge) {
+        out.add_edge_node(node.name);
+      } else {
+        const auto minimum = static_cast<std::uint64_t>(
+            std::max<std::size_t>(node.degree + node.extra_ports, 2));
+        out.add_switch(node.name, pool.take(minimum, /*primes_only=*/false,
+                                            nodes_.size()));
+      }
+    }
+    for (const DraftLink& link : links_) {
+      out.add_link(static_cast<NodeId>(link.a), static_cast<NodeId>(link.b),
+                   link.params);
+    }
+    return out;
+  }
+
+ private:
+  struct DraftNode {
+    std::string name;
+    bool is_edge;
+    std::size_t degree;
+    std::size_t extra_ports;
+  };
+  struct DraftLink {
+    std::size_t a, b;
+    LinkParams params;
+  };
+  std::vector<DraftNode> nodes_;
+  std::vector<DraftLink> links_;
+};
+
+/// Fills route.core_path with the BFS core path and derives protection
+/// assignments from Yen's 2nd and 3rd loopless shortest paths: each
+/// off-primary switch on an alternate path deflects toward its successor.
+/// (Assignments only cover switches not already on the primary: the
+/// encoder takes one residue per switch.)
+void auto_route(Scenario& scenario) {
+  Topology& topo = scenario.topology;
+  const NodeId src = topo.at(scenario.route.src_edge);
+  const NodeId dst = topo.at(scenario.route.dst_edge);
+  scenario.route.core_path = topo::bfs_core_path(topo, src, dst);
+
+  std::unordered_set<std::string> used(scenario.route.core_path.begin(),
+                                       scenario.route.core_path.end());
+  const auto paths = routing::k_shortest_paths(topo, src, dst, 3);
+  const auto add_chain = [&](const routing::Path& path,
+                             std::vector<topo::ProtectionAssignment>& out) {
+    for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+      const NodeId u = path.nodes[i];
+      const NodeId v = path.nodes[i + 1];
+      if (topo.kind(u) != topo::NodeKind::kCoreSwitch) continue;
+      if (topo.kind(v) != topo::NodeKind::kCoreSwitch) continue;
+      if (used.contains(topo.name(u))) continue;
+      out.push_back({topo.name(u), topo.name(v)});
+      used.insert(topo.name(u));
+    }
+  };
+  if (paths.size() > 1) add_chain(paths[1], scenario.route.partial_protection);
+  if (paths.size() > 2) {
+    add_chain(paths[2], scenario.route.full_extra_protection);
+  }
+}
+
+void apply_red(LinkParams& params, bool red) {
+  if (red) params.red = topo::RedParams{};
+}
+
+// -- fat-tree ----------------------------------------------------------------
+
+std::string pod_name(std::size_t p, const char* layer, std::size_t i) {
+  return "pod" + std::to_string(p) + "/" + layer + std::to_string(i);
+}
+
+}  // namespace
+
+Scenario make_fat_tree(const FatTreeOptions& options, LinkParams link) {
+  const std::size_t k = options.k;
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("make_fat_tree: k must be even and >= 2");
+  }
+  apply_red(link, options.red);
+  const std::size_t half = k / 2;
+
+  Draft draft;
+  // Pods first (edge then agg per pod), cores last: edge switches have the
+  // lowest degree (k/2) and therefore draw the smallest IDs — they appear
+  // on every path, which keeps Eq. 9 bit lengths down.
+  std::vector<std::vector<std::size_t>> edge(k), agg(k);
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t i = 0; i < half; ++i) {
+      edge[p].push_back(draft.add_switch(pod_name(p, "edge", i)));
+    }
+    for (std::size_t i = 0; i < half; ++i) {
+      agg[p].push_back(draft.add_switch(pod_name(p, "agg", i)));
+    }
+  }
+  std::vector<std::vector<std::size_t>> core(half);
+  for (std::size_t g = 0; g < half; ++g) {
+    for (std::size_t j = 0; j < half; ++j) {
+      core[g].push_back(
+          draft.add_switch("core" + std::to_string(g) + "-" + std::to_string(j)));
+    }
+  }
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t e = 0; e < half; ++e) {
+      for (std::size_t a = 0; a < half; ++a) {
+        draft.add_link(edge[p][e], agg[p][a], link);
+      }
+    }
+    for (std::size_t a = 0; a < half; ++a) {
+      for (std::size_t j = 0; j < half; ++j) {
+        draft.add_link(agg[p][a], core[a][j], link);
+      }
+    }
+  }
+  const std::size_t src = draft.add_edge("SRC");
+  const std::size_t dst = draft.add_edge("DST");
+  draft.add_link(src, edge[0][0], link);
+  draft.add_link(dst, edge[k - 1][half - 1], link);
+
+  Scenario s;
+  s.name = "fat-tree-k" + std::to_string(k);
+  s.description = "k=" + std::to_string(k) + " fat-tree/Clos: " +
+                  std::to_string(5 * k * k / 4) + " switches (" +
+                  std::to_string(k) + " pods, " + std::to_string(half * half) +
+                  " cores), SRC in pod0, DST in pod" + std::to_string(k - 1) +
+                  ".";
+  s.topology = draft.realize();
+  s.route.src_edge = "SRC";
+  s.route.dst_edge = "DST";
+  auto_route(s);
+  return s;
+}
+
+// -- Internet2/Abilene -------------------------------------------------------
+
+namespace {
+
+struct Trunk {
+  std::size_t a, b;
+  double delay_s;  ///< One-way propagation, approx. route miles / c_fiber.
+};
+
+constexpr const char* kPops[] = {"SEA", "SNV", "LAX", "DEN", "KSC", "HOU",
+                                 "CHI", "IPL", "ATL", "WAS", "NYC"};
+constexpr std::size_t kPopCount = 11;
+constexpr std::size_t SEA = 0, SNV = 1, LAX = 2, DEN = 3, KSC = 4, HOU = 5,
+                      CHI = 6, IPL = 7, ATL = 8, WAS = 9, NYC = 10;
+
+/// The Abilene footprint's 14 trunks with distance-derived delays.
+constexpr Trunk kTrunks[] = {
+    {SEA, SNV, 6.5e-3}, {SEA, DEN, 8.2e-3}, {SNV, LAX, 2.7e-3},
+    {SNV, DEN, 7.6e-3}, {LAX, HOU, 11.0e-3}, {DEN, KSC, 4.5e-3},
+    {KSC, HOU, 6.0e-3}, {KSC, IPL, 3.5e-3}, {HOU, ATL, 5.6e-3},
+    {ATL, IPL, 4.2e-3}, {ATL, WAS, 4.3e-3}, {CHI, IPL, 1.4e-3},
+    {CHI, NYC, 5.7e-3}, {NYC, WAS, 1.6e-3}};
+/// Index into kTrunks of the designated bottleneck (Chicago-Indianapolis,
+/// the shortest east-west trunk: everything from the midwest to the
+/// Atlantic wants it).
+constexpr std::size_t kBottleneckTrunk = 11;
+
+}  // namespace
+
+Scenario make_internet2(const Internet2Options& options, LinkParams link) {
+  const std::size_t scale = options.scale;
+  if (scale == 0) {
+    throw std::invalid_argument("make_internet2: scale must be >= 1");
+  }
+  Draft draft;
+  // Per-PoP routers. At scale 1 each PoP is a single router bearing the
+  // PoP name; at scale N it is a ring "<pop>/r0".."<pop>/r{N-1}" and the
+  // inter-PoP trunks spread round-robin across the ring members.
+  // Bottleneck-adjacent routers reserve extra ID headroom so the traffic
+  // compiler can fan several host edges onto them.
+  std::vector<std::vector<std::size_t>> routers(kPopCount);
+  for (std::size_t p = 0; p < kPopCount; ++p) {
+    for (std::size_t r = 0; r < scale; ++r) {
+      std::string name = scale == 1
+                             ? std::string(kPops[p])
+                             : std::string(kPops[p]) + "/r" + std::to_string(r);
+      const bool bottleneck_pop = p == CHI || p == IPL;
+      routers[p].push_back(
+          draft.add_switch(std::move(name), bottleneck_pop ? 10 : 2));
+    }
+  }
+  LinkParams intra = link;
+  intra.rate_bps = options.trunk_rate_bps * 4.0;
+  intra.delay_s = 0.1e-3;
+  for (std::size_t p = 0; p < kPopCount; ++p) {
+    for (std::size_t r = 0; r + 1 < scale; ++r) {
+      draft.add_link(routers[p][r], routers[p][r + 1], intra);
+    }
+    if (scale > 2) draft.add_link(routers[p][scale - 1], routers[p][0], intra);
+  }
+  std::vector<std::size_t> attach_counter(kPopCount, 0);
+  std::string bottleneck_a, bottleneck_b;
+  for (std::size_t t = 0; t < std::size(kTrunks); ++t) {
+    const Trunk& trunk = kTrunks[t];
+    LinkParams params = link;
+    params.rate_bps = options.trunk_rate_bps;
+    params.delay_s = trunk.delay_s;
+    const std::size_t ra = routers[trunk.a][attach_counter[trunk.a]++ % scale];
+    const std::size_t rb = routers[trunk.b][attach_counter[trunk.b]++ % scale];
+    if (t == kBottleneckTrunk) {
+      params.rate_bps = options.trunk_rate_bps * options.bottleneck_fraction;
+      apply_red(params, options.red);
+      bottleneck_a = draft.name(ra);
+      bottleneck_b = draft.name(rb);
+    }
+    draft.add_link(ra, rb, params);
+  }
+  // Route endpoints: across the bottleneck, Chicago-side to Atlanta, so
+  // the scenario's primary path carries the congested trunk.
+  const std::size_t src = draft.add_edge("SRC");
+  const std::size_t dst = draft.add_edge("DST");
+  std::size_t chi_attach = 0;
+  for (std::size_t r = 0; r < scale; ++r) {
+    if (draft.name(routers[CHI][r]) == bottleneck_a) chi_attach = r;
+  }
+  draft.add_link(src, routers[CHI][chi_attach], link);
+  draft.add_link(dst, routers[ATL][0], link);
+
+  Scenario s;
+  s.name = scale == 1 ? "internet2" : "internet2-x" + std::to_string(scale);
+  s.description =
+      "Internet2/Abilene backbone (" + std::to_string(kPopCount * scale) +
+      " routers, " + std::to_string(scale) +
+      " per PoP), distance-derived delays, bottleneck " + bottleneck_a + "-" +
+      bottleneck_b + " at " + std::to_string(options.bottleneck_fraction) +
+      "x trunk rate.";
+  s.topology = draft.realize();
+  s.route.src_edge = "SRC";
+  s.route.dst_edge = "DST";
+  s.bottleneck_a = bottleneck_a;
+  s.bottleneck_b = bottleneck_b;
+  auto_route(s);
+  return s;
+}
+
+// -- Waxman ------------------------------------------------------------------
+
+namespace {
+
+/// BFS component labels over a draft's links (switch-only drafts).
+std::vector<std::size_t> components(std::size_t n,
+                                    const std::vector<std::vector<std::size_t>>& adj) {
+  std::vector<std::size_t> comp(n, static_cast<std::size_t>(-1));
+  std::size_t next = 0;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (comp[start] != static_cast<std::size_t>(-1)) continue;
+    comp[start] = next;
+    std::queue<std::size_t> frontier;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const std::size_t cur = frontier.front();
+      frontier.pop();
+      for (const std::size_t nb : adj[cur]) {
+        if (comp[nb] == static_cast<std::size_t>(-1)) {
+          comp[nb] = next;
+          frontier.push(nb);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+/// The draft node (among `nodes`) farthest from `from` by BFS hops.
+std::size_t bfs_farthest(std::size_t from, std::size_t n,
+                         const std::vector<std::vector<std::size_t>>& adj) {
+  std::vector<int> dist(n, -1);
+  dist[from] = 0;
+  std::queue<std::size_t> frontier;
+  frontier.push(from);
+  std::size_t farthest = from;
+  while (!frontier.empty()) {
+    const std::size_t cur = frontier.front();
+    frontier.pop();
+    for (const std::size_t nb : adj[cur]) {
+      if (dist[nb] < 0) {
+        dist[nb] = dist[cur] + 1;
+        if (dist[nb] > dist[farthest]) farthest = nb;
+        frontier.push(nb);
+      }
+    }
+  }
+  return farthest;
+}
+
+}  // namespace
+
+Scenario make_waxman(const WaxmanOptions& options, LinkParams link) {
+  const std::size_t n = options.switches;
+  if (n < 2) throw std::invalid_argument("make_waxman: need >= 2 switches");
+  apply_red(link, options.red);
+  common::Rng rng(options.seed);
+
+  // Seeded placement in the unit square; delay scales with distance.
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  const auto dist = [&](std::size_t i, std::size_t j) {
+    return std::hypot(x[i] - x[j], y[i] - y[j]);
+  };
+  const double diameter = std::numbers::sqrt2;
+
+  std::vector<std::vector<std::size_t>> adj(n);
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double p =
+          options.beta * std::exp(-dist(i, j) / (options.alpha * diameter));
+      if (rng.chance(p)) {
+        adj[i].push_back(j);
+        adj[j].push_back(i);
+        edges.emplace_back(i, j);
+      }
+    }
+  }
+
+  // Repair pass 1: splice every stranded component into the largest one
+  // via the geometrically closest cross pair (deterministic; ties broken
+  // by index order of the scan).
+  {
+    auto comp = components(n, adj);
+    const std::size_t ncomp =
+        1 + *std::max_element(comp.begin(), comp.end());
+    if (ncomp > 1) {
+      std::vector<std::size_t> size(ncomp, 0);
+      for (const std::size_t c : comp) ++size[c];
+      const std::size_t biggest = static_cast<std::size_t>(
+          std::max_element(size.begin(), size.end()) - size.begin());
+      for (std::size_t c = 0; c < ncomp; ++c) {
+        if (c == biggest) continue;
+        double best = 1e18;
+        std::size_t bi = 0, bj = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (comp[i] != c) continue;
+          for (std::size_t j = 0; j < n; ++j) {
+            if (comp[j] != biggest) continue;
+            if (const double d = dist(i, j); d < best) {
+              best = d;
+              bi = i;
+              bj = j;
+            }
+          }
+        }
+        adj[bi].push_back(bj);
+        adj[bj].push_back(bi);
+        edges.emplace_back(bi, bj);
+        // Keep labels usable for later components: fold c into biggest.
+        for (std::size_t i = 0; i < n; ++i) {
+          if (comp[i] == c) comp[i] = biggest;
+        }
+      }
+    }
+  }
+
+  // Repair pass 2: raise every node to min_degree by linking to the
+  // nearest non-adjacent node (index order on ties).
+  for (std::size_t i = 0; i < n; ++i) {
+    while (adj[i].size() < options.min_degree) {
+      double best = 1e18;
+      std::size_t pick = n;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        if (std::find(adj[i].begin(), adj[i].end(), j) != adj[i].end()) {
+          continue;
+        }
+        if (const double d = dist(i, j); d < best) {
+          best = d;
+          pick = j;
+        }
+      }
+      if (pick == n) break;  // complete graph, cannot grow further
+      adj[i].push_back(pick);
+      adj[pick].push_back(i);
+      edges.emplace_back(i, pick);
+    }
+  }
+
+  Draft draft;
+  for (std::size_t i = 0; i < n; ++i) {
+    draft.add_switch("w" + std::to_string(i));
+  }
+  for (const auto& [a, b] : edges) {
+    LinkParams params = link;
+    params.delay_s = std::max(0.05e-3, dist(a, b) * 5e-3);
+    draft.add_link(a, b, params);
+  }
+  const std::size_t src_sw = bfs_farthest(0, n, adj);
+  const std::size_t dst_sw = bfs_farthest(src_sw, n, adj);
+  const std::size_t src = draft.add_edge("SRC");
+  const std::size_t dst = draft.add_edge("DST");
+  draft.add_link(src, src_sw, link);
+  draft.add_link(dst, dst_sw, link);
+
+  Scenario s;
+  s.name = "waxman-n" + std::to_string(n) + "-s" + std::to_string(options.seed);
+  s.description = "Waxman random graph (n=" + std::to_string(n) +
+                  ", alpha=" + std::to_string(options.alpha) +
+                  ", beta=" + std::to_string(options.beta) + ", seed=" +
+                  std::to_string(options.seed) +
+                  "), LCC-spliced and repaired to min degree " +
+                  std::to_string(options.min_degree) + ".";
+  s.topology = draft.realize();
+  s.route.src_edge = "SRC";
+  s.route.dst_edge = "DST";
+  auto_route(s);
+  return s;
+}
+
+// -- Barabasi-Albert ---------------------------------------------------------
+
+Scenario make_barabasi_albert(const BarabasiAlbertOptions& options,
+                              LinkParams link) {
+  const std::size_t n = options.switches;
+  const std::size_t m = options.edges_per_arrival;
+  if (m == 0) {
+    throw std::invalid_argument("make_barabasi_albert: m must be >= 1");
+  }
+  if (n < m + 2) {
+    throw std::invalid_argument(
+        "make_barabasi_albert: need at least m + 2 switches");
+  }
+  apply_red(link, options.red);
+  common::Rng rng(options.seed);
+
+  std::vector<std::vector<std::size_t>> adj(n);
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  // Every edge contributes both endpoints; uniform draws from this list
+  // are degree-proportional (preferential attachment).
+  std::vector<std::size_t> endpoints;
+  const auto connect = [&](std::size_t a, std::size_t b) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+    edges.emplace_back(a, b);
+    endpoints.push_back(a);
+    endpoints.push_back(b);
+  };
+  // Seed clique on m + 1 nodes keeps every early node eligible.
+  for (std::size_t i = 0; i <= m; ++i) {
+    for (std::size_t j = i + 1; j <= m; ++j) connect(i, j);
+  }
+  for (std::size_t v = m + 1; v < n; ++v) {
+    std::unordered_set<std::size_t> targets;
+    while (targets.size() < m) {
+      const std::size_t pick = endpoints[rng.below(endpoints.size())];
+      if (pick != v) targets.insert(pick);
+    }
+    // Deterministic attach order (unordered_set iteration is not).
+    std::vector<std::size_t> ordered(targets.begin(), targets.end());
+    std::sort(ordered.begin(), ordered.end());
+    for (const std::size_t t : ordered) connect(v, t);
+  }
+
+  Draft draft;
+  for (std::size_t i = 0; i < n; ++i) {
+    draft.add_switch("b" + std::to_string(i));
+  }
+  for (const auto& [a, b] : edges) draft.add_link(a, b, link);
+  const std::size_t src_sw = bfs_farthest(0, n, adj);
+  const std::size_t dst_sw = bfs_farthest(src_sw, n, adj);
+  const std::size_t src = draft.add_edge("SRC");
+  const std::size_t dst = draft.add_edge("DST");
+  draft.add_link(src, src_sw, link);
+  draft.add_link(dst, dst_sw, link);
+
+  Scenario s;
+  s.name = "ba-n" + std::to_string(n) + "-s" + std::to_string(options.seed);
+  s.description = "Barabasi-Albert preferential-attachment graph (n=" +
+                  std::to_string(n) + ", m=" + std::to_string(m) + ", seed=" +
+                  std::to_string(options.seed) + ").";
+  s.topology = draft.realize();
+  s.route.src_edge = "SRC";
+  s.route.dst_edge = "DST";
+  auto_route(s);
+  return s;
+}
+
+// -- spec strings ------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw std::invalid_argument("bad topology spec \"" + spec + "\": " + why +
+                              "\n" + spec_grammar_help());
+}
+
+std::uint64_t spec_u64(const std::string& spec, const std::string& value) {
+  const auto parsed = common::parse_u64(value);
+  if (!parsed) bad_spec(spec, "bad integer: " + value);
+  return *parsed;
+}
+
+double spec_double(const std::string& spec, const std::string& value) {
+  const auto parsed = common::parse_double(value);
+  if (!parsed) bad_spec(spec, "bad number: " + value);
+  return *parsed;
+}
+
+}  // namespace
+
+bool is_gen_spec(std::string_view spec) { return spec.starts_with("gen:"); }
+
+std::string spec_grammar_help() {
+  return "topology spec grammar: gen:<family>:key=value[,key=value...]\n"
+         "  gen:fat-tree:k=8[,red=1]                k-ary fat-tree/Clos "
+         "(5k^2/4 switches)\n"
+         "  gen:internet2:scale=4[,rate=1e9,bneck=0.1,red=1]   Abilene "
+         "backbone, scale routers/PoP\n"
+         "  gen:waxman:n=250[,alpha=0.4,beta=0.4,seed=1,mindeg=2,red=1]\n"
+         "  gen:ba:n=500[,m=2,seed=1,red=1]         Barabasi-Albert";
+}
+
+Scenario make_from_spec(const std::string& spec, LinkParams link) {
+  if (!is_gen_spec(spec)) bad_spec(spec, "must start with gen:");
+  const auto head = spec.find(':', 4);
+  const std::string family =
+      head == std::string::npos ? spec.substr(4) : spec.substr(4, head - 4);
+  std::vector<std::pair<std::string, std::string>> opts;
+  if (head != std::string::npos) {
+    for (const std::string& part : common::split(spec.substr(head + 1), ',')) {
+      if (part.empty()) continue;
+      const auto eq = part.find('=');
+      if (eq == std::string::npos) bad_spec(spec, "bad option " + part);
+      opts.emplace_back(part.substr(0, eq), part.substr(eq + 1));
+    }
+  }
+
+  if (family == "fat-tree" || family == "fattree") {
+    FatTreeOptions options;
+    for (const auto& [key, value] : opts) {
+      if (key == "k") {
+        options.k = static_cast<std::size_t>(spec_u64(spec, value));
+      } else if (key == "red") {
+        options.red = spec_u64(spec, value) != 0;
+      } else {
+        bad_spec(spec, "unknown fat-tree option " + key);
+      }
+    }
+    return make_fat_tree(options, link);
+  }
+  if (family == "internet2" || family == "abilene") {
+    Internet2Options options;
+    for (const auto& [key, value] : opts) {
+      if (key == "scale") {
+        options.scale = static_cast<std::size_t>(spec_u64(spec, value));
+      } else if (key == "rate") {
+        options.trunk_rate_bps = spec_double(spec, value);
+      } else if (key == "bneck") {
+        options.bottleneck_fraction = spec_double(spec, value);
+      } else if (key == "red") {
+        options.red = spec_u64(spec, value) != 0;
+      } else {
+        bad_spec(spec, "unknown internet2 option " + key);
+      }
+    }
+    return make_internet2(options, link);
+  }
+  if (family == "waxman") {
+    WaxmanOptions options;
+    for (const auto& [key, value] : opts) {
+      if (key == "n") {
+        options.switches = static_cast<std::size_t>(spec_u64(spec, value));
+      } else if (key == "alpha") {
+        options.alpha = spec_double(spec, value);
+      } else if (key == "beta") {
+        options.beta = spec_double(spec, value);
+      } else if (key == "seed") {
+        options.seed = spec_u64(spec, value);
+      } else if (key == "mindeg") {
+        options.min_degree = static_cast<std::size_t>(spec_u64(spec, value));
+      } else if (key == "red") {
+        options.red = spec_u64(spec, value) != 0;
+      } else {
+        bad_spec(spec, "unknown waxman option " + key);
+      }
+    }
+    return make_waxman(options, link);
+  }
+  if (family == "ba" || family == "barabasi-albert") {
+    BarabasiAlbertOptions options;
+    for (const auto& [key, value] : opts) {
+      if (key == "n") {
+        options.switches = static_cast<std::size_t>(spec_u64(spec, value));
+      } else if (key == "m") {
+        options.edges_per_arrival =
+            static_cast<std::size_t>(spec_u64(spec, value));
+      } else if (key == "seed") {
+        options.seed = spec_u64(spec, value);
+      } else if (key == "red") {
+        options.red = spec_u64(spec, value) != 0;
+      } else {
+        bad_spec(spec, "unknown ba option " + key);
+      }
+    }
+    return make_barabasi_albert(options, link);
+  }
+  bad_spec(spec, "unknown family " + family);
+}
+
+}  // namespace kar::topogen

@@ -1,0 +1,102 @@
+// Internet-scale topology generators: seeded, deterministic builders for
+// the graph families the paper never reached (§4 evaluates at <= 28
+// nodes).
+//
+// Four families, all emitting ready-to-route `topo::Scenario`s with
+// pairwise-coprime switch IDs (assigned smallest-first through
+// rns::CoprimePool, so Eq. 9 route-ID bit lengths stay minimal), a
+// BFS-derived primary core path and Yen-derived protection assignments:
+//
+//   * k-ary fat-tree/Clos (datacenter): k pods x (k/2 edge + k/2 agg)
+//     switches plus (k/2)^2 cores — 5k^2/4 switches, full pod/agg/core
+//     wiring, structural names like "pod3/agg1";
+//   * Internet2/Abilene backbone: the 11-PoP national footprint with
+//     distance-derived delays and a designated bottleneck link
+//     (Chicago-Indianapolis at a fraction of trunk rate), optionally
+//     expanded to `scale` routers per PoP;
+//   * Waxman random graphs: p(u,v) = beta * exp(-d(u,v) / (alpha * L))
+//     over seeded uniform node placement;
+//   * Barabasi-Albert preferential attachment: m edges per arriving node
+//     onto an (m+1)-clique seed.
+//
+// The random families get a repair pass (connect stranded components into
+// the largest one, then raise every node to a minimum degree) so every
+// emitted graph is connected and usable for routing.
+//
+// Spec strings (`make_from_spec`) let CLI tools name generated topologies:
+//
+//   gen:fat-tree:k=8
+//   gen:internet2:scale=4,bneck=0.1,red=1
+//   gen:waxman:n=250,alpha=0.4,beta=0.4,seed=7
+//   gen:ba:n=500,m=2,seed=3
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "topology/graph.hpp"
+#include "topology/scenario.hpp"
+
+namespace kar::topogen {
+
+/// k-ary fat-tree knobs. `k` must be even and >= 2.
+struct FatTreeOptions {
+  std::size_t k = 4;
+  /// Enable default RED AQM on every fabric link.
+  bool red = false;
+};
+
+/// Internet2/Abilene backbone knobs.
+struct Internet2Options {
+  /// Routers per PoP (1 = the bare 11-node footprint; each PoP becomes a
+  /// ring of `scale` routers with inter-PoP trunks spread across them).
+  std::size_t scale = 1;
+  /// Trunk serialization rate.
+  double trunk_rate_bps = 1e9;
+  /// Bottleneck rate as a fraction of the trunk rate.
+  double bottleneck_fraction = 0.1;
+  /// Enable default RED AQM on the bottleneck link.
+  bool red = false;
+};
+
+/// Waxman random-graph knobs.
+struct WaxmanOptions {
+  std::size_t switches = 100;
+  double alpha = 0.4;  ///< Distance decay scale (larger = longer links).
+  double beta = 0.4;   ///< Overall link density.
+  std::uint64_t seed = 1;
+  std::size_t min_degree = 2;  ///< Repair pass raises every node to this.
+  bool red = false;
+};
+
+/// Barabasi-Albert knobs.
+struct BarabasiAlbertOptions {
+  std::size_t switches = 100;
+  std::size_t edges_per_arrival = 2;  ///< The BA "m"; seed clique is m+1.
+  std::uint64_t seed = 1;
+  bool red = false;
+};
+
+[[nodiscard]] topo::Scenario make_fat_tree(const FatTreeOptions& options,
+                                           topo::LinkParams link = {});
+[[nodiscard]] topo::Scenario make_internet2(const Internet2Options& options,
+                                            topo::LinkParams link = {});
+[[nodiscard]] topo::Scenario make_waxman(const WaxmanOptions& options,
+                                         topo::LinkParams link = {});
+[[nodiscard]] topo::Scenario make_barabasi_albert(
+    const BarabasiAlbertOptions& options, topo::LinkParams link = {});
+
+/// True when `spec` names a generated topology ("gen:...").
+[[nodiscard]] bool is_gen_spec(std::string_view spec);
+
+/// Builds the scenario a "gen:<family>:key=value,..." spec describes.
+/// Throws std::invalid_argument (message includes the grammar) on unknown
+/// families, keys, or malformed values.
+[[nodiscard]] topo::Scenario make_from_spec(const std::string& spec,
+                                            topo::LinkParams link = {});
+
+/// One-line-per-family description of the spec grammar (for CLI help).
+[[nodiscard]] std::string spec_grammar_help();
+
+}  // namespace kar::topogen

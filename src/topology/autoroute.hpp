@@ -1,0 +1,27 @@
+// Shared route-derivation utilities for topology builders and generators.
+//
+// Every synthetic builder (line/grid/random) used to carry its own copy of
+// the "find a core path between the two edge nodes" BFS; the topogen
+// generators need the identical logic at 1000 switches. One implementation
+// lives here; the builders and `src/topogen/` both route through it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace kar::topo {
+
+/// Names a core switch after its KAR ID, matching the paper's labels.
+[[nodiscard]] std::string switch_label(SwitchId id);
+
+/// BFS shortest core path between the switches adjacent to two edge nodes:
+/// the names of the core switches strictly between `src_edge` and
+/// `dst_edge`, ingress to egress. Intermediate edge nodes do not forward.
+/// Throws std::logic_error when the endpoints are not connected.
+[[nodiscard]] std::vector<std::string> bfs_core_path(const Topology& topo,
+                                                     NodeId src_edge,
+                                                     NodeId dst_edge);
+
+}  // namespace kar::topo

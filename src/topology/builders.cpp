@@ -1,54 +1,18 @@
 #include "topology/builders.hpp"
 
-#include <algorithm>
-#include <queue>
 #include <stdexcept>
 #include <string>
 
 #include "common/rng.hpp"
 #include "rns/modular.hpp"
+#include "topology/autoroute.hpp"
 
 namespace kar::topo {
 
 namespace {
 
-/// Names a core switch after its KAR ID, matching the paper's labels.
-std::string sw(SwitchId id) { return "SW" + std::to_string(id); }
-
-/// BFS shortest core path between the switches adjacent to two edge nodes.
-/// Used by the synthetic builders to fill in ScenarioRoute::core_path.
-std::vector<std::string> bfs_core_path(const Topology& topo, NodeId src_edge,
-                                       NodeId dst_edge) {
-  std::vector<NodeId> parent(topo.node_count(), kInvalidNode);
-  std::vector<bool> seen(topo.node_count(), false);
-  std::queue<NodeId> frontier;
-  seen[src_edge] = true;
-  frontier.push(src_edge);
-  while (!frontier.empty()) {
-    const NodeId cur = frontier.front();
-    frontier.pop();
-    if (cur == dst_edge) break;
-    // Edge nodes other than the endpoints do not forward.
-    if (cur != src_edge && topo.kind(cur) == NodeKind::kEdgeNode) continue;
-    for (const auto& [port, next] : topo.neighbors(cur)) {
-      (void)port;
-      if (!seen[next]) {
-        seen[next] = true;
-        parent[next] = cur;
-        frontier.push(next);
-      }
-    }
-  }
-  if (!seen[dst_edge]) {
-    throw std::logic_error("bfs_core_path: endpoints not connected");
-  }
-  std::vector<std::string> path;
-  for (NodeId cur = parent[dst_edge]; cur != src_edge; cur = parent[cur]) {
-    path.push_back(topo.name(cur));
-  }
-  std::reverse(path.begin(), path.end());
-  return path;
-}
+/// Short alias so the figure reconstructions below stay readable.
+std::string sw(SwitchId id) { return switch_label(id); }
 
 }  // namespace
 

@@ -29,11 +29,24 @@ inline constexpr LinkId kInvalidLink = static_cast<LinkId>(-1);
 /// Core switches forward by modulo; edge nodes terminate the KAR domain.
 enum class NodeKind : std::uint8_t { kCoreSwitch, kEdgeNode };
 
+/// RED (Random Early Detection) AQM parameters for a link direction.
+/// When set, the simulator probabilistically drops arriving packets as the
+/// EWMA of the queue length climbs between `min_th` and `max_th`, instead
+/// of waiting for drop-tail overflow. Absent (the default) means pure
+/// drop-tail, which keeps every pre-existing scenario byte-identical.
+struct RedParams {
+  double min_th = 5.0;    ///< EWMA queue length where early drop begins.
+  double max_th = 15.0;   ///< EWMA queue length where drop probability hits max_p.
+  double max_p = 0.1;     ///< Drop probability at max_th (gentle ramp above).
+  double weight = 0.002;  ///< EWMA weight per arrival (Floyd/Jacobson w_q).
+};
+
 /// Physical link properties used by the simulator.
 struct LinkParams {
   double rate_bps = 200e6;       ///< Serialization rate (default: paper's 200 Mb/s).
   double delay_s = 0.5e-3;       ///< One-way propagation delay.
   std::size_t queue_packets = 100;  ///< Drop-tail queue capacity per direction.
+  std::optional<RedParams> red;  ///< RED AQM; nullopt = drop-tail only.
 };
 
 /// One endpoint of a link.

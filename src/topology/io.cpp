@@ -1,5 +1,7 @@
 #include "topology/io.hpp"
 
+#include <array>
+#include <charconv>
 #include <locale>
 #include <sstream>
 #include <stdexcept>
@@ -25,6 +27,67 @@ double parse_double_field(std::size_t line, const std::string& text) {
   return *value;
 }
 
+/// Shortest decimal form that round-trips through parse_double exactly.
+/// `operator<<` truncated to 6 significant digits, so generated delays
+/// like 1.2345678e-3 silently changed value across serialize→parse.
+std::string format_double(double value) {
+  std::array<char, 32> buf{};
+  const auto res = std::to_chars(buf.data(), buf.data() + buf.size(), value);
+  return std::string(buf.data(), res.ptr);
+}
+
+constexpr char kHexDigits[] = "0123456789ABCDEF";
+
+bool needs_escape(unsigned char c) {
+  // Space splits tokens, '#' starts a comment, '%' is the escape
+  // introducer itself; control bytes would corrupt the line format.
+  return c <= 0x20 || c == '#' || c == '%' || c == 0x7f;
+}
+
+/// Percent-escapes a node name so it survives the space-tokenized,
+/// '#'-commented line format. Names like "pod3/agg1" pass through
+/// unchanged; "PoP 3" becomes "PoP%203".
+std::string escape_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char ch : name) {
+    const auto c = static_cast<unsigned char>(ch);
+    if (needs_escape(c)) {
+      out.push_back('%');
+      out.push_back(kHexDigits[c >> 4]);
+      out.push_back(kHexDigits[c & 0xf]);
+    } else {
+      out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+std::string unescape_name(std::size_t line, const std::string& token) {
+  std::string out;
+  out.reserve(token.size());
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    if (token[i] != '%') {
+      out.push_back(token[i]);
+      continue;
+    }
+    if (i + 2 >= token.size()) fail(line, "truncated %-escape in " + token);
+    const int hi = hex_value(token[i + 1]);
+    const int lo = hex_value(token[i + 2]);
+    if (hi < 0 || lo < 0) fail(line, "bad %-escape in " + token);
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
 }  // namespace
 
 Topology parse_topology(std::istream& in) {
@@ -46,16 +109,16 @@ Topology parse_topology(std::istream& in) {
       // strict parser makes that a hard error.
       const auto id = common::parse_u64(tokens[2]);
       if (!id) fail(line_no, "bad switch id: " + tokens[2]);
-      topo.add_switch(tokens[1], *id);
+      topo.add_switch(unescape_name(line_no, tokens[1]), *id);
     } else if (verb == "edge") {
       if (tokens.size() != 2) fail(line_no, "usage: edge <name>");
-      topo.add_edge_node(tokens[1]);
+      topo.add_edge_node(unescape_name(line_no, tokens[1]));
     } else if (verb == "link") {
       if (tokens.size() < 3) {
         fail(line_no, "usage: link <a> <b> [rate=..] [delay=..] [queue=..]");
       }
-      const auto a = topo.find(tokens[1]);
-      const auto b = topo.find(tokens[2]);
+      const auto a = topo.find(unescape_name(line_no, tokens[1]));
+      const auto b = topo.find(unescape_name(line_no, tokens[2]));
       if (!a) fail(line_no, "unknown node " + tokens[1]);
       if (!b) fail(line_no, "unknown node " + tokens[2]);
       LinkParams params;
@@ -71,6 +134,17 @@ Topology parse_topology(std::istream& in) {
         } else if (key == "queue") {
           params.queue_packets =
               static_cast<std::size_t>(parse_double_field(line_no, value));
+        } else if (key == "red") {
+          const auto parts = common::split(value, ':');
+          if (parts.size() != 4) {
+            fail(line_no, "usage: red=<min_th>:<max_th>:<max_p>:<weight>");
+          }
+          RedParams red;
+          red.min_th = parse_double_field(line_no, parts[0]);
+          red.max_th = parse_double_field(line_no, parts[1]);
+          red.max_p = parse_double_field(line_no, parts[2]);
+          red.weight = parse_double_field(line_no, parts[3]);
+          params.red = red;
         } else {
           fail(line_no, "unknown link option " + key);
         }
@@ -79,7 +153,8 @@ Topology parse_topology(std::istream& in) {
     } else if (verb == "down") {
       if (tokens.size() != 3) fail(line_no, "usage: down <a> <b>");
       try {
-        topo.fail_link(tokens[1], tokens[2]);
+        topo.fail_link(unescape_name(line_no, tokens[1]),
+                       unescape_name(line_no, tokens[2]));
       } catch (const std::exception& e) {
         fail(line_no, e.what());
       }
@@ -103,22 +178,32 @@ std::string serialize_topology(const Topology& topo) {
   out.imbue(std::locale::classic());
   for (NodeId n = 0; n < topo.node_count(); ++n) {
     if (topo.kind(n) == NodeKind::kCoreSwitch) {
-      out << "switch " << topo.name(n) << ' ' << topo.switch_id(n) << '\n';
+      out << "switch " << escape_name(topo.name(n)) << ' ' << topo.switch_id(n)
+          << '\n';
     } else {
-      out << "edge " << topo.name(n) << '\n';
+      out << "edge " << escape_name(topo.name(n)) << '\n';
     }
   }
   for (LinkId l = 0; l < topo.link_count(); ++l) {
     const Link& link = topo.link(l);
-    out << "link " << topo.name(link.a.node) << ' ' << topo.name(link.b.node)
-        << " rate=" << link.params.rate_bps << " delay=" << link.params.delay_s
-        << " queue=" << link.params.queue_packets << '\n';
+    out << "link " << escape_name(topo.name(link.a.node)) << ' '
+        << escape_name(topo.name(link.b.node))
+        << " rate=" << format_double(link.params.rate_bps)
+        << " delay=" << format_double(link.params.delay_s)
+        << " queue=" << link.params.queue_packets;
+    if (link.params.red) {
+      const RedParams& red = *link.params.red;
+      out << " red=" << format_double(red.min_th) << ':'
+          << format_double(red.max_th) << ':' << format_double(red.max_p)
+          << ':' << format_double(red.weight);
+    }
+    out << '\n';
   }
   for (LinkId l = 0; l < topo.link_count(); ++l) {
     const Link& link = topo.link(l);
     if (!link.up) {
-      out << "down " << topo.name(link.a.node) << ' ' << topo.name(link.b.node)
-          << '\n';
+      out << "down " << escape_name(topo.name(link.a.node)) << ' '
+          << escape_name(topo.name(link.b.node)) << '\n';
     }
   }
   return out.str();

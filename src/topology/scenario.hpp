@@ -52,6 +52,11 @@ struct Scenario {
   std::string description;
   Topology topology;
   ScenarioRoute route;
+  /// Optional designated bottleneck link (node names, empty = none).
+  /// Generated backbone scenarios mark the link heavy traffic should
+  /// congest so workload compilers can aim flows through it.
+  std::string bottleneck_a;
+  std::string bottleneck_b;
 };
 
 }  // namespace kar::topo

@@ -23,7 +23,8 @@ TcpSender::TcpSender(sim::Network& network, const routing::EncodedRoute& data_ro
       cwnd_(static_cast<double>(params.initial_cwnd_segments)),
       ssthresh_(static_cast<double>(params.receiver_window_segments)),
       dupthresh_(params.dupack_threshold),
-      rto_(params.initial_rto_s) {}
+      rto_(params.initial_rto_s),
+      jitter_rng_(common::derive_seed(flow_id, /*salt=*/0x52544f)) {}
 
 void TcpSender::set_observability(const TcpObservability& sinks) {
   trace_ = sinks.trace;
@@ -111,6 +112,9 @@ void TcpSender::maybe_send() {
   const auto window = static_cast<std::uint64_t>(std::min(
       cwnd_, static_cast<double>(params_.receiver_window_segments)));
   while (snd_nxt_ < snd_una_ + window) {
+    if (params_.limit_segments != 0 && snd_nxt_ >= params_.limit_segments) {
+      break;  // finite flow: all offered data is sent (or in flight)
+    }
     if (params_.enable_sack && snd_nxt_ < highest_sent_ &&
         scoreboard_.contains(snd_nxt_)) {
       // Go-back-N resend after an RTO: the receiver already holds this
@@ -129,7 +133,11 @@ void TcpSender::restart_rto() {
   ++rto_epoch_;
   rto_armed_ = true;
   const std::uint64_t epoch = rto_epoch_;
-  net_->events().schedule_in(rto_, sim::EventKind::kTransportTimer,
+  double delay = rto_;
+  if (params_.rto_jitter > 0.0) {
+    delay *= 1.0 + params_.rto_jitter * (jitter_rng_.uniform() - 0.5);
+  }
+  net_->events().schedule_in(delay, sim::EventKind::kTransportTimer,
                              [this, epoch] {
                                if (rto_armed_ && epoch == rto_epoch_) on_rto();
                              });
@@ -255,7 +263,8 @@ void TcpSender::recovery_send() {
   while (in_flight < window) {
     if (const auto hole = next_hole()) {
       send_segment(*hole, /*is_retransmit=*/true);
-    } else if (running_) {
+    } else if (running_ && (params_.limit_segments == 0 ||
+                            snd_nxt_ < params_.limit_segments)) {
       send_segment(snd_nxt_, /*is_retransmit=*/snd_nxt_ < highest_sent_);
       ++snd_nxt_;
     } else {

@@ -30,6 +30,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/rng.hpp"
 #include "dataplane/packet.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -63,6 +64,19 @@ struct TcpParams {
   /// presumed-lost segment actually arrived late (Linux tcp_reordering).
   bool adaptive_reordering = true;
   std::uint32_t max_reordering = 300;  ///< Cap on the adapted threshold.
+  /// Total data segments the flow offers; 0 = unbounded bulk transfer.
+  /// Finite flows (the traffic engine's sized transfers) stop offering new
+  /// data at this sequence; in-flight data is still retransmitted and the
+  /// sender quiesces once everything is cumulatively ACKed.
+  std::uint64_t limit_segments = 0;
+  /// Multiplicative RTO timer jitter: each armed timer fires after
+  /// rto * (1 + U[-jitter/2, +jitter/2]), drawn from a per-flow
+  /// deterministic stream. Real stacks carry this kind of clock noise;
+  /// without it a synchronized burst of flows phase-locks — every flow
+  /// times out, collides, and re-doubles its RTO in lockstep forever
+  /// (classic retry self-synchronization). 0 disables (legacy behavior,
+  /// bit-exact).
+  double rto_jitter = 0.0;
 };
 
 /// Sender-side counters for assertions and reporting.
@@ -104,6 +118,11 @@ class TcpSender {
   [[nodiscard]] double srtt_s() const noexcept { return srtt_; }
   [[nodiscard]] std::uint64_t flow_id() const noexcept { return flow_id_; }
   [[nodiscard]] bool in_fast_recovery() const noexcept { return in_recovery_; }
+  /// True for finite flows (limit_segments != 0) once every offered
+  /// segment has been cumulatively ACKed.
+  [[nodiscard]] bool complete() const noexcept {
+    return params_.limit_segments != 0 && snd_una_ >= params_.limit_segments;
+  }
   /// Effective duplicate-ACK threshold after reordering adaptation.
   [[nodiscard]] std::uint32_t dupack_threshold() const noexcept {
     return dupthresh_;
@@ -162,6 +181,7 @@ class TcpSender {
   bool have_rtt_ = false;
   std::uint64_t rto_epoch_ = 0;  ///< Invalidates superseded timer events.
   bool rto_armed_ = false;
+  common::Rng jitter_rng_;  ///< Per-flow RTO jitter stream (rto_jitter > 0).
 
   /// Send timestamps of unretransmitted segments (Karn's rule).
   std::unordered_map<std::uint64_t, double> send_time_;

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 
 #include "rns/crt.hpp"
 #include "rns/modular.hpp"
+#include "topogen/topogen.hpp"
 #include "topology/builders.hpp"
 
 namespace kar::routing {
@@ -75,6 +77,29 @@ TEST(IdAssigner, DegreeAwareReducesRouteBits) {
     return rns::route_id_bit_length(route_ids);
   };
   EXPECT_LE(bits_for(degree_ids), bits_for(naive_ids));
+}
+
+TEST(IdAssigner, ThousandSwitchTopologyAssignsInBoundedTime) {
+  // Regression for the quadratic rescan: every strategy must assign a
+  // valid coprime set to a 1000-switch generated graph well inside 2 s
+  // (the pre-pool code was O(candidates x taken) gcd scans).
+  const Scenario s = topogen::make_barabasi_albert({.switches = 1000, .seed = 4});
+  for (const IdStrategy strategy :
+       {IdStrategy::kAscending, IdStrategy::kDegreeDescending,
+        IdStrategy::kPrimesAscending}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto ids = assign_switch_ids(s.topology, strategy);
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_EQ(ids.size(), 1000u);
+    EXPECT_TRUE(rns::pairwise_coprime(id_values(ids)));
+    for (const auto& [node, id] : ids) {
+      EXPECT_GE(id, std::max<std::uint64_t>(s.topology.port_count(node), 2));
+    }
+    EXPECT_LT(
+        std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(),
+        2000)
+        << "strategy " << static_cast<int>(strategy);
+  }
 }
 
 TEST(RelabelTopology, PreservesStructure) {

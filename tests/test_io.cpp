@@ -139,6 +139,93 @@ TEST(TopologyParser, RoundTripsUnderCommaDecimalLocale) {
   EXPECT_EQ(serialize_topology(parsed), text);  // fixed point
 }
 
+TEST(TopologyParser, EscapesStructuredAndPathologicalNames) {
+  // Generator names like "pod3/agg1" must survive verbatim; names holding
+  // whitespace, '#', '%' or control bytes must round-trip via escaping
+  // (historically a space in a name silently corrupted the parse).
+  Topology t;
+  t.add_switch("pod3/agg1", 5);
+  t.add_switch("core 0-1", 7);     // embedded space
+  t.add_switch("rack#7", 11);      // comment introducer
+  t.add_switch("pct%20", 13);      // literal escape introducer
+  t.add_switch(std::string("tab\tname"), 17);
+  t.add_edge_node("H pod3/agg1");
+  t.add_link(t.at("pod3/agg1"), t.at("core 0-1"), {});
+  t.add_link(t.at("rack#7"), t.at("pct%20"), {});
+  t.add_link(t.at("H pod3/agg1"), t.at("pod3/agg1"), {});
+
+  const std::string text = serialize_topology(t);
+  EXPECT_NE(text.find("pod3/agg1"), std::string::npos);  // '/' stays literal
+  const Topology parsed = parse_topology_string(text);
+  EXPECT_EQ(parsed.node_count(), 6u);
+  EXPECT_EQ(parsed.switch_id(parsed.at("core 0-1")), 7u);
+  EXPECT_EQ(parsed.switch_id(parsed.at("rack#7")), 11u);
+  EXPECT_EQ(parsed.switch_id(parsed.at("pct%20")), 13u);
+  EXPECT_EQ(parsed.switch_id(parsed.at("tab\tname")), 17u);
+  ASSERT_TRUE(parsed.link_between(parsed.at("H pod3/agg1"),
+                                  parsed.at("pod3/agg1")).has_value());
+  EXPECT_EQ(serialize_topology(parsed), text);  // fixed point
+
+  EXPECT_THROW(parse_topology_string("switch bad%zz 5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_topology_string("switch bad%2 5\n"),
+               std::invalid_argument);
+}
+
+TEST(TopologyParser, RedParamsRoundTrip) {
+  Topology t;
+  t.add_switch("SW5", 5);
+  t.add_switch("SW7", 7);
+  LinkParams params;
+  params.red = RedParams{.min_th = 4.0, .max_th = 12.0, .max_p = 0.05,
+                         .weight = 0.001};
+  t.add_link(t.at("SW5"), t.at("SW7"), params);
+
+  const std::string text = serialize_topology(t);
+  EXPECT_NE(text.find("red=4:12:0.05:0.001"), std::string::npos) << text;
+  const Topology parsed = parse_topology_string(text);
+  const auto link = parsed.link_between(parsed.at("SW5"), parsed.at("SW7"));
+  ASSERT_TRUE(link.has_value());
+  ASSERT_TRUE(parsed.link(*link).params.red.has_value());
+  EXPECT_DOUBLE_EQ(parsed.link(*link).params.red->max_th, 12.0);
+  EXPECT_DOUBLE_EQ(parsed.link(*link).params.red->weight, 0.001);
+  EXPECT_EQ(serialize_topology(parsed), text);
+
+  EXPECT_THROW(parse_topology_string("switch A 5\nswitch B 7\n"
+                                     "link A B red=1:2:3\n"),
+               std::invalid_argument);
+}
+
+TEST(TopologyParser, ThousandNodeWeightedRoundTripIsExact) {
+  // A 1000-switch generated graph with irregular double-valued rates and
+  // delays and structured names: serialize -> parse -> serialize must be
+  // byte-identical, and every link parameter must survive exactly
+  // (shortest-round-trip formatting, not %g truncation).
+  Topology t;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    // Unique (not necessarily coprime) ids: io only cares about structure.
+    t.add_switch("pod" + std::to_string(i / 16) + "/sw" + std::to_string(i % 16) +
+                     " #" + std::to_string(i),
+                 3 + 2 * i);
+  }
+  for (std::size_t i = 0; i + 1 < 1000; ++i) {
+    LinkParams params;
+    params.rate_bps = 1e9 / 3.0 + static_cast<double>(i) * 0.123456789;
+    params.delay_s = 1e-3 / 7.0 + static_cast<double>(i) * 1e-9;
+    params.queue_packets = 50 + i % 200;
+    t.add_link(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), params);
+  }
+  const std::string text = serialize_topology(t);
+  const Topology parsed = parse_topology_string(text);
+  ASSERT_EQ(parsed.node_count(), 1000u);
+  ASSERT_EQ(parsed.link_count(), 999u);
+  for (LinkId l = 0; l < parsed.link_count(); ++l) {
+    ASSERT_DOUBLE_EQ(parsed.link(l).params.rate_bps, t.link(l).params.rate_bps);
+    ASSERT_DOUBLE_EQ(parsed.link(l).params.delay_s, t.link(l).params.delay_s);
+  }
+  EXPECT_EQ(serialize_topology(parsed), text);
+}
+
 TEST(Graphviz, MentionsEveryNodeAndFailedLinkStyle) {
   Scenario s = make_fig1_network();
   s.topology.fail_link("SW7", "SW11");

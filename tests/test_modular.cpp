@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -128,6 +129,74 @@ TEST(NextCoprimeIds, GreedyPicksSmallest) {
   const auto ids = next_coprime_ids(4, 2, {});
   // 2, 3, 5, 7: 4 conflicts with 2, 6 with 2 and 3.
   EXPECT_EQ(ids, (std::vector<std::uint64_t>{2, 3, 5, 7}));
+}
+
+TEST(CoprimePool, ScalesToAThousandIdsInBoundedTime) {
+  // The pre-pool implementation rescanned every taken id per candidate
+  // (O(candidates x taken) gcds); the factor-set pool is near-linear. A
+  // thousand ids at a realistic port-count floor must be instant — budget
+  // 2 s wall to leave sanitizer headroom while still catching quadratic
+  // regressions (which take minutes).
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto ids = next_coprime_ids(1000, 8, {});
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(ids.size(), 1000u);
+  EXPECT_TRUE(pairwise_coprime(ids));
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(),
+            2000);
+}
+
+TEST(CoprimePool, MatchesLegacyGreedySequence) {
+  // The pool must reproduce the old greedy smallest-first scan exactly:
+  // goldens across the repo (builders, campaign traces) pin these values.
+  CoprimePool pool;
+  std::vector<std::uint64_t> got;
+  for (int i = 0; i < 8; ++i) got.push_back(pool.take(2));
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{2, 3, 5, 7, 11, 13, 17, 19}));
+
+  CoprimePool blocked;
+  blocked.block(6);   // consumes primes 2 and 3
+  blocked.block(35);  // consumes 5 and 7
+  EXPECT_EQ(blocked.take(2), 11u);
+  EXPECT_EQ(blocked.take(2), 13u);
+}
+
+TEST(CoprimePool, ExhaustionIsAStructuredError) {
+  // A candidate ceiling one above the minimum leaves a single admissible
+  // value; the next take() must throw IdPoolExhausted (not spin or wrap)
+  // and the exception must carry the diagnostic fields.
+  CoprimePool pool(/*max_candidate=*/13);
+  EXPECT_EQ(pool.take(11), 11u);
+  EXPECT_EQ(pool.take(11), 12u);  // 12 = 2^2*3, coprime with 11
+  EXPECT_EQ(pool.take(11), 13u);
+  try {
+    (void)pool.take(11, false, 4);
+    FAIL() << "expected IdPoolExhausted";
+  } catch (const IdPoolExhausted& e) {
+    EXPECT_EQ(e.requested(), 4u);
+    EXPECT_EQ(e.assigned(), 3u);
+    EXPECT_EQ(e.minimum(), 11u);
+    EXPECT_EQ(e.max_candidate(), 13u);
+    EXPECT_NE(std::string(e.what()).find("exhausted"), std::string::npos);
+  }
+  // IdPoolExhausted derives std::overflow_error so legacy catch sites
+  // that guarded the old arithmetic still fire.
+  CoprimePool again(13);
+  (void)again.take(11);
+  (void)again.take(11);
+  (void)again.take(11);
+  EXPECT_THROW((void)again.take(11), std::overflow_error);
+}
+
+TEST(CoprimePool, BlockZeroPoisonsThePool) {
+  // Id 0 divides nothing meaningfully — an existing set containing 0 can
+  // never be extended coprimely. The pool reports exhaustion immediately
+  // rather than scanning 2^32 candidates.
+  CoprimePool pool;
+  pool.block(0);
+  EXPECT_THROW((void)pool.take(2), IdPoolExhausted);
+  const std::vector<std::uint64_t> with_zero = {0};
+  EXPECT_THROW((void)next_coprime_ids(1, 2, with_zero), IdPoolExhausted);
 }
 
 TEST(PreparedMod, RejectsZeroDivisor) {

@@ -146,6 +146,60 @@ TEST_F(NetFixture, QueueOverflowDropsExcessPackets) {
   EXPECT_EQ(net.counters().delivered + net.counters().total_drops(), 50u);
 }
 
+TEST_F(NetFixture, RedDropsEarlyBeforeQueueOverflow) {
+  // Arm aggressive RED on a slow line and flood it: early drops must fire
+  // while the drop-tail limit is never reached, every loss must be
+  // accounted, and the run must stay seed-deterministic.
+  const auto run = [](std::uint64_t seed) {
+    Scenario s = topo::make_fig1_network(
+        topo::LinkParams{.rate_bps = 1e6, .delay_s = 1e-3, .queue_packets = 100});
+    for (topo::LinkId l = 0; l < s.topology.link_count(); ++l) {
+      s.topology.link(l).params.red =
+          topo::RedParams{.min_th = 2.0, .max_th = 8.0, .max_p = 0.5,
+                          .weight = 0.2};
+    }
+    routing::Controller ctrl(s.topology);
+    NetworkConfig config;
+    config.seed = seed;
+    Network net(s.topology, ctrl, config);
+    const auto r = ctrl.encode_scenario(s.route, ProtectionLevel::kUnprotected);
+    for (int i = 0; i < 80; ++i) {
+      Packet p;
+      p.transport = dataplane::Datagram{static_cast<std::uint64_t>(i)};
+      net.edge_at(r.src_edge).stamp(p, r, 1000);
+      net.inject(r.src_edge, std::move(p));
+    }
+    net.events().run_all();
+    return net.counters();
+  };
+  const NetworkCounters counters = run(7);
+  EXPECT_GT(counters.drop_aqm_early, 0u);
+  EXPECT_EQ(counters.drop_queue_overflow, 0u);  // RED kicks in well below 100
+  EXPECT_GT(counters.delivered, 0u);
+  EXPECT_EQ(counters.delivered + counters.total_drops(), 80u);
+  // Identical seed, identical drop pattern.
+  EXPECT_EQ(run(7).drop_aqm_early, counters.drop_aqm_early);
+}
+
+TEST_F(NetFixture, RedAbsentMeansPureDropTail) {
+  // Default links carry no RED config: flooding may overflow the queue,
+  // but the AQM counter must stay exactly zero.
+  Scenario s = topo::make_fig1_network(
+      topo::LinkParams{.rate_bps = 1e6, .delay_s = 1e-3, .queue_packets = 5});
+  routing::Controller ctrl(s.topology);
+  Network net(s.topology, ctrl, {});
+  const auto r = ctrl.encode_scenario(s.route, ProtectionLevel::kUnprotected);
+  for (int i = 0; i < 50; ++i) {
+    Packet p;
+    p.transport = dataplane::Datagram{static_cast<std::uint64_t>(i)};
+    net.edge_at(r.src_edge).stamp(p, r, 1000);
+    net.inject(r.src_edge, std::move(p));
+  }
+  net.events().run_all();
+  EXPECT_EQ(net.counters().drop_aqm_early, 0u);
+  EXPECT_GT(net.counters().drop_queue_overflow, 0u);
+}
+
 TEST_F(NetFixture, TtlGuardsInfiniteWalks) {
   NetworkConfig config;
   config.technique = DeflectionTechnique::kAnyValidPort;

@@ -59,6 +59,50 @@ TEST_F(TcpFixture, BulkFlowDeliversInOrderAndFillsThePipe) {
   EXPECT_EQ(dispatcher.unclaimed_packets(), 0u);
 }
 
+TEST_F(TcpFixture, FiniteFlowCompletesAndQuiesces) {
+  sim::Network net(scenario.topology, controller, {});
+  FlowDispatcher dispatcher(net);
+  TcpParams params;
+  params.limit_segments = 500;
+  BulkTransferFlow flow(net, dispatcher, forward_route(), reverse_route(), 1,
+                        params);
+  flow.start_at(0.0);
+  EXPECT_FALSE(flow.sender().complete());
+  net.events().run_all();  // must drain: a completed sender cancels its RTO
+  EXPECT_TRUE(flow.sender().complete());
+  EXPECT_EQ(flow.receiver().stats().delivered_segments, 500u);
+  EXPECT_EQ(flow.sender().stats().segments_sent, 500u);  // clean line: no rtx
+  EXPECT_TRUE(net.events().empty());
+  EXPECT_LT(net.events().now(), 5.0);  // finished, not horizon-bound
+}
+
+TEST_F(TcpFixture, FiniteFlowRetransmitsTailLosses) {
+  // Fail the line mid-transfer so segments (possibly the very tail of the
+  // finite stream) are lost; after repair the flow must still complete
+  // exactly once RTO-driven retransmission catches up.
+  sim::Network net(scenario.topology, controller, {});
+  FlowDispatcher dispatcher(net);
+  TcpParams params;
+  params.limit_segments = 300;
+  BulkTransferFlow flow(net, dispatcher, forward_route(), reverse_route(), 1,
+                        params);
+  flow.start_at(0.0);
+  const auto& path = scenario.route.core_path;
+  net.events().schedule_at(0.05, [&] {
+    net.fail_link_now(*scenario.topology.link_between(
+        scenario.topology.at(path[0]), scenario.topology.at(path[1])));
+  });
+  net.events().schedule_at(0.6, [&] {
+    net.repair_link_now(*scenario.topology.link_between(
+        scenario.topology.at(path[0]), scenario.topology.at(path[1])));
+  });
+  net.events().run_all();
+  EXPECT_TRUE(flow.sender().complete());
+  EXPECT_EQ(flow.receiver().stats().delivered_segments, 300u);
+  EXPECT_GT(flow.sender().stats().retransmits, 0u);
+  EXPECT_TRUE(net.events().empty());
+}
+
 TEST_F(TcpFixture, SlowStartGrowsCwndExponentially) {
   sim::Network net(scenario.topology, controller, {});
   FlowDispatcher dispatcher(net);

@@ -1,0 +1,289 @@
+// Property tests for the src/topogen/ generators: seed determinism
+// (byte-identical serialization), connectivity and coprime IDs at
+// 100-1000 switches, structural invariants per family (fat-tree switch
+// counts and layer degrees, BA edge counts, Internet2's designated
+// bottleneck), and the gen: spec grammar.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "routing/controller.hpp"
+#include "routing/encodings.hpp"
+#include "routing/paths.hpp"
+#include "topogen/topogen.hpp"
+#include "topology/io.hpp"
+
+namespace kar {
+namespace {
+
+using topo::NodeId;
+using topo::NodeKind;
+using topo::Scenario;
+using topo::Topology;
+using namespace kar::topogen;
+
+/// True when every node can reach every other (links assumed up).
+bool connected(const Topology& t) {
+  if (t.node_count() == 0) return true;
+  std::vector<bool> seen(t.node_count(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop();
+    for (std::size_t port = 0; port < t.port_count(cur); ++port) {
+      const auto& link = t.link(t.link_at(cur, static_cast<topo::PortIndex>(port)));
+      const NodeId other = link.a.node == cur ? link.b.node : link.a.node;
+      if (!seen[other]) {
+        seen[other] = true;
+        ++reached;
+        frontier.push(other);
+      }
+    }
+  }
+  return reached == t.node_count();
+}
+
+void expect_pairwise_coprime(const Topology& t) {
+  const std::vector<topo::SwitchId> ids = t.all_switch_ids();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      ASSERT_EQ(std::gcd(ids[i], ids[j]), 1u)
+          << ids[i] << " and " << ids[j] << " share a factor";
+    }
+  }
+}
+
+void expect_ids_exceed_ports(const Topology& t) {
+  for (const NodeId sw : t.nodes_of_kind(NodeKind::kCoreSwitch)) {
+    ASSERT_GT(t.switch_id(sw), static_cast<topo::SwitchId>(t.port_count(sw) - 1))
+        << t.name(sw) << " id does not exceed its max port index";
+  }
+}
+
+// -- fat-tree ----------------------------------------------------------------
+
+TEST(TopogenFatTree, SwitchCountAndLayerDegrees) {
+  for (const std::size_t k : {2u, 4u, 8u}) {
+    const Scenario s = make_fat_tree({.k = k});
+    const auto switches = s.topology.nodes_of_kind(NodeKind::kCoreSwitch);
+    EXPECT_EQ(switches.size(), 5 * k * k / 4) << "k=" << k;
+    std::size_t edge_layer = 0, agg_layer = 0, core_layer = 0;
+    for (const NodeId sw : switches) {
+      const std::string& name = s.topology.name(sw);
+      const std::size_t ports = s.topology.port_count(sw);
+      if (name.find("/edge") != std::string::npos) {
+        ++edge_layer;
+        // k/2 uplinks; the two route endpoints add one host port each.
+        EXPECT_GE(ports, k / 2);
+        EXPECT_LE(ports, k / 2 + 1);
+      } else if (name.find("/agg") != std::string::npos) {
+        ++agg_layer;
+        EXPECT_EQ(ports, k);  // k/2 down + k/2 up
+      } else {
+        ++core_layer;
+        EXPECT_EQ(ports, k);  // one port per pod
+      }
+    }
+    EXPECT_EQ(edge_layer, k * k / 2);
+    EXPECT_EQ(agg_layer, k * k / 2);
+    EXPECT_EQ(core_layer, k * k / 4);
+    EXPECT_TRUE(connected(s.topology));
+    expect_ids_exceed_ports(s.topology);
+  }
+}
+
+TEST(TopogenFatTree, DeterministicAndRoutable) {
+  const Scenario a = make_fat_tree({.k = 4});
+  const Scenario b = make_fat_tree({.k = 4});
+  EXPECT_EQ(topo::serialize_topology(a.topology),
+            topo::serialize_topology(b.topology));
+  ASSERT_FALSE(a.route.core_path.empty());
+  // Pod 0 to pod k-1 must climb to the core: edge, agg, core, agg, edge.
+  EXPECT_EQ(a.route.core_path.size(), 5u);
+  const routing::Controller controller(a.topology);
+  EXPECT_NO_THROW((void)controller.encode_scenario(
+      a.route, topo::ProtectionLevel::kPartial));
+}
+
+TEST(TopogenFatTree, RejectsOddK) {
+  EXPECT_THROW((void)make_fat_tree({.k = 3}), std::invalid_argument);
+  EXPECT_THROW((void)make_fat_tree({.k = 0}), std::invalid_argument);
+}
+
+// -- Internet2 ---------------------------------------------------------------
+
+TEST(TopogenInternet2, BottleneckDesignatedAndOnPrimaryPath) {
+  const Scenario s = make_internet2({});
+  EXPECT_EQ(s.bottleneck_a, "CHI");
+  EXPECT_EQ(s.bottleneck_b, "IPL");
+  EXPECT_EQ(s.topology.nodes_of_kind(NodeKind::kCoreSwitch).size(), 11u);
+  EXPECT_TRUE(connected(s.topology));
+
+  // The designated bottleneck runs at the configured fraction of trunk rate.
+  const NodeId chi = s.topology.at("CHI");
+  const NodeId ipl = s.topology.at("IPL");
+  bool found = false;
+  for (std::size_t port = 0; port < s.topology.port_count(chi); ++port) {
+    const auto& link =
+        s.topology.link(s.topology.link_at(chi, static_cast<topo::PortIndex>(port)));
+    const NodeId other = link.a.node == chi ? link.b.node : link.a.node;
+    if (other == ipl) {
+      found = true;
+      EXPECT_DOUBLE_EQ(link.params.rate_bps, 1e9 * 0.1);
+    }
+  }
+  EXPECT_TRUE(found) << "no CHI-IPL link";
+
+  // The scenario's route crosses the bottleneck.
+  const auto& path = s.route.core_path;
+  bool crosses = false;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (path[i] == "CHI" && path[i + 1] == "IPL") crosses = true;
+  }
+  EXPECT_TRUE(crosses) << "primary path misses the bottleneck";
+}
+
+TEST(TopogenInternet2, ScaledPoPsStayConnectedWithRedOnBottleneck) {
+  const Scenario s = make_internet2({.scale = 4, .red = true});
+  EXPECT_EQ(s.topology.nodes_of_kind(NodeKind::kCoreSwitch).size(), 44u);
+  EXPECT_TRUE(connected(s.topology));
+  expect_pairwise_coprime(s.topology);
+  const NodeId a = s.topology.at(s.bottleneck_a);
+  const NodeId b = s.topology.at(s.bottleneck_b);
+  bool red_seen = false;
+  for (std::size_t port = 0; port < s.topology.port_count(a); ++port) {
+    const auto& link =
+        s.topology.link(s.topology.link_at(a, static_cast<topo::PortIndex>(port)));
+    const NodeId other = link.a.node == a ? link.b.node : link.a.node;
+    if (other == b) red_seen = link.params.red.has_value();
+  }
+  EXPECT_TRUE(red_seen) << "red=1 did not arm RED on the bottleneck";
+}
+
+// -- random families ---------------------------------------------------------
+
+TEST(TopogenWaxman, SeedDeterminismAndDivergence) {
+  const Scenario a = make_waxman({.switches = 100, .seed = 7});
+  const Scenario b = make_waxman({.switches = 100, .seed = 7});
+  const Scenario c = make_waxman({.switches = 100, .seed = 8});
+  EXPECT_EQ(topo::serialize_topology(a.topology),
+            topo::serialize_topology(b.topology));
+  EXPECT_NE(topo::serialize_topology(a.topology),
+            topo::serialize_topology(c.topology));
+}
+
+TEST(TopogenWaxman, ConnectedWithMinDegreeAcrossScales) {
+  for (const std::size_t n : {100u, 250u, 1000u}) {
+    const Scenario s = make_waxman({.switches = n, .seed = 3});
+    const auto switches = s.topology.nodes_of_kind(NodeKind::kCoreSwitch);
+    ASSERT_EQ(switches.size(), n);
+    EXPECT_TRUE(connected(s.topology)) << "n=" << n;
+    for (const NodeId sw : switches) {
+      EXPECT_GE(s.topology.port_count(sw), 2u) << s.topology.name(sw);
+    }
+    expect_ids_exceed_ports(s.topology);
+  }
+}
+
+TEST(TopogenBarabasiAlbert, EdgeCountInvariant) {
+  // C(m+1, 2) clique links + m per arriving node + 2 endpoint host links.
+  for (const auto& [n, m] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {100, 2}, {250, 3}, {500, 2}}) {
+    const Scenario s = make_barabasi_albert({.switches = n, .edges_per_arrival = m});
+    EXPECT_EQ(s.topology.link_count(), m * (m + 1) / 2 + (n - m - 1) * m + 2)
+        << "n=" << n << " m=" << m;
+    EXPECT_TRUE(connected(s.topology));
+  }
+}
+
+TEST(TopogenBarabasiAlbert, SeedDeterminism) {
+  const Scenario a = make_barabasi_albert({.switches = 200, .seed = 5});
+  const Scenario b = make_barabasi_albert({.switches = 200, .seed = 5});
+  EXPECT_EQ(topo::serialize_topology(a.topology),
+            topo::serialize_topology(b.topology));
+}
+
+// -- scale: coprime IDs + Eq. 9 encoding at 1000 switches --------------------
+
+TEST(TopogenScale, ThousandSwitchGraphsEncodeUnderEq9) {
+  // One large instance per family (fat-tree k=28 is 980 switches).
+  const std::vector<Scenario> scenarios = {
+      make_fat_tree({.k = 28}),
+      make_internet2({.scale = 91}),
+      make_waxman({.switches = 1000, .seed = 11}),
+      make_barabasi_albert({.switches = 1000, .seed = 11}),
+  };
+  for (const Scenario& s : scenarios) {
+    SCOPED_TRACE(s.name);
+    const auto switches = s.topology.nodes_of_kind(NodeKind::kCoreSwitch);
+    ASSERT_GE(switches.size(), 980u);
+    ASSERT_TRUE(connected(s.topology));
+    expect_pairwise_coprime(s.topology);
+    expect_ids_exceed_ports(s.topology);
+
+    // Eq. 9 encoding: the scenario's own route must encode, and its header
+    // bits must equal the sum of log2(id) over the path's switches.
+    const routing::Controller controller(s.topology);
+    const routing::EncodedRoute route = controller.encode_scenario(
+        s.route, topo::ProtectionLevel::kUnprotected);
+    std::vector<NodeId> path_nodes;
+    double expected_bits = 0.0;
+    for (const std::string& name : s.route.core_path) {
+      path_nodes.push_back(s.topology.at(name));
+      expected_bits +=
+          std::log2(static_cast<double>(s.topology.switch_id(path_nodes.back())));
+    }
+    const routing::HeaderCost cost = routing::primary_header_cost(
+        s.topology, path_nodes, routing::HeaderScheme::kKarRns);
+    EXPECT_GE(static_cast<double>(cost.bits), expected_bits);
+    EXPECT_LE(static_cast<double>(cost.bits), expected_bits + 1.0 +
+              static_cast<double>(path_nodes.size()));
+    (void)route;
+  }
+}
+
+// -- spec grammar ------------------------------------------------------------
+
+TEST(TopogenSpec, RoundTripsThroughMakeFromSpec) {
+  EXPECT_FALSE(is_gen_spec("fig2"));
+  EXPECT_TRUE(is_gen_spec("gen:fat-tree:k=4"));
+
+  const Scenario direct = make_fat_tree({.k = 4});
+  const Scenario via_spec = make_from_spec("gen:fat-tree:k=4");
+  EXPECT_EQ(topo::serialize_topology(direct.topology),
+            topo::serialize_topology(via_spec.topology));
+
+  const Scenario wax = make_from_spec("gen:waxman:n=120,alpha=0.5,beta=0.3,seed=9");
+  EXPECT_EQ(wax.topology.nodes_of_kind(NodeKind::kCoreSwitch).size(), 120u);
+
+  const Scenario ba = make_from_spec("gen:ba:n=150,m=3,seed=2");
+  EXPECT_EQ(ba.topology.nodes_of_kind(NodeKind::kCoreSwitch).size(), 150u);
+
+  const Scenario i2 = make_from_spec("gen:internet2:scale=2,bneck=0.25");
+  EXPECT_EQ(i2.topology.nodes_of_kind(NodeKind::kCoreSwitch).size(), 22u);
+}
+
+TEST(TopogenSpec, RejectsMalformedSpecsWithGrammarHelp) {
+  for (const char* bad :
+       {"gen:", "gen:frob:n=10", "gen:fat-tree:k=nope", "gen:waxman:bogus=1",
+        "gen:ba:n", "not-a-spec"}) {
+    EXPECT_THROW((void)make_from_spec(bad), std::invalid_argument) << bad;
+  }
+  try {
+    (void)make_from_spec("gen:frob:n=10");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("gen:<family>"), std::string::npos)
+        << "error should carry the grammar: " << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace kar

@@ -1,0 +1,123 @@
+// Tests for the heavy-traffic workload engine: deterministic sampling
+// (exponential inter-arrivals, bounded Pareto), plan compilation in both
+// bottleneck and mesh modes, and a small end-to-end run where concurrent
+// finite TCP flows share the Internet2 bottleneck under RED.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "topogen/topogen.hpp"
+#include "traffic/workload.hpp"
+
+namespace kar {
+namespace {
+
+using namespace kar::traffic;
+
+TEST(TrafficSampling, BoundedParetoStaysInRangeAndIsDeterministic) {
+  common::Rng a(42), b(42);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = bounded_pareto(a, 1.2, 8, 4096);
+    EXPECT_GE(x, 8u);
+    EXPECT_LE(x, 4096u);
+    EXPECT_EQ(x, bounded_pareto(b, 1.2, 8, 4096));
+  }
+  // Heavy tail: the empirical mean must sit well above the lower cutoff.
+  common::Rng c(7);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) sum += static_cast<double>(bounded_pareto(c, 1.2, 8, 4096));
+  EXPECT_GT(sum / 5000.0, 16.0);
+  EXPECT_THROW((void)bounded_pareto(c, 0.0, 8, 4096), std::invalid_argument);
+  EXPECT_THROW((void)bounded_pareto(c, 1.2, 9, 8), std::invalid_argument);
+}
+
+TEST(TrafficSampling, ExponentialInterarrivalMatchesRate) {
+  common::Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double d = exponential_interarrival(rng, 50.0);
+    ASSERT_GE(d, 0.0);
+    sum += d;
+  }
+  // Mean inter-arrival should approximate 1/rate = 20 ms.
+  EXPECT_NEAR(sum / 20000.0, 0.02, 0.002);
+}
+
+TEST(TrafficCompile, BottleneckModeFunnelsEveryFlowThroughTheBottleneck) {
+  WorkloadSpec spec;
+  spec.flows = 64;
+  spec.seed = 9;
+  spec.host_fan = 4;
+  const Workload workload(topogen::make_internet2({.red = true}), spec);
+  ASSERT_EQ(workload.plan().size(), 64u);
+  for (const FlowPlan& flow : workload.plan()) {
+    ASSERT_EQ(flow.core_path.size(), 2u);
+    EXPECT_EQ(flow.core_path[0], "CHI");
+    EXPECT_EQ(flow.core_path[1], "IPL");
+    EXPECT_EQ(flow.src_edge.substr(0, 5), "H-src");
+    EXPECT_EQ(flow.dst_edge.substr(0, 5), "H-dst");
+  }
+  // Deterministic recompile.
+  const Workload again(topogen::make_internet2({.red = true}), spec);
+  for (std::size_t i = 0; i < workload.plan().size(); ++i) {
+    EXPECT_EQ(workload.plan()[i].start_s, again.plan()[i].start_s);
+    EXPECT_EQ(workload.plan()[i].size_segments, again.plan()[i].size_segments);
+  }
+}
+
+TEST(TrafficCompile, MeshModeRoutesRandomPairsOverCorePaths) {
+  WorkloadSpec spec;
+  spec.flows = 32;
+  spec.seed = 3;
+  const Workload workload(topogen::make_waxman({.switches = 60, .seed = 2}), spec);
+  for (const FlowPlan& flow : workload.plan()) {
+    EXPECT_NE(flow.src_edge, flow.dst_edge);
+    EXPECT_FALSE(flow.core_path.empty());
+  }
+}
+
+TEST(TrafficRun, ConcurrentFlowsShareTheBottleneckUnderRed) {
+  WorkloadSpec spec;
+  spec.flows = 48;
+  spec.arrivals = ArrivalProcess::kUniform;
+  spec.arrival_rate_per_s = 48.0;  // all started within the first second
+  spec.sizes = SizeDistribution::kFixed;
+  spec.fixed_segments = 150;
+  spec.horizon_s = 20.0;
+  spec.seed = 5;
+  spec.host_fan = 4;
+  const Workload workload(topogen::make_internet2({.red = true}), spec);
+  const WorkloadResult result = workload.run();
+
+  EXPECT_EQ(result.flows, 48u);
+  // The bottleneck is 100 Mb/s; 48 x 150 segments finish comfortably
+  // inside 20 s, so every finite flow must complete and quiesce.
+  EXPECT_EQ(result.completed, 48u);
+  EXPECT_EQ(result.segments_delivered, 48u * 150u);
+  EXPECT_GT(result.peak_concurrent, 8u);  // genuinely concurrent, not serial
+  EXPECT_GT(result.mean_goodput_mbps, 0.0);
+  // RED on a congested 100 Mb/s queue must fire early drops.
+  EXPECT_GT(result.counters.drop_aqm_early, 0u);
+
+  // Bit-identical re-run.
+  const WorkloadResult rerun = workload.run();
+  EXPECT_EQ(rerun.segments_delivered, result.segments_delivered);
+  EXPECT_EQ(rerun.retransmits, result.retransmits);
+  EXPECT_EQ(rerun.counters.drop_aqm_early, result.counters.drop_aqm_early);
+  EXPECT_EQ(rerun.peak_concurrent, result.peak_concurrent);
+  EXPECT_DOUBLE_EQ(rerun.mean_goodput_mbps, result.mean_goodput_mbps);
+}
+
+TEST(TrafficRun, RejectsDegenerateSpecs) {
+  WorkloadSpec spec;
+  spec.flows = 0;
+  EXPECT_THROW((void)Workload(topogen::make_internet2({}), spec),
+               std::invalid_argument);
+  WorkloadSpec no_fan;
+  no_fan.host_fan = 0;
+  EXPECT_THROW((void)Workload(topogen::make_internet2({}), no_fan),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kar
